@@ -1,0 +1,184 @@
+package poseidon
+
+// One benchmark per table/figure of the paper's evaluation (§7). Each
+// benchmark drives the internal/bench harness, which prints the same rows
+// the corresponding figure reports; run with -v (or see cmd/poseidon-bench
+// for the full-scale standalone runner):
+//
+//	go test -bench=Fig -benchtime=1x .
+//
+// Absolute numbers differ from the paper (simulated devices), but the
+// shapes must hold; EXPERIMENTS.md records paper-vs-measured per figure.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"poseidon/internal/bench"
+	"poseidon/internal/query"
+)
+
+var (
+	setupOnce sync.Once
+	setup     *bench.Setup
+	setupErr  error
+)
+
+// benchScale reads POSEIDON_BENCH_PERSONS (default 200: a few seconds of
+// load, large enough for every shape to show).
+func benchScale() int {
+	if v := os.Getenv("POSEIDON_BENCH_PERSONS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 200
+}
+
+func getSetup(b *testing.B) *bench.Setup {
+	setupOnce.Do(func() {
+		setup, setupErr = bench.NewSetup(bench.Options{
+			Persons: benchScale(),
+			Runs:    10,
+		})
+	})
+	if setupErr != nil {
+		b.Fatal(setupErr)
+	}
+	return setup
+}
+
+func runFigure(b *testing.B, f func() (*bench.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Printed to stdout rather than b.Log: the testing package
+			// truncates long benchmark logs in non-verbose runs, and the
+			// full table is the deliverable.
+			fmt.Printf("\n%s\n", tbl.Format())
+		}
+	}
+}
+
+// BenchmarkFig5_ShortReads regenerates Fig 5: SR queries on DISK-i,
+// DRAM-s/p/i and PMem-s/p/i.
+func BenchmarkFig5_ShortReads(b *testing.B) {
+	s := getSetup(b)
+	runFigure(b, s.Fig5)
+}
+
+// BenchmarkFig6_InteractiveUpdates regenerates Fig 6: IU execute+commit
+// on DISK/DRAM/PMem, hot and cold.
+func BenchmarkFig6_InteractiveUpdates(b *testing.B) {
+	s := getSetup(b)
+	runFigure(b, s.Fig6)
+}
+
+// BenchmarkFig7_JITShortReads regenerates Fig 7: SR under the JIT engine
+// (AOT vs JIT plus compile time).
+func BenchmarkFig7_JITShortReads(b *testing.B) {
+	s := getSetup(b)
+	runFigure(b, s.Fig7)
+}
+
+// BenchmarkFig8_IndexLookup regenerates Fig 8: B+-tree lookup latency per
+// variant and recovery vs rebuild times (§7.4).
+func BenchmarkFig8_IndexLookup(b *testing.B) {
+	s := getSetup(b)
+	runFigure(b, s.Fig8)
+}
+
+// BenchmarkFig9_JITUpdates regenerates Fig 9: IU under the JIT engine
+// (AOT vs hot cached code vs cold compilation).
+func BenchmarkFig9_JITUpdates(b *testing.B) {
+	s := getSetup(b)
+	runFigure(b, s.Fig9)
+}
+
+// BenchmarkFig10_Adaptive regenerates Fig 10: adaptive execution vs
+// multi-threaded AOT on DRAM and PMem.
+func BenchmarkFig10_Adaptive(b *testing.B) {
+	s := getSetup(b)
+	runFigure(b, s.Fig10)
+}
+
+// BenchmarkAblations regenerates the design-decision ablation table of
+// DESIGN.md (DG1-DG6 choices vs their alternatives).
+func BenchmarkAblations(b *testing.B) {
+	s := getSetup(b)
+	runFigure(b, s.Ablations)
+}
+
+// --- micro-benchmarks for the primary transactional operations ---
+
+// BenchmarkTxCommitSmallUpdate measures a single-property update
+// transaction end to end on the PMem engine (execute + MVTO commit with
+// the pmemobj undo log).
+func BenchmarkTxCommitSmallUpdate(b *testing.B) {
+	db, err := Open(Config{Mode: PMem, PoolSize: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	tx := db.Begin()
+	id, err := tx.CreateNode("Person", map[string]any{"v": int64(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		if err := tx.SetNodeProps(id, map[string]any{"v": int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPointLookup measures an indexed point lookup through the
+// public API on the PMem engine.
+func BenchmarkPointLookup(b *testing.B) {
+	db, err := Open(Config{Mode: PMem, PoolSize: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	tx := db.Begin()
+	for i := 0; i < 10000; i++ {
+		if _, err := tx.CreateNode("Person", map[string]any{"num": int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("Person", "num", HybridIndex); err != nil {
+		b.Fatal(err)
+	}
+	plan := &query.Plan{Root: &query.Project{
+		Input: &query.IndexScan{Label: "Person", Key: "num", Value: &query.Param{Name: "n"}},
+		Cols:  []query.Expr{&query.IDOf{Col: 0}},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := db.Query(plan, query.Params{"n": int64(i % 10000)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Command graphshell is a small interactive shell over the public API:
+// create nodes and relationships, traverse, and run simple lookups, with
+// crash/recover commands that exercise the PMem durability path.
+//
+// Commands:
+//
+//	node <label> [key=value ...]          create a node
+//	rel <src> <dst> <label> [key=value]   create a relationship
+//	get <id>                              show a node
+//	out <id> / in <id>                    list relationships
+//	scan <label>                          list nodes with a label
+//	find <label> <key> <value>            indexed lookup (auto-creates index)
+//	set <id> key=value ...                update properties
+//	del <id>                              detach-delete a node
+//	stats                                 device statistics
+//	crash                                 simulate power failure + recover
+//	help / quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"poseidon"
+	"poseidon/internal/core"
+	"poseidon/internal/query"
+)
+
+func main() {
+	db, err := poseidon.Open(poseidon.Config{Mode: poseidon.PMem, PoolSize: 256 << 20})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	fmt.Println("poseidon graph shell (PMem mode). Type 'help' for commands.")
+
+	indexed := map[[2]string]bool{}
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		line := sc.Text()
+		if rest, ok := cutPrefixFold(line, "explain "); ok {
+			out, err := db.ExplainCypher(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(out)
+			continue
+		}
+		if rest, ok := cutPrefixFold(line, "cypher "); ok {
+			rows, err := db.Cypher(rest, nil)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			fmt.Printf("(%d rows)\n", len(rows))
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		if err := run(&db, cmd, args, indexed); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+// cutPrefixFold strips a case-insensitive prefix.
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix) {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+func parseProps(args []string) map[string]any {
+	props := map[string]any{}
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			props[k] = n
+		} else if f, err := strconv.ParseFloat(v, 64); err == nil {
+			props[k] = f
+		} else if v == "true" || v == "false" {
+			props[k] = v == "true"
+		} else {
+			props[k] = v
+		}
+	}
+	return props
+}
+
+func parseID(s string) (uint64, error) {
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad id %q", s)
+	}
+	return n, nil
+}
+
+func run(dbp **poseidon.DB, cmd string, args []string, indexed map[[2]string]bool) error {
+	db := *dbp
+	switch cmd {
+	case "help":
+		fmt.Println("node rel get out in scan find set del stats crash quit")
+		fmt.Println("cypher <statement>   e.g. cypher MATCH (p:Person) RETURN p.name LIMIT 5")
+		fmt.Println("explain <statement>  show plan signature, JIT and parallelism info")
+		return nil
+	case "quit", "exit":
+		return errQuit
+
+	case "node":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: node <label> [k=v ...]")
+		}
+		tx := db.Begin()
+		id, err := tx.CreateNode(args[0], parseProps(args[1:]))
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		fmt.Printf("node %d\n", id)
+		return nil
+
+	case "rel":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: rel <src> <dst> <label> [k=v ...]")
+		}
+		src, err := parseID(args[0])
+		if err != nil {
+			return err
+		}
+		dst, err := parseID(args[1])
+		if err != nil {
+			return err
+		}
+		tx := db.Begin()
+		id, err := tx.CreateRel(src, dst, args[2], parseProps(args[3:]))
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		fmt.Printf("rel %d\n", id)
+		return nil
+
+	case "get":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: get <id>")
+		}
+		id, err := parseID(args[0])
+		if err != nil {
+			return err
+		}
+		tx := db.Begin()
+		defer tx.Abort()
+		snap, err := tx.GetNode(id)
+		if err != nil {
+			return err
+		}
+		label, _ := db.Engine().Dict().Decode(uint64(snap.Rec.Label))
+		props, err := db.Engine().DecodeProps(snap.Props())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d :%s %v\n", id, label, props)
+		return nil
+
+	case "out", "in":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: %s <id>", cmd)
+		}
+		id, err := parseID(args[0])
+		if err != nil {
+			return err
+		}
+		tx := db.Begin()
+		defer tx.Abort()
+		snap, err := tx.GetNode(id)
+		if err != nil {
+			return err
+		}
+		show := func(r core.RelSnap) bool {
+			label, _ := db.Engine().Dict().Decode(uint64(r.Rec.Label))
+			fmt.Printf("rel %d :%s %d -> %d\n", r.ID, label, r.Rec.Src, r.Rec.Dst)
+			return true
+		}
+		if cmd == "out" {
+			return tx.OutRels(snap, show)
+		}
+		return tx.InRels(snap, show)
+
+	case "scan":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: scan <label>")
+		}
+		rows, err := db.Query(&query.Plan{Root: &query.NodeScan{Label: args[0]}}, nil)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("node %v\n", r[0])
+		}
+		fmt.Printf("(%d nodes)\n", len(rows))
+		return nil
+
+	case "find":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: find <label> <key> <value>")
+		}
+		ik := [2]string{args[0], args[1]}
+		if !indexed[ik] {
+			if err := db.CreateIndex(args[0], args[1], poseidon.HybridIndex); err != nil {
+				return err
+			}
+			indexed[ik] = true
+			fmt.Printf("(created hybrid index on %s.%s)\n", args[0], args[1])
+		}
+		var val any = args[2]
+		if n, err := strconv.ParseInt(args[2], 10, 64); err == nil {
+			val = n
+		}
+		plan := &query.Plan{Root: &query.IndexScan{Label: args[0], Key: args[1], Value: &query.Param{Name: "v"}}}
+		rows, err := db.Query(plan, query.Params{"v": val})
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("node %v\n", r[0])
+		}
+		fmt.Printf("(%d hits)\n", len(rows))
+		return nil
+
+	case "set":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: set <id> k=v ...")
+		}
+		id, err := parseID(args[0])
+		if err != nil {
+			return err
+		}
+		tx := db.Begin()
+		if err := tx.SetNodeProps(id, parseProps(args[1:])); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+
+	case "del":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: del <id>")
+		}
+		id, err := parseID(args[0])
+		if err != nil {
+			return err
+		}
+		tx := db.Begin()
+		if err := tx.DetachDeleteNode(id); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+
+	case "stats":
+		st := db.Device().Stats.Snapshot()
+		fmt.Printf("nodes=%d rels=%d reads=%d writes=%d flushes=%d drains=%d cacheHit=%d cacheMiss=%d\n",
+			db.NodeCount(), db.RelCount(),
+			st.Reads, st.Writes, st.LineFlushes, st.Drains, st.CacheHits, st.CacheMisses)
+		return nil
+
+	case "crash":
+		fmt.Println("simulating power failure...")
+		dev := db.Crash()
+		db2, err := poseidon.Reopen(dev, poseidon.Config{Mode: poseidon.PMem})
+		if err != nil {
+			return err
+		}
+		*dbp = db2
+		fmt.Printf("recovered: %d nodes, %d rels\n", db2.NodeCount(), db2.RelCount())
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}

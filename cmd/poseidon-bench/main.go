@@ -1,0 +1,74 @@
+// Command poseidon-bench regenerates the paper's evaluation figures
+// (Fig 5-10) as text tables.
+//
+// Usage:
+//
+//	poseidon-bench [-persons N] [-runs N] [-workers N] [-fig 5|6|7|8|9|10|all]
+//
+// Absolute times depend on the simulated device latencies; the shapes
+// (who wins, by roughly what factor) are the reproduction target. See
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"poseidon/internal/bench"
+)
+
+func main() {
+	persons := flag.Int("persons", 500, "dataset scale (number of persons; SNB ratios derive the rest)")
+	runs := flag.Int("runs", 20, "measured repetitions per query (the paper uses 50)")
+	workers := flag.Int("workers", 0, "parallel/adaptive workers (0 = GOMAXPROCS)")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, 10, ablations or all")
+	seed := flag.Int64("seed", 42, "dataset and parameter seed")
+	flag.Parse()
+
+	fmt.Printf("poseidon-bench: persons=%d runs=%d workers=%d GOMAXPROCS=%d\n",
+		*persons, *runs, *workers, runtime.GOMAXPROCS(0))
+	start := time.Now()
+	s, err := bench.NewSetup(bench.Options{
+		Persons: *persons, Runs: *runs, Workers: *workers, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup:", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+	fmt.Printf("loaded %d nodes, %d edges into pmem, dram and disk engines in %v\n\n",
+		len(s.DS.Nodes), len(s.DS.Edges), time.Since(start).Round(time.Millisecond))
+
+	figures := map[string]func() (*bench.Table, error){
+		"5": s.Fig5, "6": s.Fig6, "7": s.Fig7, "8": s.Fig8, "9": s.Fig9, "10": s.Fig10,
+		"ablations": s.Ablations,
+	}
+	order := []string{"5", "6", "7", "8", "9", "10", "ablations"}
+
+	run := func(name string) {
+		f, ok := figures[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		tbl, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(tbl.Format())
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *fig == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(*fig)
+}

@@ -1,0 +1,480 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"poseidon/internal/core"
+	"poseidon/internal/index"
+	"poseidon/internal/jit"
+	"poseidon/internal/ldbc"
+	"poseidon/internal/pmem"
+	"poseidon/internal/pmemobj"
+	"poseidon/internal/query"
+	"poseidon/internal/storage"
+)
+
+// Fig5 reproduces the Interactive Short Read comparison: DISK-i versus
+// DRAM-s/p/i versus PMem-s/p/i, average of hot runs with varying input
+// parameters (§7.3, Fig 5).
+func (s *Setup) Fig5() (*Table, error) {
+	t := &Table{
+		Name:    "Fig 5: SR query execution times (us, hot runs)",
+		Columns: []string{"disk-i", "dram-s", "dram-p", "dram-i", "pmem-s", "pmem-p", "pmem-i"},
+		Notes: []string{
+			"expected shape: pmem-* ~ dram-* (marginal overhead), both beat disk-i;",
+			"indexes (-i) help these lookup-heavy queries more than parallelism (-p)",
+		},
+	}
+	runs := s.Opts.Runs
+	for _, q := range ldbc.SRQueries() {
+		params := s.srParams(q, runs)
+		row := TableRow{Query: q.Name(), Cells: map[string]float64{}}
+
+		scanPlan, err := ldbc.SRPlan(q, false)
+		if err != nil {
+			return nil, err
+		}
+		idxPlan, err := ldbc.SRPlan(q, true)
+		if err != nil {
+			return nil, err
+		}
+
+		// Disk baseline, indexed, hot (warmup first).
+		warm := func(i int) error {
+			tx := s.Disk.Begin()
+			defer tx.Abort()
+			_, err := ldbc.RunSRDisk(tx, q, params[i%runs])
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			if err := warm(i); err != nil {
+				return nil, err
+			}
+		}
+		d, err := measure(runs, warm)
+		if err != nil {
+			return nil, err
+		}
+		row.Cells["disk-i"] = us(d)
+
+		for _, sys := range []struct {
+			name string
+			e    *core.Engine
+		}{{"dram", s.DRAM}, {"pmem", s.PMem}} {
+			prScan, err := query.Prepare(sys.e, scanPlan)
+			if err != nil {
+				return nil, err
+			}
+			prIdx, err := query.Prepare(sys.e, idxPlan)
+			if err != nil {
+				return nil, err
+			}
+			// Warm the CPU cache simulation.
+			if err := runSRInterp(sys.e, prScan, params[0]); err != nil {
+				return nil, err
+			}
+			d, err := measure(runs, func(i int) error { return runSRInterp(sys.e, prScan, params[i]) })
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[sys.name+"-s"] = us(d)
+			d, err = measure(runs, func(i int) error {
+				return runSRParallel(sys.e, prScan, params[i], s.Opts.Workers)
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[sys.name+"-p"] = us(d)
+			d, err = measure(runs, func(i int) error { return runSRInterp(sys.e, prIdx, params[i]) })
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[sys.name+"-i"] = us(d)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6 reproduces the Interactive Update comparison: execution and commit
+// times on DISK / DRAM / PMem, hot and cold (§7.3, Fig 6).
+func (s *Setup) Fig6() (*Table, error) {
+	t := &Table{
+		Name: "Fig 6: IU query times (us): execute and commit, hot and cold",
+		Columns: []string{
+			"disk-exec", "disk-commit",
+			"dram-exec", "dram-commit",
+			"pmem-exec", "pmem-commit",
+			"pmem-exec-cold", "pmem-commit-cold",
+		},
+		Notes: []string{
+			"expected shape: pmem commits near dram (marginal overhead), disk commits",
+			"an order of magnitude slower (fsync); pmem cold ~ hot (no buffer pool to warm)",
+		},
+	}
+	runs := s.Opts.Runs
+	for _, q := range ldbc.IUQueries() {
+		row := TableRow{Query: q.Name(), Cells: map[string]float64{}}
+		plan, err := ldbc.IUPlan(q, true)
+		if err != nil {
+			return nil, err
+		}
+
+		// Disk baseline.
+		pgDisk := ldbc.NewParamGen(s.DS, s.Opts.Seed+900+int64(q.Num))
+		var dExec, dCommit time.Duration
+		for i := 0; i < runs; i++ {
+			params := pgDisk.IUParams(q)
+			tx := s.Disk.Begin()
+			start := time.Now()
+			if err := ldbc.RunIUDisk(tx, q, params); err != nil {
+				tx.Abort()
+				return nil, err
+			}
+			mid := time.Now()
+			if err := tx.Commit(); err != nil {
+				return nil, err
+			}
+			dExec += mid.Sub(start)
+			dCommit += time.Since(mid)
+		}
+		row.Cells["disk-exec"] = us(dExec / time.Duration(runs))
+		row.Cells["disk-commit"] = us(dCommit / time.Duration(runs))
+
+		for _, sys := range []struct {
+			name string
+			e    *core.Engine
+			cold bool
+		}{{"dram", s.DRAM, false}, {"pmem", s.PMem, false}, {"pmem", s.PMem, true}} {
+			pr, err := query.Prepare(sys.e, plan)
+			if err != nil {
+				return nil, err
+			}
+			pg := ldbc.NewParamGen(s.DS, s.Opts.Seed+900+int64(q.Num))
+			var exec, commit time.Duration
+			for i := 0; i < runs; i++ {
+				params := pg.IUParams(q)
+				if sys.cold {
+					sys.e.Device().DropCache()
+				}
+				tx := sys.e.Begin()
+				start := time.Now()
+				if _, err := pr.Collect(tx, params); err != nil {
+					tx.Abort()
+					return nil, err
+				}
+				mid := time.Now()
+				if err := tx.Commit(); err != nil {
+					return nil, err
+				}
+				exec += mid.Sub(start)
+				commit += time.Since(mid)
+			}
+			suffix := ""
+			if sys.cold {
+				suffix = "-cold"
+			}
+			row.Cells[sys.name+"-exec"+suffix] = us(exec / time.Duration(runs))
+			row.Cells[sys.name+"-commit"+suffix] = us(commit / time.Duration(runs))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig7 reproduces the SR comparison under the JIT engine: AOT
+// interpretation versus JIT-compiled execution, single-threaded without
+// indexes, plus the compilation time itself (§7.5, Fig 7).
+func (s *Setup) Fig7() (*Table, error) {
+	t := &Table{
+		Name:    "Fig 7: SR with JIT engine (us, single-threaded, no indexes)",
+		Columns: []string{"dram-aot", "dram-jit", "pmem-aot", "pmem-jit", "compile"},
+		Notes: []string{
+			"expected shape: jit < aot on both devices; compile time is a few hundred us",
+			"and grows with operator count, so jit+compile wins once per repeated query",
+		},
+	}
+	runs := s.Opts.Runs
+	for _, q := range ldbc.SRQueries() {
+		params := s.srParams(q, runs)
+		row := TableRow{Query: q.Name(), Cells: map[string]float64{}}
+		plan, err := ldbc.SRPlan(q, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range []struct {
+			name string
+			e    *core.Engine
+			j    *jit.Engine
+		}{{"dram", s.DRAM, s.DRAMJIT}, {"pmem", s.PMem, s.PMemJIT}} {
+			pr, err := query.Prepare(sys.e, plan)
+			if err != nil {
+				return nil, err
+			}
+			if err := runSRInterp(sys.e, pr, params[0]); err != nil { // warm
+				return nil, err
+			}
+			d, err := measure(runs, func(i int) error { return runSRInterp(sys.e, pr, params[i]) })
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[sys.name+"-aot"] = us(d)
+
+			c, err := sys.j.Compile(plan)
+			if err != nil {
+				return nil, err
+			}
+			if sys.name == "pmem" {
+				row.Cells["compile"] = us(c.CompileTime)
+			}
+			d, err = measure(runs, func(i int) error {
+				tx := sys.e.Begin()
+				defer tx.Abort()
+				_, err := sys.j.Run(tx, plan, params[i], func(query.Row) bool { return true })
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[sys.name+"-jit"] = us(d)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig8 reproduces the index comparison: average lookup latency of the
+// volatile, hybrid and persistent B+-trees, plus recovery time of the
+// hybrid tree versus the full rebuild a volatile index needs (§7.4,
+// Fig 8).
+func (s *Setup) Fig8() (*Table, error) {
+	t := &Table{
+		Name:    "Fig 8: B+-tree index lookups (us) and recovery (ms)",
+		Columns: []string{"lookup-us", "recovery-ms"},
+		Notes: []string{
+			"expected shape: hybrid ~ dram lookup (~2x faster than pmem tree);",
+			"hybrid recovery orders of magnitude below the volatile full rebuild",
+		},
+	}
+	// A dedicated pool so tree sizes are comparable and isolated.
+	dev := pmem.NewPMem(256 << 20)
+	pool, err := pmemobj.Create(dev, pmemobj.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+
+	n := len(s.DS.PersonIDs) * 40 // index scale: person lookups dominate SR
+	if n < 20000 {
+		n = 20000 // keep tree depth realistic even at tiny test scales
+	}
+	keys := make([]storage.Value, n)
+	for i := range keys {
+		keys[i] = storage.IntValue(int64(i))
+	}
+	lookupRuns := s.Opts.Runs * 200
+
+	build := func(kind index.Kind) (*index.Tree, time.Duration, error) {
+		start := time.Now()
+		tree, err := index.Create(kind, pool, index.Options{})
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, k := range keys {
+			if err := tree.Insert(k, uint64(i)); err != nil {
+				return nil, 0, err
+			}
+		}
+		return tree, time.Since(start), nil
+	}
+
+	for _, kind := range []index.Kind{index.Persistent, index.Volatile, index.Hybrid} {
+		tree, buildTime, err := build(kind)
+		if err != nil {
+			return nil, err
+		}
+		d, err := measure(lookupRuns, func(i int) error {
+			k := keys[(i*2654435761)%n]
+			if _, ok := tree.LookupFirst(k); !ok {
+				return fmt.Errorf("bench: lost key %v", k)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := TableRow{Query: kind.String(), Cells: map[string]float64{"lookup-us": us(d)}}
+		switch kind {
+		case index.Hybrid:
+			// Recovery: rebuild the DRAM inner levels from the leaf chain.
+			start := time.Now()
+			if _, err := index.Open(index.Hybrid, pool, tree.Offset(), index.Options{}); err != nil {
+				return nil, err
+			}
+			row.Cells["recovery-ms"] = float64(time.Since(start).Microseconds()) / 1e3
+		case index.Volatile:
+			// A volatile index is gone after failure: recovery = rebuild.
+			row.Cells["recovery-ms"] = float64(buildTime.Microseconds()) / 1e3
+		case index.Persistent:
+			start := time.Now()
+			if _, err := index.Open(index.Persistent, pool, tree.Offset(), index.Options{}); err != nil {
+				return nil, err
+			}
+			row.Cells["recovery-ms"] = float64(time.Since(start).Microseconds()) / 1e3
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9 reproduces the IU comparison under the JIT engine: AOT versus
+// JIT with a cold code cache (compilation included) versus hot cached
+// code (§7.5, Fig 9).
+func (s *Setup) Fig9() (*Table, error) {
+	t := &Table{
+		Name:    "Fig 9: IU with JIT engine (us, pmem)",
+		Columns: []string{"aot", "jit-hot", "jit-cold"},
+		Notes: []string{
+			"expected shape: compile time dwarfs these short updates, so jit-cold",
+			"loses badly; jit-hot (cached code) is comparable to aot",
+		},
+	}
+	runs := s.Opts.Runs
+	e := s.PMem
+	for _, q := range ldbc.IUQueries() {
+		row := TableRow{Query: q.Name(), Cells: map[string]float64{}}
+		plan, err := ldbc.IUPlan(q, true)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := query.Prepare(e, plan)
+		if err != nil {
+			return nil, err
+		}
+
+		pg := ldbc.NewParamGen(s.DS, s.Opts.Seed+1700+int64(q.Num))
+		d, err := measure(runs, func(int) error {
+			params := pg.IUParams(q)
+			tx := e.Begin()
+			if _, err := pr.Collect(tx, params); err != nil {
+				tx.Abort()
+				return err
+			}
+			return tx.Commit()
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.Cells["aot"] = us(d)
+
+		// Cold code: a fresh compilation including codegen+passes+lowering.
+		// The paper's cold case pays full LLVM compilation the same way.
+		coldJit, err := jit.New(e)
+		if err != nil {
+			return nil, err
+		}
+		params := pg.IUParams(q)
+		start := time.Now()
+		c, err := coldJit.CompileUncached(plan)
+		if err != nil {
+			return nil, err
+		}
+		tx := e.Begin()
+		if _, err := coldJit.Run(tx, plan, params, func(query.Row) bool { return true }); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+		row.Cells["jit-cold"] = us(time.Since(start))
+		_ = c
+
+		// Hot code: cached compilation, measure run only.
+		d, err = measure(runs, func(int) error {
+			params := pg.IUParams(q)
+			tx := e.Begin()
+			if _, err := coldJit.Run(tx, plan, params, func(query.Row) bool { return true }); err != nil {
+				tx.Abort()
+				return err
+			}
+			return tx.Commit()
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.Cells["jit-hot"] = us(d)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig10 reproduces the adaptive-execution comparison: multi-threaded AOT
+// interpretation versus adaptive execution (interpret morsels while
+// compiling, then switch), on DRAM and PMem (§7.5, Fig 10).
+func (s *Setup) Fig10() (*Table, error) {
+	t := &Table{
+		Name:    "Fig 10: adaptive execution vs multi-threaded AOT (us)",
+		Columns: []string{"dram-aot-mt", "dram-adaptive", "pmem-aot-mt", "pmem-adaptive"},
+		Notes: []string{
+			"expected shape: adaptive <= aot-mt everywhere; PMem gains the most",
+			"because compiled code hides its higher access latency",
+		},
+	}
+	runs := s.Opts.Runs
+	for _, q := range ldbc.SRQueries() {
+		params := s.srParams(q, runs)
+		row := TableRow{Query: q.Name(), Cells: map[string]float64{}}
+		plan, err := ldbc.SRPlan(q, false) // scans: the morsel-parallel shape
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range []struct {
+			name string
+			e    *core.Engine
+			j    *jit.Engine
+		}{{"dram", s.DRAM, s.DRAMJIT}, {"pmem", s.PMem, s.PMemJIT}} {
+			pr, err := query.Prepare(sys.e, plan)
+			if err != nil {
+				return nil, err
+			}
+			if err := runSRParallel(sys.e, pr, params[0], s.Opts.Workers); err != nil {
+				return nil, err
+			}
+			d, err := measure(runs, func(i int) error {
+				return runSRParallel(sys.e, pr, params[i], s.Opts.Workers)
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[sys.name+"-aot-mt"] = us(d)
+
+			d, err = measure(runs, func(i int) error {
+				tx := sys.e.Begin()
+				defer tx.Abort()
+				_, err := sys.j.RunAdaptive(tx, plan, params[i], s.Opts.Workers, func(query.Row) bool { return true })
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[sys.name+"-adaptive"] = us(d)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// All runs every figure in order.
+func (s *Setup) All() ([]*Table, error) {
+	var out []*Table
+	for _, f := range []func() (*Table, error){s.Fig5, s.Fig6, s.Fig7, s.Fig8, s.Fig9, s.Fig10} {
+		tbl, err := f()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}

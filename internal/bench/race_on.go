@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active; timing-shape
+// assertions are skipped because instrumentation slows the engines'
+// Go code ~10x while simulated device latencies stay fixed.
+const raceEnabled = true

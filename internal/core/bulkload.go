@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"poseidon/internal/pmemobj"
+	"poseidon/internal/storage"
+)
+
+// BulkLoader performs the initial dataset load (e.g. LDBC-SNB) outside
+// the MVTO protocol: records are written directly with begin timestamp 1,
+// batched into large pmemobj transactions to amortize logging and flush
+// costs (DG5: group allocation). A crash mid-load rolls back the current
+// batch only.
+//
+// A BulkLoader must not run concurrently with transactions.
+type BulkLoader struct {
+	e     *Engine
+	tx    *pmemobj.Tx
+	ops   int
+	batch int
+	err   error
+}
+
+// bulkBatch bounds a batch so its bitmap/record snapshots stay far below
+// the undo-log capacity.
+const bulkBatch = 256
+
+// NewBulkLoader starts a bulk load session.
+func (e *Engine) NewBulkLoader() *BulkLoader {
+	return &BulkLoader{e: e, batch: bulkBatch}
+}
+
+func (b *BulkLoader) ensureTx() {
+	if b.tx == nil {
+		b.tx = b.e.pool.Begin()
+		b.ops = 0
+	}
+}
+
+// flush commits the open batch, if any.
+func (b *BulkLoader) flush() {
+	if b.tx != nil {
+		b.tx.Commit()
+		b.tx = nil
+	}
+}
+
+func (b *BulkLoader) bump() {
+	b.ops++
+	if b.ops >= b.batch {
+		b.flush()
+	}
+}
+
+// encode interns a string, committing the open batch first if the string
+// is new (the dictionary needs its own pool transaction).
+func (b *BulkLoader) encode(s string) (uint64, error) {
+	if code, ok := b.e.dict.Lookup(s); ok {
+		return code, nil
+	}
+	b.flush()
+	return b.e.dict.Encode(s)
+}
+
+func (b *BulkLoader) encodeProps(props map[string]any) ([]storage.Prop, error) {
+	// encodeProps may insert into the dictionary; close the batch first.
+	for k, v := range props {
+		if _, ok := b.e.dict.Lookup(k); !ok {
+			b.flush()
+			break
+		}
+		if s, isStr := v.(string); isStr {
+			if _, ok := b.e.dict.Lookup(s); !ok {
+				b.flush()
+				break
+			}
+		}
+	}
+	return b.e.encodeProps(props)
+}
+
+// AddNode inserts a committed node and returns its id.
+func (b *BulkLoader) AddNode(label string, props map[string]any) (uint64, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	labelCode, err := b.encode(label)
+	if err != nil {
+		return 0, b.fail(err)
+	}
+	encProps, err := b.encodeProps(props)
+	if err != nil {
+		return 0, b.fail(err)
+	}
+	b.ensureTx()
+	id, off, err := b.e.nodes.InsertTx(b.tx)
+	if err != nil {
+		return 0, b.failTx(err)
+	}
+	head, err := storage.WritePropChainTx(b.tx, b.e.props, id, encProps)
+	if err != nil {
+		return 0, b.failTx(err)
+	}
+	rec := storage.NodeRec{
+		Bts: 1, Ets: Infinity,
+		Label: uint32(labelCode),
+		Out:   storage.NilID, In: storage.NilID, Props: head,
+	}
+	storage.WriteNodeRec(b.e.dev, off, &rec)
+	b.tx.NoteWrite(off, storage.NodeRecordSize)
+	b.bump()
+	return id, nil
+}
+
+// AddRel inserts a committed relationship between existing nodes and
+// links it into both adjacency lists.
+func (b *BulkLoader) AddRel(src, dst uint64, label string, props map[string]any) (uint64, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	labelCode, err := b.encode(label)
+	if err != nil {
+		return 0, b.fail(err)
+	}
+	encProps, err := b.encodeProps(props)
+	if err != nil {
+		return 0, b.fail(err)
+	}
+	e := b.e
+	srcOff, ok := e.nodes.RecordOffset(src)
+	if !ok || !e.nodes.Occupied(src) {
+		return 0, b.fail(fmt.Errorf("%w: source node %d", ErrNotFound, src))
+	}
+	dstOff, ok := e.nodes.RecordOffset(dst)
+	if !ok || !e.nodes.Occupied(dst) {
+		return 0, b.fail(fmt.Errorf("%w: destination node %d", ErrNotFound, dst))
+	}
+
+	b.ensureTx()
+	id, off, err := e.rels.InsertTx(b.tx)
+	if err != nil {
+		return 0, b.failTx(err)
+	}
+	head, err := storage.WritePropChainTx(b.tx, e.props, id, encProps)
+	if err != nil {
+		return 0, b.failTx(err)
+	}
+	rec := storage.RelRec{
+		Bts: 1, Ets: Infinity,
+		Label: uint32(labelCode),
+		Src:   src, Dst: dst,
+		NextSrc: e.dev.ReadU64(srcOff + storage.NOut),
+		NextDst: e.dev.ReadU64(dstOff + storage.NIn),
+		Props:   head,
+	}
+	storage.WriteRelRec(e.dev, off, &rec)
+	b.tx.NoteWrite(off, storage.RelRecordSize)
+
+	// Prepend to both adjacency lists.
+	if err := b.tx.Snapshot(srcOff+storage.NOut, 8); err != nil {
+		return 0, b.failTx(err)
+	}
+	e.dev.WriteU64(srcOff+storage.NOut, id)
+	if err := b.tx.Snapshot(dstOff+storage.NIn, 8); err != nil {
+		return 0, b.failTx(err)
+	}
+	e.dev.WriteU64(dstOff+storage.NIn, id)
+	b.bump()
+	return id, nil
+}
+
+func (b *BulkLoader) fail(err error) error {
+	b.flush()
+	b.err = err
+	return err
+}
+
+func (b *BulkLoader) failTx(err error) error {
+	// The batch transaction cannot continue; roll back its persistent
+	// effects by abandoning commit and letting recovery handle it is not
+	// an option online, so commit what is consistent: the safe move is to
+	// commit nothing further and surface the error.
+	if b.tx != nil {
+		b.tx.Commit() // snapshots so far are internally consistent
+		b.tx = nil
+	}
+	b.e.nodes.ResyncVolatile()
+	b.e.rels.ResyncVolatile()
+	b.e.props.ResyncVolatile()
+	b.err = err
+	return err
+}
+
+// Finish commits the final batch and returns the first error encountered.
+func (b *BulkLoader) Finish() error {
+	b.flush()
+	return b.err
+}

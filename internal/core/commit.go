@@ -1,0 +1,449 @@
+package core
+
+import (
+	"fmt"
+
+	"poseidon/internal/pmemobj"
+	"poseidon/internal/storage"
+)
+
+// Commit persists the transaction (§5.1 Commit):
+//
+//  1. Superseded committed versions are pushed into the DRAM version
+//     chains so older readers keep a consistent view after the PMem
+//     records are overwritten.
+//  2. All record rewrites, property-chain writes and slot releases run in
+//     a single pmemobj undo-log transaction, so the whole commit is
+//     failure-atomic (DG4; the paper's PMDK-based approach).
+//  3. Records are unlocked with single 8-byte stores after the commit
+//     point; a crash in between leaves stale locks that recovery clears.
+//  4. Secondary indexes are updated and transaction-level GC runs.
+func (tx *Tx) Commit() error {
+	tx.endMu.Lock()
+	defer tx.endMu.Unlock()
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if len(tx.order) == 0 {
+		tx.finish()
+		return nil
+	}
+	e := tx.e
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+
+	// Step 1: preserve old versions for updates (deletes keep serving old
+	// readers from the PMem record itself, whose window just gets closed).
+	var pushed []struct {
+		c *chain
+		v *version
+	}
+	for _, key := range tx.order {
+		d := tx.dirty[key]
+		if !d.hasOld || d.isDelete {
+			continue
+		}
+		var v *version
+		if d.key.kind == kindNode {
+			old := d.oldNode
+			v = &version{bts: old.Bts, ets: tx.id, node: &old, props: d.oldProps}
+		} else {
+			old := d.oldRel
+			v = &version{bts: old.Bts, ets: tx.id, rel: &old, props: d.oldProps}
+		}
+		c := tx.chainsFor(d.key.kind).getOrCreate(d.key.id)
+		c.push(v)
+		pushed = append(pushed, struct {
+			c *chain
+			v *version
+		}{c, v})
+	}
+
+	err := e.pool.RunTx(func(ptx *pmemobj.Tx) error {
+		for _, key := range tx.order {
+			if err := tx.applyDirty(ptx, tx.dirty[key]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		// The pool transaction rolled back all persistent changes; undo
+		// the version pushes and abort fully.
+		for _, p := range pushed {
+			p.c.remove(p.v)
+		}
+		e.nodes.ResyncVolatile()
+		e.rels.ResyncVolatile()
+		e.props.ResyncVolatile()
+		_ = tx.abortLocked()
+		return fmt.Errorf("core: commit failed: %w", err)
+	}
+
+	// Step 3: release the write locks. The commit point has passed; these
+	// are plain failure-atomic 8-byte stores.
+	for _, key := range tx.order {
+		d := tx.dirty[key]
+		off := tx.recordOffset(d.key)
+		e.dev.WriteU64(off, 0) // txn-id is field 0 of both record types
+		e.dev.Flush(off, 8)
+	}
+	e.dev.Drain()
+
+	// The dirty versions are now redundant: the PMem records carry the
+	// committed state. Deleted objects keep a committed tombstone version
+	// out of the chain too — the PMem record serves old readers.
+	for _, key := range tx.order {
+		d := tx.dirty[key]
+		tx.chainsFor(d.key.kind).getOrCreate(d.key.id).remove(d.ver)
+	}
+
+	// Step 4: secondary index maintenance and GC.
+	tx.updateIndexes()
+	tx.enqueueGC()
+	tx.finish()
+	return nil
+}
+
+func (tx *Tx) chainsFor(k objKind) *chainTable {
+	if k == kindNode {
+		return tx.e.nodeChains
+	}
+	return tx.e.relChains
+}
+
+func (tx *Tx) tableFor(k objKind) *storage.Table {
+	if k == kindNode {
+		return tx.e.nodes
+	}
+	return tx.e.rels
+}
+
+func (tx *Tx) recordOffset(key objKey) uint64 {
+	off, ok := tx.tableFor(key.kind).RecordOffset(key.id)
+	if !ok {
+		panic(fmt.Sprintf("core: dirty %v %d has no record", key.kind, key.id))
+	}
+	return off
+}
+
+// applyDirty writes one dirty object into PMem within the commit
+// transaction. The record's txn-id word keeps the lock until after the
+// commit point.
+func (tx *Tx) applyDirty(ptx *pmemobj.Tx, d *dirtyObj) error {
+	e := tx.e
+	off := tx.recordOffset(d.key)
+	recSize := storage.NodeRecordSize
+	if d.key.kind == kindRel {
+		recSize = storage.RelRecordSize
+	}
+	if err := ptx.Snapshot(off, uint64(recSize)); err != nil {
+		return err
+	}
+
+	switch {
+	case d.isDelete:
+		// Close the validity window; content and properties stay for old
+		// readers until GC reclaims the slot.
+		if d.key.kind == kindNode {
+			e.dev.WriteU64(off+storage.NEts, tx.id)
+			flags := e.dev.ReadU32(off + storage.NFlags)
+			e.dev.WriteU32(off+storage.NFlags, flags|storage.FlagTombstone)
+		} else {
+			e.dev.WriteU64(off+storage.REts, tx.id)
+			flags := e.dev.ReadU32(off + storage.RFlags)
+			e.dev.WriteU32(off+storage.RFlags, flags|storage.FlagTombstone)
+		}
+		return nil
+
+	default:
+		// Insert or update: replace the record content and, if they
+		// changed, the properties. Adjacency-only updates keep the
+		// committed property chain (DG1).
+		var head uint64
+		if d.propsChanged {
+			if d.hasOld {
+				var oldHead uint64
+				if d.key.kind == kindNode {
+					oldHead = d.oldNode.Props
+				} else {
+					oldHead = d.oldRel.Props
+				}
+				if err := storage.FreePropChainTx(ptx, e.props, oldHead); err != nil {
+					return err
+				}
+			}
+			var err error
+			head, err = storage.WritePropChainTx(ptx, e.props, d.key.id, d.ver.props)
+			if err != nil {
+				return err
+			}
+		} else if d.key.kind == kindNode {
+			head = d.oldNode.Props
+		} else {
+			head = d.oldRel.Props
+		}
+		if d.key.kind == kindNode {
+			rec := *d.ver.node
+			rec.TxnID = tx.id // still locked until step 3
+			rec.Bts = tx.id
+			rec.Ets = Infinity
+			rec.Props = head
+			storage.WriteNodeRec(e.dev, off, &rec)
+		} else {
+			rec := *d.ver.rel
+			rec.TxnID = tx.id
+			rec.Bts = tx.id
+			rec.Ets = Infinity
+			rec.Props = head
+			storage.WriteRelRec(e.dev, off, &rec)
+		}
+		return nil
+	}
+}
+
+// Abort rolls the transaction back (§5.1): dirty versions are discarded,
+// write locks released, and slots of uncommitted inserts reclaimed.
+func (tx *Tx) Abort() error {
+	tx.endMu.Lock()
+	defer tx.endMu.Unlock()
+	return tx.abortLocked()
+}
+
+func (tx *Tx) abortLocked() error {
+	if tx.done.Load() {
+		return ErrTxDone
+	}
+	e := tx.e
+	for i := len(tx.order) - 1; i >= 0; i-- {
+		d := tx.dirty[tx.order[i]]
+		tx.chainsFor(d.key.kind).getOrCreate(d.key.id).remove(d.ver)
+		if d.isInsert {
+			// The slot was persistently allocated at operation time; give
+			// it back. Readers always saw it locked, so nobody can hold a
+			// reference.
+			if err := tx.tableFor(d.key.kind).Release(d.key.id); err != nil {
+				return fmt.Errorf("core: abort: release %v %d: %w", d.key.kind, d.key.id, err)
+			}
+			tx.chainsFor(d.key.kind).drop(d.key.id)
+			continue
+		}
+		off := tx.recordOffset(d.key)
+		e.dev.WriteU64(off, 0)
+		e.dev.Persist(off, 8)
+	}
+	tx.finish()
+	return nil
+}
+
+// --- secondary index maintenance ---
+
+// updateIndexes applies the committed changes to every matching
+// (label, property) index.
+func (tx *Tx) updateIndexes() {
+	e := tx.e
+	e.idxMu.RLock()
+	defer e.idxMu.RUnlock()
+	if len(e.indexes) == 0 {
+		return
+	}
+	for _, key := range tx.order {
+		d := tx.dirty[key]
+		if d.key.kind != kindNode {
+			continue
+		}
+		if !d.propsChanged && !d.isDelete && d.hasOld && d.oldNode.Label == d.ver.node.Label {
+			continue // adjacency-only update: index entries unchanged
+		}
+		// Deleted nodes keep their index entries until GC reclaims the
+		// slot: older snapshots may still reach them through the index,
+		// and newer readers re-validate against their snapshot anyway.
+		if d.hasOld && !d.isDelete {
+			for _, p := range d.oldProps {
+				if t := e.indexes[indexKey{d.oldNode.Label, p.Key}]; t != nil {
+					t.Delete(p.Val, d.key.id)
+				}
+			}
+		}
+		if !d.isDelete {
+			for _, p := range d.ver.props {
+				if t := e.indexes[indexKey{d.ver.node.Label, p.Key}]; t != nil {
+					if err := t.Insert(p.Val, d.key.id); err != nil {
+						// Index degradation is survivable: it is a secondary
+						// structure; queries fall back to scans if dropped.
+						continue
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- transaction-level garbage collection (§5.3) ---
+
+// enqueueGC records the committed deletions for later physical
+// reclamation: relationships first, then nodes, so unlinking still finds
+// the endpoint records in place.
+func (tx *Tx) enqueueGC() {
+	e := tx.e
+	e.gcMu.Lock()
+	for _, key := range tx.order {
+		d := tx.dirty[key]
+		if d.isDelete && d.key.kind == kindRel {
+			e.gcQueue = append(e.gcQueue, d.key)
+		}
+	}
+	for _, key := range tx.order {
+		d := tx.dirty[key]
+		if d.isDelete && d.key.kind == kindNode {
+			e.gcQueue = append(e.gcQueue, d.key)
+		}
+	}
+	e.gcMu.Unlock()
+}
+
+// runGC reclaims storage at transaction-level granularity. Version chains
+// are pruned against the oldest active timestamp on every transaction
+// end; physical slot reclamation (bitmap-free, DG5) runs only in
+// quiescent moments, when no transaction can be traversing the records.
+func (e *Engine) runGC(quiescent bool) {
+	// Fast path: nothing to collect (read-only steady state).
+	hasChains := e.nodeChains.live.Load() > 0 || e.relChains.live.Load() > 0
+	e.gcMu.Lock()
+	hasQueue := len(e.gcQueue) > 0
+	e.gcMu.Unlock()
+	if !hasChains && !hasQueue {
+		return
+	}
+	minActive := e.minActive()
+	if hasChains {
+		e.pruneChains(e.nodeChains, minActive)
+		e.pruneChains(e.relChains, minActive)
+	}
+	if !quiescent {
+		return
+	}
+	e.gcMu.Lock()
+	queue := e.gcQueue
+	e.gcQueue = nil
+	e.gcMu.Unlock()
+	for _, key := range queue {
+		if key.kind == kindRel {
+			e.reclaimRel(key.id)
+		} else {
+			e.reclaimNode(key.id)
+		}
+	}
+}
+
+func (e *Engine) pruneChains(t *chainTable, minActive uint64) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for id, c := range s.m {
+			if c.prune(minActive) == 0 {
+				delete(s.m, id)
+				t.live.Add(-1)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// reclaimRel physically unlinks a tombstoned relationship from both
+// adjacency lists and releases its slot and property records.
+func (e *Engine) reclaimRel(id uint64) {
+	off, ok := e.rels.RecordOffset(id)
+	if !ok || !e.rels.Occupied(id) {
+		return
+	}
+	rec := storage.ReadRelRec(e.dev, off)
+	if rec.Flags&storage.FlagTombstone == 0 {
+		return
+	}
+	e.unlinkRel(id, rec.Src, rec.NextSrc, true)
+	e.unlinkRel(id, rec.Dst, rec.NextDst, false)
+	err := e.pool.RunTx(func(ptx *pmemobj.Tx) error {
+		if err := storage.FreePropChainTx(ptx, e.props, rec.Props); err != nil {
+			return err
+		}
+		return e.rels.ReleaseTx(ptx, id)
+	})
+	if err != nil {
+		e.rels.ResyncVolatile()
+		e.props.ResyncVolatile()
+		return
+	}
+	e.relRTS.forget(id)
+	e.relChains.drop(id)
+}
+
+// unlinkRel removes relationship id from one adjacency list of node n.
+// The rewritten next-pointers are plain 8-byte failure-atomic stores:
+// every intermediate state yields the same visible relationship set.
+func (e *Engine) unlinkRel(id, nodeID, next uint64, out bool) {
+	nodeOff, ok := e.nodes.RecordOffset(nodeID)
+	if !ok || !e.nodes.Occupied(nodeID) {
+		return
+	}
+	headField := nodeOff + storage.NOut
+	nextField := uint64(storage.RNextSrc)
+	if !out {
+		headField = nodeOff + storage.NIn
+		nextField = storage.RNextDst
+	}
+	cur := e.dev.ReadU64(headField)
+	if cur == id {
+		e.dev.WriteU64(headField, next)
+		e.dev.Persist(headField, 8)
+		return
+	}
+	for cur != storage.NilID {
+		curOff, ok := e.rels.RecordOffset(cur)
+		if !ok || !e.rels.Occupied(cur) {
+			return
+		}
+		n := e.dev.ReadU64(curOff + nextField)
+		if n == id {
+			e.dev.WriteU64(curOff+nextField, next)
+			e.dev.Persist(curOff+nextField, 8)
+			return
+		}
+		cur = n
+	}
+}
+
+// reclaimNode releases a tombstoned node's slot and property records,
+// and drops the node's (deferred) secondary-index entries.
+func (e *Engine) reclaimNode(id uint64) {
+	off, ok := e.nodes.RecordOffset(id)
+	if !ok || !e.nodes.Occupied(id) {
+		return
+	}
+	rec := storage.ReadNodeRec(e.dev, off)
+	if rec.Flags&storage.FlagTombstone == 0 {
+		return
+	}
+	e.idxMu.RLock()
+	if len(e.indexes) > 0 {
+		for _, p := range storage.ReadPropChain(e.props, rec.Props) {
+			if t := e.indexes[indexKey{rec.Label, p.Key}]; t != nil {
+				t.Delete(p.Val, id)
+			}
+		}
+	}
+	e.idxMu.RUnlock()
+	err := e.pool.RunTx(func(ptx *pmemobj.Tx) error {
+		if err := storage.FreePropChainTx(ptx, e.props, rec.Props); err != nil {
+			return err
+		}
+		return e.nodes.ReleaseTx(ptx, id)
+	})
+	if err != nil {
+		e.nodes.ResyncVolatile()
+		e.props.ResyncVolatile()
+		return
+	}
+	e.nodeRTS.forget(id)
+	e.nodeChains.drop(id)
+}

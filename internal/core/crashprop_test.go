@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"poseidon/internal/storage"
+)
+
+// Whole-engine crash-recovery property: after any random sequence of
+// committed transactions followed by a crash (with an optional in-flight
+// transaction cut off), the recovered engine contains exactly the
+// committed state — nodes, properties, and adjacency.
+
+type refNode struct {
+	label string
+	props map[string]int64
+	out   []uint64 // rel ids in head-insertion order (newest first)
+}
+
+type refRel struct {
+	src, dst uint64
+	label    string
+}
+
+type refGraph struct {
+	nodes map[uint64]*refNode
+	rels  map[uint64]*refRel
+}
+
+func (g *refGraph) verify(t *testing.T, e *Engine) {
+	t.Helper()
+	tx := e.Begin()
+	defer tx.Abort()
+
+	if got := e.NodeCount(); got != uint64(len(g.nodes)) {
+		t.Fatalf("node count = %d, want %d", got, len(g.nodes))
+	}
+	if got := e.RelCount(); got != uint64(len(g.rels)) {
+		t.Fatalf("rel count = %d, want %d", got, len(g.rels))
+	}
+	for id, rn := range g.nodes {
+		snap, err := tx.GetNode(id)
+		if err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+		label, _ := e.dict.Decode(uint64(snap.Rec.Label))
+		if label != rn.label {
+			t.Fatalf("node %d label = %q, want %q", id, label, rn.label)
+		}
+		props, err := e.DecodeProps(snap.Props())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(props) != len(rn.props) {
+			t.Fatalf("node %d props = %v, want %v", id, props, rn.props)
+		}
+		for k, v := range rn.props {
+			if props[k] != v {
+				t.Fatalf("node %d prop %s = %v, want %d", id, k, props[k], v)
+			}
+		}
+		var gotOut []uint64
+		if err := tx.OutRels(snap, func(r RelSnap) bool {
+			gotOut = append(gotOut, r.ID)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(gotOut) != len(rn.out) {
+			t.Fatalf("node %d out = %v, want %v", id, gotOut, rn.out)
+		}
+		for i := range rn.out {
+			if gotOut[i] != rn.out[i] {
+				t.Fatalf("node %d out[%d] = %d, want %d", id, i, gotOut[i], rn.out[i])
+			}
+		}
+	}
+	for id, rr := range g.rels {
+		snap, err := tx.GetRel(id)
+		if err != nil {
+			t.Fatalf("rel %d: %v", id, err)
+		}
+		if snap.Rec.Src != rr.src || snap.Rec.Dst != rr.dst {
+			t.Fatalf("rel %d endpoints = (%d,%d), want (%d,%d)",
+				id, snap.Rec.Src, snap.Rec.Dst, rr.src, rr.dst)
+		}
+	}
+}
+
+func TestEngineCrashRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, err := Open(Config{Mode: PMem, PoolSize: 64 << 20})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		ref := &refGraph{nodes: map[uint64]*refNode{}, rels: map[uint64]*refRel{}}
+		var nodeIDs []uint64
+
+		// 4-10 committed transactions of random operations.
+		for txn := 0; txn < 4+rng.Intn(7); txn++ {
+			tx := e.Begin()
+			pending := &refGraph{nodes: map[uint64]*refNode{}, rels: map[uint64]*refRel{}}
+			var pendingOut [][2]uint64 // (src, relID)
+			aborted := false
+			for op := 0; op < 1+rng.Intn(6); op++ {
+				switch rng.Intn(4) {
+				case 0: // create node
+					label := fmt.Sprintf("L%d", rng.Intn(3))
+					props := map[string]any{}
+					rp := map[string]int64{}
+					for p := 0; p < rng.Intn(3); p++ {
+						k := fmt.Sprintf("k%d", rng.Intn(4))
+						v := rng.Int63n(100)
+						props[k] = v
+						rp[k] = v
+					}
+					id, err := tx.CreateNode(label, props)
+					if err != nil {
+						aborted = true
+					} else {
+						pending.nodes[id] = &refNode{label: label, props: rp}
+					}
+				case 1: // create rel between known nodes
+					if len(nodeIDs) < 2 {
+						continue
+					}
+					src := nodeIDs[rng.Intn(len(nodeIDs))]
+					dst := nodeIDs[rng.Intn(len(nodeIDs))]
+					if src == dst {
+						continue
+					}
+					id, err := tx.CreateRel(src, dst, "r", nil)
+					if err != nil {
+						aborted = true
+					} else {
+						pending.rels[id] = &refRel{src: src, dst: dst, label: "r"}
+						pendingOut = append(pendingOut, [2]uint64{src, id})
+					}
+				case 2: // update props of a committed node
+					if len(nodeIDs) == 0 {
+						continue
+					}
+					id := nodeIDs[rng.Intn(len(nodeIDs))]
+					k := fmt.Sprintf("k%d", rng.Intn(4))
+					v := rng.Int63n(100)
+					if err := tx.SetNodeProps(id, map[string]any{k: v}); err != nil {
+						aborted = true
+					} else {
+						if pending.nodes[id] == nil {
+							// Stage the update against the committed ref.
+							old := ref.nodes[id]
+							cp := &refNode{label: old.label, props: map[string]int64{}, out: old.out}
+							for kk, vv := range old.props {
+								cp.props[kk] = vv
+							}
+							pending.nodes[id] = cp
+						}
+						pending.nodes[id].props[k] = v
+					}
+				case 3: // no-op read
+					if len(nodeIDs) > 0 {
+						if _, err := tx.GetNode(nodeIDs[rng.Intn(len(nodeIDs))]); err != nil && err != ErrNotFound {
+							aborted = true
+						}
+					}
+				}
+				if aborted {
+					break
+				}
+			}
+			if aborted || rng.Intn(5) == 0 {
+				_ = tx.Abort() // discarded entirely
+				continue
+			}
+			if err := tx.Commit(); err != nil {
+				continue // commit-time conflict: also discarded
+			}
+			// Merge pending into ref.
+			for id, n := range pending.nodes {
+				if ref.nodes[id] == nil {
+					nodeIDs = append(nodeIDs, id)
+				}
+				ref.nodes[id] = n
+			}
+			for id, r := range pending.rels {
+				ref.rels[id] = r
+			}
+			// Adjacency lists are head-inserted: prepend in creation order,
+			// so the newest relationship ends up first.
+			for _, pr := range pendingOut {
+				src, rid := pr[0], pr[1]
+				ref.nodes[src].out = append([]uint64{rid}, ref.nodes[src].out...)
+			}
+		}
+
+		// Optionally leave a transaction in flight.
+		if rng.Intn(2) == 0 && len(nodeIDs) > 0 {
+			tx := e.Begin()
+			_, _ = tx.CreateNode("ghost", map[string]any{"g": int64(1)})
+			_ = tx.SetNodeProps(nodeIDs[rng.Intn(len(nodeIDs))], map[string]any{"g": int64(1)})
+		}
+
+		dev := e.Device()
+		e.Close()
+		dev.Crash()
+		e2, err := Reopen(dev, Config{Mode: PMem})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer e2.Close()
+		ref.verify(t, e2)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecordLayoutSizes pins the paper's §4.2 record sizes.
+func TestRecordLayoutSizes(t *testing.T) {
+	if storage.NodeRecordSize != 56 {
+		t.Errorf("node record = %d bytes, paper says 56", storage.NodeRecordSize)
+	}
+	if storage.RelRecordSize != 72 {
+		t.Errorf("relationship record = %d bytes, paper says 72", storage.RelRecordSize)
+	}
+	if storage.PropRecordSize != 64 {
+		t.Errorf("property record = %d bytes, paper says cache-line-sized", storage.PropRecordSize)
+	}
+}

@@ -1,0 +1,448 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"poseidon/internal/dict"
+	"poseidon/internal/index"
+	"poseidon/internal/pmem"
+	"poseidon/internal/pmemobj"
+	"poseidon/internal/storage"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Mode selects PMem (persistent, Optane-like latencies) or DRAM (the
+	// volatile baseline). Default PMem.
+	Mode Mode
+	// PoolSize is the device capacity in bytes (default 256 MiB).
+	PoolSize int
+	// Profile overrides the latency model; nil uses the mode's default.
+	Profile *pmem.Profile
+	// CacheBytes sizes the simulated CPU cache for the PMem device
+	// (default 4 MiB; ignored in DRAM mode).
+	CacheBytes int
+	// LogCap sizes the pmemobj undo log (default 4 MiB).
+	LogCap uint64
+}
+
+func (c *Config) fill() {
+	if c.PoolSize == 0 {
+		c.PoolSize = 256 << 20
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 4 << 20
+	}
+	if c.LogCap == 0 {
+		c.LogCap = 4 << 20
+	}
+}
+
+// Root object layout.
+const (
+	rootNodes    = 0
+	rootRels     = 8
+	rootProps    = 16
+	rootDict     = 24
+	rootAux      = 32 // auxiliary subsystem root (JIT code cache)
+	rootIdxCount = 40
+	rootIdxDir   = 48 // maxIndexes × idxEntrySize
+	idxEntrySize = 32 // label u64, key u64, kind u64, hdr u64
+	maxIndexes   = 64
+	rootSize     = rootIdxDir + maxIndexes*idxEntrySize
+)
+
+// indexKey identifies a secondary index: nodes with a label, keyed by a
+// property.
+type indexKey struct {
+	label uint32
+	key   uint32
+}
+
+// Engine is the PMem graph engine.
+type Engine struct {
+	mode Mode
+	cfg  Config
+
+	dev  *pmem.Device
+	pool *pmemobj.Pool
+	dict *dict.Dict
+
+	nodes *storage.Table
+	rels  *storage.Table
+	props *storage.Table
+
+	root uint64
+
+	// MVTO state (volatile).
+	clock      atomic.Uint64
+	activeMu   sync.Mutex
+	active     map[uint64]struct{}
+	nodeChains *chainTable
+	relChains  *chainTable
+	nodeRTS    *rtsTable
+	relRTS     *rtsTable
+	gcMu       sync.Mutex
+	gcQueue    []objKey
+
+	// Secondary indexes.
+	idxMu   sync.RWMutex
+	indexes map[indexKey]*index.Tree
+
+	// commitMu serializes the commit critical section so index updates
+	// observe commits in timestamp order.
+	commitMu sync.Mutex
+
+	closed atomic.Bool
+}
+
+// Open creates a fresh engine on a new device. Use Reopen to attach to a
+// device that survived a crash.
+func Open(cfg Config) (*Engine, error) {
+	cfg.fill()
+	dev, err := newDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := pmemobj.Create(dev, pmemobj.Options{LogCap: cfg.LogCap})
+	if err != nil {
+		return nil, fmt.Errorf("core: create pool: %w", err)
+	}
+	e := newEngine(cfg, dev, pool)
+
+	d, err := dict.Create(pool)
+	if err != nil {
+		return nil, err
+	}
+	e.dict = d
+	if e.nodes, err = storage.CreateTable(pool, storage.NodeRecordSize, storage.Options{}); err != nil {
+		return nil, err
+	}
+	if e.rels, err = storage.CreateTable(pool, storage.RelRecordSize, storage.Options{}); err != nil {
+		return nil, err
+	}
+	if e.props, err = storage.CreateTable(pool, storage.PropRecordSize, storage.Options{}); err != nil {
+		return nil, err
+	}
+	root, err := pool.Alloc(rootSize)
+	if err != nil {
+		return nil, err
+	}
+	dev.WriteU64(root+rootNodes, e.nodes.Offset())
+	dev.WriteU64(root+rootRels, e.rels.Offset())
+	dev.WriteU64(root+rootProps, e.props.Offset())
+	dev.WriteU64(root+rootDict, d.Offset())
+	dev.WriteU64(root+rootIdxCount, 0)
+	dev.Persist(root, rootSize)
+	pool.SetRoot(root)
+	e.root = root
+	e.clock.Store(1)
+	return e, nil
+}
+
+func newDevice(cfg Config) (*pmem.Device, error) {
+	switch cfg.Mode {
+	case DRAM:
+		prof := pmem.DRAMProfile()
+		if cfg.Profile != nil {
+			prof = *cfg.Profile
+		}
+		return pmem.New(pmem.Config{
+			Name: "graph-dram", Size: cfg.PoolSize, Profile: prof,
+		}), nil
+	case PMem:
+		prof := pmem.PMemProfile()
+		if cfg.Profile != nil {
+			prof = *cfg.Profile
+		}
+		return pmem.New(pmem.Config{
+			Name: "graph-pmem", Size: cfg.PoolSize, Profile: prof,
+			CacheBytes: cfg.CacheBytes, Persistent: true,
+		}), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrBadConfig, cfg.Mode)
+	}
+}
+
+func newEngine(cfg Config, dev *pmem.Device, pool *pmemobj.Pool) *Engine {
+	return &Engine{
+		mode:       cfg.Mode,
+		cfg:        cfg,
+		dev:        dev,
+		pool:       pool,
+		active:     make(map[uint64]struct{}),
+		nodeChains: newChainTable(),
+		relChains:  newChainTable(),
+		nodeRTS:    newRTSTable(),
+		relRTS:     newRTSTable(),
+		indexes:    make(map[indexKey]*index.Tree),
+	}
+}
+
+// Reopen attaches to a device holding a previously created engine,
+// running full crash recovery: the pmemobj undo log is rolled back, stale
+// record locks are cleared, half-done inserts are reclaimed, the
+// timestamp clock is restored past the highest committed timestamp, and
+// persistent indexes are reopened (hybrid indexes rebuild their DRAM
+// inner levels).
+func Reopen(dev *pmem.Device, cfg Config) (*Engine, error) {
+	cfg.fill()
+	pool, err := pmemobj.Open(dev)
+	if err != nil {
+		return nil, fmt.Errorf("core: reopen pool: %w", err)
+	}
+	e := newEngine(cfg, dev, pool)
+	root := pool.Root()
+	if root == 0 {
+		return nil, fmt.Errorf("core: reopen: no root object")
+	}
+	e.root = root
+	e.dict = dict.Open(pool, dev.ReadU64(root+rootDict))
+	if e.nodes, err = storage.OpenTable(pool, dev.ReadU64(root+rootNodes)); err != nil {
+		return nil, err
+	}
+	if e.rels, err = storage.OpenTable(pool, dev.ReadU64(root+rootRels)); err != nil {
+		return nil, err
+	}
+	if e.props, err = storage.OpenTable(pool, dev.ReadU64(root+rootProps)); err != nil {
+		return nil, err
+	}
+	maxTS, err := e.recoverRecords()
+	if err != nil {
+		return nil, err
+	}
+	e.clock.Store(maxTS)
+	if err := e.reopenIndexes(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// recoverRecords scans both record tables, clearing stale transaction
+// locks (bts > 0: the version committed earlier, only the lock word is
+// stale) and reclaiming slots of uncommitted inserts (bts == 0). It
+// returns the highest committed timestamp seen.
+func (e *Engine) recoverRecords() (uint64, error) {
+	maxTS := uint64(1)
+	reclaim := func(tbl *storage.Table, txnOff, btsOff, etsOff uint64) error {
+		var stale []uint64
+		var drop []uint64
+		tbl.Scan(func(id, off uint64) bool {
+			txn := e.dev.ReadU64(off + txnOff)
+			bts := e.dev.ReadU64(off + btsOff)
+			ets := e.dev.ReadU64(off + etsOff)
+			if bts > maxTS {
+				maxTS = bts
+			}
+			if ets != Infinity && ets > maxTS {
+				maxTS = ets
+			}
+			switch {
+			case txn != 0 && bts == 0:
+				drop = append(drop, id) // uncommitted insert
+			case txn == 0 && bts == 0:
+				drop = append(drop, id) // half-initialized slot
+			case txn != 0:
+				stale = append(stale, off) // stale lock on committed data
+			}
+			return true
+		})
+		for _, off := range stale {
+			e.dev.WriteU64(off+txnOff, 0)
+			e.dev.Persist(off+txnOff, 8)
+		}
+		for _, id := range drop {
+			if err := tbl.Release(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := reclaim(e.nodes, storage.NTxnID, storage.NBts, storage.NEts); err != nil {
+		return 0, err
+	}
+	if err := reclaim(e.rels, storage.RTxnID, storage.RBts, storage.REts); err != nil {
+		return 0, err
+	}
+	return maxTS, nil
+}
+
+func (e *Engine) reopenIndexes() error {
+	n := e.dev.ReadU64(e.root + rootIdxCount)
+	for i := uint64(0); i < n; i++ {
+		ent := e.root + rootIdxDir + i*idxEntrySize
+		label := uint32(e.dev.ReadU64(ent))
+		key := uint32(e.dev.ReadU64(ent + 8))
+		kind := index.Kind(e.dev.ReadU64(ent + 16))
+		hdr := e.dev.ReadU64(ent + 24)
+		tree, err := index.Open(kind, e.pool, hdr, index.Options{})
+		if err != nil {
+			return fmt.Errorf("core: reopen index (%d,%d): %w", label, key, err)
+		}
+		e.indexes[indexKey{label, key}] = tree
+	}
+	return nil
+}
+
+// AuxRoot returns the auxiliary root offset (used by the JIT compiler for
+// its persistent code cache), or 0 if unset.
+func (e *Engine) AuxRoot() uint64 { return e.dev.ReadU64(e.root + rootAux) }
+
+// SetAuxRoot durably stores the auxiliary root offset (8-byte
+// failure-atomic store).
+func (e *Engine) SetAuxRoot(off uint64) {
+	e.dev.WriteU64(e.root+rootAux, off)
+	e.dev.Persist(e.root+rootAux, 8)
+}
+
+// Device exposes the underlying device (for crash simulation and stats).
+func (e *Engine) Device() *pmem.Device { return e.dev }
+
+// Pool exposes the underlying persistent pool.
+func (e *Engine) Pool() *pmemobj.Pool { return e.pool }
+
+// Dict exposes the string dictionary (used by the query layer to resolve
+// label and key codes at plan time).
+func (e *Engine) Dict() *dict.Dict { return e.dict }
+
+// Mode returns the engine's storage mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Nodes returns the node table (query-engine access path).
+func (e *Engine) Nodes() *storage.Table { return e.nodes }
+
+// Rels returns the relationship table.
+func (e *Engine) Rels() *storage.Table { return e.rels }
+
+// Props returns the property table.
+func (e *Engine) Props() *storage.Table { return e.props }
+
+// Close unregisters the engine's pool. The device (and, in PMem mode, its
+// durable contents) remains usable for Reopen.
+func (e *Engine) Close() {
+	if e.closed.CompareAndSwap(false, true) {
+		e.pool.Close()
+	}
+}
+
+// NodeCount returns the number of occupied node slots (all versions).
+func (e *Engine) NodeCount() uint64 { return e.nodes.Count() }
+
+// RelCount returns the number of occupied relationship slots.
+func (e *Engine) RelCount() uint64 { return e.rels.Count() }
+
+// minActive returns the smallest active transaction timestamp, or the
+// current clock when no transaction is active.
+func (e *Engine) minActive() uint64 {
+	e.activeMu.Lock()
+	defer e.activeMu.Unlock()
+	if len(e.active) == 0 {
+		return e.clock.Load() + 1
+	}
+	min := Infinity
+	for ts := range e.active {
+		if ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+// encodeProps translates a property map into storage form, interning all
+// strings through the dictionary. Keys are encoded in sorted order so the
+// layout is deterministic.
+func (e *Engine) encodeProps(props map[string]any) ([]storage.Prop, error) {
+	if len(props) == 0 {
+		return nil, nil
+	}
+	keys := make([]string, 0, len(props))
+	for k := range props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]storage.Prop, 0, len(props))
+	for _, k := range keys {
+		kc, err := e.dict.Encode(k)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.EncodeValue(props[k])
+		if err != nil {
+			return nil, fmt.Errorf("core: property %q: %w", k, err)
+		}
+		out = append(out, storage.Prop{Key: uint32(kc), Val: v})
+	}
+	return out, nil
+}
+
+// EncodeValue converts a Go value into storage form, interning strings
+// through the dictionary.
+func (e *Engine) EncodeValue(v any) (storage.Value, error) {
+	switch x := v.(type) {
+	case int:
+		return storage.IntValue(int64(x)), nil
+	case int32:
+		return storage.IntValue(int64(x)), nil
+	case int64:
+		return storage.IntValue(x), nil
+	case uint64:
+		return storage.IntValue(int64(x)), nil
+	case float64:
+		return storage.FloatValue(x), nil
+	case float32:
+		return storage.FloatValue(float64(x)), nil
+	case bool:
+		return storage.BoolValue(x), nil
+	case string:
+		code, err := e.dict.Encode(x)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return storage.StringValue(code), nil
+	case nil:
+		return storage.Value{}, nil
+	default:
+		return storage.Value{}, fmt.Errorf("unsupported property type %T", v)
+	}
+}
+
+// DecodeValue converts a storage value back into a Go value.
+func (e *Engine) DecodeValue(v storage.Value) (any, error) {
+	switch v.Type {
+	case storage.TypeNil:
+		return nil, nil
+	case storage.TypeInt:
+		return v.Int(), nil
+	case storage.TypeFloat:
+		return v.Float(), nil
+	case storage.TypeBool:
+		return v.Bool(), nil
+	case storage.TypeString:
+		return e.dict.Decode(v.Code())
+	default:
+		return nil, fmt.Errorf("core: unknown value type %d", v.Type)
+	}
+}
+
+// DecodeProps converts storage properties back into a Go map.
+func (e *Engine) DecodeProps(props []storage.Prop) (map[string]any, error) {
+	if len(props) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]any, len(props))
+	for _, p := range props {
+		k, err := e.dict.Decode(uint64(p.Key))
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.DecodeValue(p.Val)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"poseidon/internal/index"
+	"poseidon/internal/storage"
+)
+
+// CreateIndex builds a secondary B+-tree index over the given property of
+// nodes with the given label (§4.2 "Hybrid Indexes") and backfills it from
+// the currently committed data. kind selects the Fig 8 variant; Hybrid is
+// the paper's recommended default.
+func (e *Engine) CreateIndex(label, key string, kind index.Kind) error {
+	labelCode, err := e.dict.Encode(label)
+	if err != nil {
+		return err
+	}
+	keyCode, err := e.dict.Encode(key)
+	if err != nil {
+		return err
+	}
+	ik := indexKey{uint32(labelCode), uint32(keyCode)}
+
+	e.idxMu.Lock()
+	if _, dup := e.indexes[ik]; dup {
+		e.idxMu.Unlock()
+		return fmt.Errorf("core: index on (%s, %s) already exists", label, key)
+	}
+	e.idxMu.Unlock()
+
+	tree, err := index.Create(kind, e.pool, index.Options{})
+	if err != nil {
+		return err
+	}
+	if err := e.backfillIndex(tree, ik); err != nil {
+		return err
+	}
+
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if _, dup := e.indexes[ik]; dup {
+		return fmt.Errorf("core: index on (%s, %s) already exists", label, key)
+	}
+	if kind != index.Volatile {
+		n := e.dev.ReadU64(e.root + rootIdxCount)
+		if n >= maxIndexes {
+			return fmt.Errorf("core: too many persistent indexes (max %d)", maxIndexes)
+		}
+		ent := e.root + rootIdxDir + n*idxEntrySize
+		e.dev.WriteU64(ent, uint64(ik.label))
+		e.dev.WriteU64(ent+8, uint64(ik.key))
+		e.dev.WriteU64(ent+16, uint64(kind))
+		e.dev.WriteU64(ent+24, tree.Offset())
+		e.dev.Flush(ent, idxEntrySize)
+		e.dev.Drain()
+		e.dev.WriteU64(e.root+rootIdxCount, n+1)
+		e.dev.Persist(e.root+rootIdxCount, 8)
+	}
+	e.indexes[ik] = tree
+	return nil
+}
+
+// backfillIndex fills a fresh tree from the committed data.
+func (e *Engine) backfillIndex(tree *index.Tree, ik indexKey) error {
+	tx := e.Begin()
+	defer tx.mustAbort()
+	var insertErr error
+	err := tx.ScanNodes(func(n NodeSnap) bool {
+		if n.Rec.Label != ik.label {
+			return true
+		}
+		if v, ok := n.Prop(ik.key); ok {
+			if insertErr = tree.Insert(v, n.ID); insertErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return insertErr
+}
+
+// RebuildVolatileIndexes recreates every volatile index from scratch —
+// the full-rebuild recovery path that §7.4 measures at 671 ms against the
+// hybrid index's 8 ms.
+func (e *Engine) RebuildVolatileIndexes() error {
+	e.idxMu.Lock()
+	var keys []indexKey
+	for ik, t := range e.indexes {
+		if t.Kind() == index.Volatile {
+			keys = append(keys, ik)
+		}
+	}
+	e.idxMu.Unlock()
+	for _, ik := range keys {
+		tree, err := index.Create(index.Volatile, e.pool, index.Options{})
+		if err != nil {
+			return err
+		}
+		if err := e.backfillIndex(tree, ik); err != nil {
+			return err
+		}
+		e.idxMu.Lock()
+		e.indexes[ik] = tree
+		e.idxMu.Unlock()
+	}
+	return nil
+}
+
+// LookupIndex returns the index tree for (labelCode, keyCode), if one
+// exists. The query planner uses this to turn scans into IndexScans.
+func (e *Engine) LookupIndex(labelCode, keyCode uint32) (*index.Tree, bool) {
+	e.idxMu.RLock()
+	defer e.idxMu.RUnlock()
+	t, ok := e.indexes[indexKey{labelCode, keyCode}]
+	return t, ok
+}
+
+// IndexFor resolves an index by label and property name.
+func (e *Engine) IndexFor(label, key string) (*index.Tree, bool) {
+	lc, ok1 := e.dict.Lookup(label)
+	kc, ok2 := e.dict.Lookup(key)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	return e.LookupIndex(uint32(lc), uint32(kc))
+}
+
+// IndexedLookup returns the ids of nodes with the given label whose
+// property equals v, using the index, re-validated against the
+// transaction's snapshot.
+func (tx *Tx) IndexedLookup(tree *index.Tree, v storage.Value) ([]NodeSnap, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	ids := tree.Lookup(v)
+	out := make([]NodeSnap, 0, len(ids))
+	for _, id := range ids {
+		snap, err := tx.GetNode(id)
+		if err == ErrNotFound {
+			continue // index entry from a version invisible to us
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, snap)
+	}
+	return out, nil
+}

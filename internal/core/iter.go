@@ -1,0 +1,239 @@
+package core
+
+import (
+	"poseidon/internal/index"
+	"poseidon/internal/storage"
+)
+
+// Pull-style iterators over the transaction's snapshot. These are the
+// AOT-compiled access methods that both the interpreter and the JIT
+// backend reuse (§6.2), packaged in pull form so compiled pipelines can
+// drive them from generated loop code.
+
+// NodeIter iterates the visible nodes of a chunk range. Occupancy bitmap
+// words are cached so 64 slots cost one bitmap read.
+type NodeIter struct {
+	tx        *Tx
+	next, end uint64
+	labelCode uint32 // 0 = all labels
+	cur       NodeSnap
+	word      uint64 // cached occupancy bits for [wordBase, wordBase+64)
+	wordBase  uint64
+	haveWord  bool
+}
+
+// NewNodeChunkIter iterates the visible nodes of one chunk, optionally
+// filtered by label code.
+func (tx *Tx) NewNodeChunkIter(chunk uint64, labelCode uint32) *NodeIter {
+	cap_ := tx.e.nodes.ChunkCap()
+	return &NodeIter{tx: tx, next: chunk * cap_, end: (chunk + 1) * cap_, labelCode: labelCode}
+}
+
+// NewNodeRangeIter iterates the visible nodes with from <= id < to — the
+// morsel shape of parallel scans.
+func (tx *Tx) NewNodeRangeIter(from, to uint64, labelCode uint32) *NodeIter {
+	if max := tx.e.nodes.MaxID(); to > max {
+		to = max
+	}
+	return &NodeIter{tx: tx, next: from, end: to, labelCode: labelCode}
+}
+
+// NewNodeIter iterates every visible node in the table.
+func (tx *Tx) NewNodeIter(labelCode uint32) *NodeIter {
+	return &NodeIter{tx: tx, next: 0, end: tx.e.nodes.MaxID(), labelCode: labelCode}
+}
+
+// Next advances to the next visible node. It returns false at the end;
+// a non-nil error aborts the query (lock conflict).
+func (it *NodeIter) Next() (bool, error) {
+	e := it.tx.e
+	for it.next < it.end {
+		id := it.next
+		base := id &^ 63
+		if !it.haveWord || it.wordBase != base {
+			it.word = e.nodes.BitmapWord(id)
+			it.wordBase = base
+			it.haveWord = true
+		}
+		if it.word == 0 {
+			// Skip the whole empty 64-slot window.
+			it.next = base + 64
+			continue
+		}
+		it.next++
+		if it.word&(1<<(id&63)) == 0 {
+			continue
+		}
+		snap, err := it.tx.GetNode(id)
+		if err == ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return false, err
+		}
+		if it.labelCode != 0 && snap.Rec.Label != it.labelCode {
+			continue
+		}
+		it.cur = snap
+		return true, nil
+	}
+	return false, nil
+}
+
+// Node returns the current node.
+func (it *NodeIter) Node() NodeSnap { return it.cur }
+
+// RelTableIter iterates the visible relationships of a chunk range.
+type RelTableIter struct {
+	tx        *Tx
+	next, end uint64
+	labelCode uint32
+	cur       RelSnap
+	word      uint64
+	wordBase  uint64
+	haveWord  bool
+}
+
+// NewRelChunkIter iterates the visible relationships of one chunk.
+func (tx *Tx) NewRelChunkIter(chunk uint64, labelCode uint32) *RelTableIter {
+	cap_ := tx.e.rels.ChunkCap()
+	return &RelTableIter{tx: tx, next: chunk * cap_, end: (chunk + 1) * cap_, labelCode: labelCode}
+}
+
+// NewRelRangeIter iterates the visible relationships with from <= id < to.
+func (tx *Tx) NewRelRangeIter(from, to uint64, labelCode uint32) *RelTableIter {
+	if max := tx.e.rels.MaxID(); to > max {
+		to = max
+	}
+	return &RelTableIter{tx: tx, next: from, end: to, labelCode: labelCode}
+}
+
+// NewRelIter iterates every visible relationship.
+func (tx *Tx) NewRelIter(labelCode uint32) *RelTableIter {
+	return &RelTableIter{tx: tx, next: 0, end: tx.e.rels.MaxID(), labelCode: labelCode}
+}
+
+// Next advances to the next visible relationship.
+func (it *RelTableIter) Next() (bool, error) {
+	e := it.tx.e
+	for it.next < it.end {
+		id := it.next
+		base := id &^ 63
+		if !it.haveWord || it.wordBase != base {
+			it.word = e.rels.BitmapWord(id)
+			it.wordBase = base
+			it.haveWord = true
+		}
+		if it.word == 0 {
+			it.next = base + 64
+			continue
+		}
+		it.next++
+		if it.word&(1<<(id&63)) == 0 {
+			continue
+		}
+		snap, err := it.tx.GetRel(id)
+		if err == ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return false, err
+		}
+		if it.labelCode != 0 && snap.Rec.Label != it.labelCode {
+			continue
+		}
+		it.cur = snap
+		return true, nil
+	}
+	return false, nil
+}
+
+// Rel returns the current relationship.
+func (it *RelTableIter) Rel() RelSnap { return it.cur }
+
+// AdjIter iterates one adjacency list (out or in) of a node.
+type AdjIter struct {
+	tx        *Tx
+	cur       RelSnap
+	next      uint64
+	out       bool
+	labelCode uint32
+}
+
+// NewOutRelIter iterates the visible outgoing relationships of n.
+func (tx *Tx) NewOutRelIter(n NodeSnap, labelCode uint32) *AdjIter {
+	return &AdjIter{tx: tx, next: n.Rec.Out, out: true, labelCode: labelCode}
+}
+
+// NewInRelIter iterates the visible incoming relationships of n.
+func (tx *Tx) NewInRelIter(n NodeSnap, labelCode uint32) *AdjIter {
+	return &AdjIter{tx: tx, next: n.Rec.In, out: false, labelCode: labelCode}
+}
+
+// Next advances along the offset-linked adjacency list (DD4).
+func (it *AdjIter) Next() (bool, error) {
+	for it.next != storage.NilID {
+		rid := it.next
+		r, err := it.tx.GetRel(rid)
+		if err == ErrNotFound {
+			// Invisible: follow the committed list structure.
+			next, ok := it.tx.rawRelNext(rid, it.out)
+			if !ok {
+				return false, nil
+			}
+			it.next = next
+			continue
+		}
+		if err != nil {
+			return false, err
+		}
+		if it.out {
+			it.next = r.Rec.NextSrc
+		} else {
+			it.next = r.Rec.NextDst
+		}
+		if it.labelCode != 0 && r.Rec.Label != it.labelCode {
+			continue
+		}
+		it.cur = r
+		return true, nil
+	}
+	return false, nil
+}
+
+// Rel returns the current relationship.
+func (it *AdjIter) Rel() RelSnap { return it.cur }
+
+// IndexIter iterates index hits re-validated against the snapshot.
+type IndexIter struct {
+	tx  *Tx
+	ids []uint64
+	pos int
+	cur NodeSnap
+}
+
+// NewIndexIter looks up v in tree and iterates the visible hits.
+func (tx *Tx) NewIndexIter(tree *index.Tree, v storage.Value) *IndexIter {
+	return &IndexIter{tx: tx, ids: tree.Lookup(v)}
+}
+
+// Next advances to the next visible indexed node.
+func (it *IndexIter) Next() (bool, error) {
+	for it.pos < len(it.ids) {
+		id := it.ids[it.pos]
+		it.pos++
+		snap, err := it.tx.GetNode(id)
+		if err == ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return false, err
+		}
+		it.cur = snap
+		return true, nil
+	}
+	return false, nil
+}
+
+// Node returns the current node.
+func (it *IndexIter) Node() NodeSnap { return it.cur }

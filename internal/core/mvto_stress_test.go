@@ -1,0 +1,244 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The classic MVCC torture test: concurrent transfers between accounts.
+// Under snapshot isolation with MVTO rules, (a) money is conserved,
+// (b) any read-only transaction summing all balances sees exactly the
+// initial total (a consistent snapshot), and (c) aborted transfers leave
+// no trace.
+
+const (
+	accounts    = 8
+	initialEach = int64(1000)
+)
+
+func setupBank(t *testing.T, mode Mode) (*Engine, []uint64, uint32) {
+	t.Helper()
+	e := newTestEngine(t, mode)
+	tx := e.Begin()
+	ids := make([]uint64, accounts)
+	for i := range ids {
+		ids[i] = mustCreateNode(t, tx, "Account", map[string]any{"balance": initialEach})
+	}
+	mustCommit(t, tx)
+	code, _ := e.dict.Lookup("balance")
+	return e, ids, uint32(code)
+}
+
+func readBalance(tx *Tx, id uint64, code uint32) (int64, error) {
+	snap, err := tx.GetNode(id)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := snap.Prop(code)
+	if !ok {
+		return 0, errors.New("missing balance")
+	}
+	return v.Int(), nil
+}
+
+// transfer moves amount from a to b in one transaction; returns whether
+// it committed.
+func transfer(e *Engine, code uint32, a, b uint64, amount int64) (bool, error) {
+	tx := e.Begin()
+	ba, err := readBalance(tx, a, code)
+	if err != nil {
+		tx.Abort()
+		return false, ignorable(err)
+	}
+	bb, err := readBalance(tx, b, code)
+	if err != nil {
+		tx.Abort()
+		return false, ignorable(err)
+	}
+	if err := tx.SetNodeProps(a, map[string]any{"balance": ba - amount}); err != nil {
+		tx.Abort()
+		return false, ignorable(err)
+	}
+	if err := tx.SetNodeProps(b, map[string]any{"balance": bb + amount}); err != nil {
+		tx.Abort()
+		return false, ignorable(err)
+	}
+	if err := tx.Commit(); err != nil {
+		return false, ignorable(err)
+	}
+	return true, nil
+}
+
+// ignorable maps protocol aborts to nil (expected under contention).
+func ignorable(err error) error {
+	if errors.Is(err, ErrAborted) || errors.Is(err, ErrTxDone) {
+		return nil
+	}
+	return err
+}
+
+func TestMVTOTransfersConserveMoney(t *testing.T) {
+	for _, mode := range []Mode{DRAM, PMem} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e, ids, code := setupBank(t, mode)
+			const workers = 6
+			const attempts = 200
+			var commits int64
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < attempts; i++ {
+						a := ids[rng.Intn(accounts)]
+						b := ids[rng.Intn(accounts)]
+						if a == b {
+							continue
+						}
+						ok, err := transfer(e, code, a, b, int64(rng.Intn(50)))
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if ok {
+							mu.Lock()
+							commits++
+							mu.Unlock()
+						}
+					}
+				}(int64(w + 1))
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			if commits == 0 {
+				t.Fatal("no transfer ever committed")
+			}
+			t.Logf("%d/%d transfers committed", commits, workers*attempts)
+
+			tx := e.Begin()
+			defer tx.Abort()
+			var total int64
+			for _, id := range ids {
+				b, err := readBalance(tx, id, code)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += b
+			}
+			if total != initialEach*accounts {
+				t.Errorf("total = %d, want %d (money not conserved)", total, initialEach*accounts)
+			}
+		})
+	}
+}
+
+func TestMVTOReadersSeeConsistentSnapshots(t *testing.T) {
+	e, ids, code := setupBank(t, DRAM)
+	stop := make(chan struct{})
+	var writerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a := ids[rng.Intn(accounts)]
+			b := ids[rng.Intn(accounts)]
+			if a == b {
+				continue
+			}
+			if _, err := transfer(e, code, a, b, 10); err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+
+	// Readers: each snapshot must show the exact invariant total, no
+	// matter when it runs relative to in-flight transfers.
+	consistent := 0
+	for i := 0; i < 300; i++ {
+		tx := e.Begin()
+		total := int64(0)
+		ok := true
+		for _, id := range ids {
+			b, err := readBalance(tx, id, code)
+			if err != nil {
+				ok = false // reader hit a write lock: aborted, try again
+				break
+			}
+			total += b
+		}
+		_ = tx.Abort() // may already be aborted by a lock conflict
+		if !ok {
+			continue
+		}
+		consistent++
+		if total != initialEach*accounts {
+			t.Fatalf("reader %d saw inconsistent total %d", i, total)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if writerErr != nil {
+		t.Fatal(writerErr)
+	}
+	if consistent == 0 {
+		t.Fatal("no reader ever completed a snapshot")
+	}
+	t.Logf("%d/300 readers completed consistent snapshots", consistent)
+}
+
+func TestMVTOCrashDuringTransfersConserves(t *testing.T) {
+	e, ids, code := setupBank(t, PMem)
+	// Run a batch of committed transfers.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		a, b := ids[rng.Intn(accounts)], ids[rng.Intn(accounts)]
+		if a == b {
+			continue
+		}
+		if _, err := transfer(e, code, a, b, int64(rng.Intn(100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Leave one transfer in flight and crash.
+	tx := e.Begin()
+	ba, err := readBalance(tx, ids[0], code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetNodeProps(ids[0], map[string]any{"balance": ba - 500}); err != nil {
+		t.Fatal(err)
+	}
+	// No commit: power failure.
+	e2 := reopenAfterCrash(t, e)
+
+	tx2 := e2.Begin()
+	defer tx2.Abort()
+	code2, _ := e2.dict.Lookup("balance")
+	var total int64
+	for _, id := range ids {
+		b, err := readBalance(tx2, id, uint32(code2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += b
+	}
+	if total != initialEach*accounts {
+		t.Errorf("total after crash = %d, want %d", total, initialEach*accounts)
+	}
+}

@@ -1,0 +1,820 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"poseidon/internal/dict"
+	"poseidon/internal/pmemobj"
+	"poseidon/internal/storage"
+)
+
+// Tx is an MVTO transaction (§5.1). The transaction identifier doubles as
+// its timestamp. All uncommitted state lives in DRAM (§5.2): a write
+// creates a dirty version in the volatile version chain and only commit
+// persists it to PMem, inside a single pmemobj transaction (DG4).
+//
+// A Tx must be used from a single goroutine; different transactions may
+// run concurrently.
+type Tx struct {
+	e  *Engine
+	id uint64
+
+	// done is atomic and endMu serializes Commit/Abort so that parallel
+	// read workers sharing the transaction can trigger an abort safely.
+	done  atomic.Bool
+	endMu sync.Mutex
+
+	dirty map[objKey]*dirtyObj
+	order []objKey // deterministic commit order
+}
+
+// dirtyObj tracks one object written by the transaction.
+type dirtyObj struct {
+	key      objKey
+	ver      *version // DRAM dirty version, linked into the chain
+	isInsert bool
+	isDelete bool
+	// propsChanged records whether the property set differs from the
+	// committed version; adjacency-only updates (the common CreateRel
+	// path) keep the existing property chain in place at commit (DG1:
+	// algorithmically save writes).
+	propsChanged bool
+
+	// Committed pre-image captured at lock time (updates/deletes only).
+	hasOld   bool
+	oldNode  storage.NodeRec
+	oldRel   storage.RelRec
+	oldProps []storage.Prop
+}
+
+// Begin starts a transaction, drawing the next timestamp from the global
+// clock.
+func (e *Engine) Begin() *Tx {
+	id := e.clock.Add(1)
+	e.activeMu.Lock()
+	e.active[id] = struct{}{}
+	e.activeMu.Unlock()
+	return &Tx{e: e, id: id, dirty: make(map[objKey]*dirtyObj)}
+}
+
+// ID returns the transaction's timestamp identifier.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// EngineDict exposes the engine's dictionary for label/key resolution by
+// layers built on top of transactions (query engine, analytics).
+func (tx *Tx) EngineDict() *dict.Dict { return tx.e.dict }
+
+// ReadOnly reports whether the transaction has written anything yet.
+func (tx *Tx) ReadOnly() bool { return len(tx.order) == 0 }
+
+func (tx *Tx) check() error {
+	if tx.done.Load() {
+		return ErrTxDone
+	}
+	return nil
+}
+
+func (tx *Tx) finish() {
+	tx.done.Store(true)
+	e := tx.e
+	e.activeMu.Lock()
+	delete(e.active, tx.id)
+	quiescent := len(e.active) == 0
+	e.activeMu.Unlock()
+	e.runGC(quiescent)
+}
+
+// --- snapshots (read views) ---
+
+// NodeSnap is a consistent read view of a node: either the PMem-resident
+// latest committed version or a DRAM version from the chain.
+type NodeSnap struct {
+	ID  uint64
+	Rec storage.NodeRec
+	ver *version
+	e   *Engine
+}
+
+// Prop returns the value of the property with the given key code.
+func (s NodeSnap) Prop(key uint32) (storage.Value, bool) {
+	if s.ver != nil {
+		return propIn(s.ver.props, key)
+	}
+	return storage.PropValue(s.e.props, s.Rec.Props, key)
+}
+
+// Props materializes the node's full property set.
+func (s NodeSnap) Props() []storage.Prop {
+	if s.ver != nil {
+		return append([]storage.Prop(nil), s.ver.props...)
+	}
+	return storage.ReadPropChain(s.e.props, s.Rec.Props)
+}
+
+// RelSnap is a consistent read view of a relationship.
+type RelSnap struct {
+	ID  uint64
+	Rec storage.RelRec
+	ver *version
+	e   *Engine
+}
+
+// Prop returns the value of the property with the given key code.
+func (s RelSnap) Prop(key uint32) (storage.Value, bool) {
+	if s.ver != nil {
+		return propIn(s.ver.props, key)
+	}
+	return storage.PropValue(s.e.props, s.Rec.Props, key)
+}
+
+// Props materializes the relationship's full property set.
+func (s RelSnap) Props() []storage.Prop {
+	if s.ver != nil {
+		return append([]storage.Prop(nil), s.ver.props...)
+	}
+	return storage.ReadPropChain(s.e.props, s.Rec.Props)
+}
+
+func propIn(props []storage.Prop, key uint32) (storage.Value, bool) {
+	for _, p := range props {
+		if p.Key == key {
+			return p.Val, true
+		}
+	}
+	return storage.Value{}, false
+}
+
+// GetNode returns the version of node id visible to the transaction
+// (§5.1 read protocol): the PMem record is consulted first; if its
+// validity window does not cover the transaction, the DRAM version chain
+// is searched. Reading an object write-locked by another transaction
+// aborts.
+func (tx *Tx) GetNode(id uint64) (NodeSnap, error) {
+	if err := tx.check(); err != nil {
+		return NodeSnap{}, err
+	}
+	if d, ok := tx.dirty[objKey{kindNode, id}]; ok {
+		if d.isDelete {
+			return NodeSnap{}, ErrNotFound
+		}
+		return NodeSnap{ID: id, Rec: *d.ver.node, ver: d.ver, e: tx.e}, nil
+	}
+	return tx.readNode(id)
+}
+
+func (tx *Tx) readNode(id uint64) (NodeSnap, error) {
+	e := tx.e
+	off, ok := e.nodes.RecordOffset(id)
+	if !ok || !e.nodes.Occupied(id) {
+		return NodeSnap{}, ErrNotFound
+	}
+	rec := storage.ReadNodeRec(e.dev, off)
+	if rec.TxnID != 0 {
+		tx.mustAbort()
+		return NodeSnap{}, abortf("node %d is write-locked by txn %d", id, rec.TxnID)
+	}
+	// Re-validate the lock word after the multi-word read: a committer may
+	// have locked and started rewriting the record underneath us.
+	if e.dev.ReadU64(off+storage.NTxnID) != 0 {
+		tx.mustAbort()
+		return NodeSnap{}, abortf("node %d was locked during read", id)
+	}
+	if rec.Bts == 0 {
+		return NodeSnap{}, ErrNotFound
+	}
+	if rec.Bts <= tx.id && tx.id < rec.Ets {
+		e.nodeRTS.bump(id, tx.id) // rts is updated only on latest-version reads
+		return NodeSnap{ID: id, Rec: rec, e: e}, nil
+	}
+	if c := e.nodeChains.get(id); c != nil {
+		if v := c.findVisible(tx.id); v != nil && !v.tombstone {
+			return NodeSnap{ID: id, Rec: *v.node, ver: v, e: e}, nil
+		}
+	}
+	return NodeSnap{}, ErrNotFound
+}
+
+// GetRel returns the visible version of relationship id.
+func (tx *Tx) GetRel(id uint64) (RelSnap, error) {
+	if err := tx.check(); err != nil {
+		return RelSnap{}, err
+	}
+	if d, ok := tx.dirty[objKey{kindRel, id}]; ok {
+		if d.isDelete {
+			return RelSnap{}, ErrNotFound
+		}
+		return RelSnap{ID: id, Rec: *d.ver.rel, ver: d.ver, e: tx.e}, nil
+	}
+	return tx.readRel(id)
+}
+
+func (tx *Tx) readRel(id uint64) (RelSnap, error) {
+	e := tx.e
+	off, ok := e.rels.RecordOffset(id)
+	if !ok || !e.rels.Occupied(id) {
+		return RelSnap{}, ErrNotFound
+	}
+	rec := storage.ReadRelRec(e.dev, off)
+	if rec.TxnID != 0 {
+		tx.mustAbort()
+		return RelSnap{}, abortf("relationship %d is write-locked by txn %d", id, rec.TxnID)
+	}
+	if e.dev.ReadU64(off+storage.RTxnID) != 0 {
+		tx.mustAbort()
+		return RelSnap{}, abortf("relationship %d was locked during read", id)
+	}
+	if rec.Bts == 0 {
+		return RelSnap{}, ErrNotFound
+	}
+	if rec.Bts <= tx.id && tx.id < rec.Ets {
+		e.relRTS.bump(id, tx.id)
+		return RelSnap{ID: id, Rec: rec, e: e}, nil
+	}
+	if c := e.relChains.get(id); c != nil {
+		if v := c.findVisible(tx.id); v != nil && !v.tombstone {
+			return RelSnap{ID: id, Rec: *v.rel, ver: v, e: e}, nil
+		}
+	}
+	return RelSnap{}, ErrNotFound
+}
+
+// mustAbort rolls the transaction back after a protocol violation so the
+// caller cannot accidentally continue using it.
+func (tx *Tx) mustAbort() {
+	_ = tx.Abort()
+}
+
+// --- traversal access paths (§6.1 ForeachRelationship) ---
+
+// OutRels visits every visible outgoing relationship of the node snap,
+// following the offset-linked relationship list directly in (P)Mem (DD4).
+func (tx *Tx) OutRels(n NodeSnap, fn func(RelSnap) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	for rid := n.Rec.Out; rid != storage.NilID; {
+		r, err := tx.GetRel(rid)
+		if err == ErrNotFound {
+			// Invisible to us: follow the committed chain structure.
+			next, ok := tx.rawRelNext(rid, true)
+			if !ok {
+				return nil
+			}
+			rid = next
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(r) {
+			return nil
+		}
+		rid = r.Rec.NextSrc
+	}
+	return nil
+}
+
+// InRels visits every visible incoming relationship of the node snap.
+func (tx *Tx) InRels(n NodeSnap, fn func(RelSnap) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	for rid := n.Rec.In; rid != storage.NilID; {
+		r, err := tx.GetRel(rid)
+		if err == ErrNotFound {
+			next, ok := tx.rawRelNext(rid, false)
+			if !ok {
+				return nil
+			}
+			rid = next
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(r) {
+			return nil
+		}
+		rid = r.Rec.NextDst
+	}
+	return nil
+}
+
+// rawRelNext reads the chain pointer of a relationship record regardless
+// of visibility, so traversals can skip over tombstoned or too-new
+// relationships without losing the rest of the list.
+func (tx *Tx) rawRelNext(rid uint64, out bool) (uint64, bool) {
+	e := tx.e
+	if d, ok := tx.dirty[objKey{kindRel, rid}]; ok {
+		if out {
+			return d.ver.rel.NextSrc, true
+		}
+		return d.ver.rel.NextDst, true
+	}
+	off, ok := e.rels.RecordOffset(rid)
+	if !ok || !e.rels.Occupied(rid) {
+		return 0, false
+	}
+	if out {
+		return e.dev.ReadU64(off + storage.RNextSrc), true
+	}
+	return e.dev.ReadU64(off + storage.RNextDst), true
+}
+
+// --- scans ---
+
+// ScanNodes visits every node visible to the transaction in id order.
+func (tx *Tx) ScanNodes(fn func(NodeSnap) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	n := tx.e.nodes.Chunks()
+	for ci := uint64(0); ci < n; ci++ {
+		cont, err := tx.ScanNodeChunk(ci, fn)
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanNodeChunk visits the visible nodes of one chunk — a morsel in the
+// §6.1 parallel-scan sense. It reports whether scanning should continue.
+func (tx *Tx) ScanNodeChunk(ci uint64, fn func(NodeSnap) bool) (bool, error) {
+	if err := tx.check(); err != nil {
+		return false, err
+	}
+	var abortErr error
+	cont := true
+	tx.e.nodes.ScanChunk(ci, func(id, _ uint64) bool {
+		snap, err := tx.GetNode(id)
+		if err == ErrNotFound {
+			return true
+		}
+		if err != nil {
+			abortErr = err
+			return false
+		}
+		cont = fn(snap)
+		return cont
+	})
+	return cont, abortErr
+}
+
+// ScanRels visits every relationship visible to the transaction.
+func (tx *Tx) ScanRels(fn func(RelSnap) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	n := tx.e.rels.Chunks()
+	for ci := uint64(0); ci < n; ci++ {
+		cont, err := tx.ScanRelChunk(ci, fn)
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanRelChunk visits the visible relationships of one chunk.
+func (tx *Tx) ScanRelChunk(ci uint64, fn func(RelSnap) bool) (bool, error) {
+	if err := tx.check(); err != nil {
+		return false, err
+	}
+	var abortErr error
+	cont := true
+	tx.e.rels.ScanChunk(ci, func(id, _ uint64) bool {
+		snap, err := tx.GetRel(id)
+		if err == ErrNotFound {
+			return true
+		}
+		if err != nil {
+			abortErr = err
+			return false
+		}
+		cont = fn(snap)
+		return cont
+	})
+	return cont, abortErr
+}
+
+// --- writes ---
+
+// lockNode write-locks node id via CaS on its txn-id field (§5.1) and
+// creates its DRAM dirty version. Subsequent writes by the same
+// transaction reuse the dirty version.
+func (tx *Tx) lockNode(id uint64) (*dirtyObj, error) {
+	key := objKey{kindNode, id}
+	if d, ok := tx.dirty[key]; ok {
+		if d.isDelete {
+			return nil, ErrNotFound
+		}
+		return d, nil
+	}
+	e := tx.e
+	off, ok := e.nodes.RecordOffset(id)
+	if !ok || !e.nodes.Occupied(id) {
+		return nil, ErrNotFound
+	}
+	if !e.dev.CompareAndSwapU64(off+storage.NTxnID, 0, tx.id) {
+		tx.mustAbort()
+		return nil, abortf("node %d is locked by txn %d", id, e.dev.ReadU64(off+storage.NTxnID))
+	}
+	rec := storage.ReadNodeRec(e.dev, off)
+	rec.TxnID = 0 // the lock word is protocol state, not version content
+	if unlockErr := tx.writeChecksNode(off, id, rec); unlockErr != nil {
+		return nil, unlockErr
+	}
+	oldProps := storage.ReadPropChain(e.props, rec.Props)
+	newRec := rec
+	ver := &version{
+		txnID: tx.id,
+		bts:   tx.id, ets: Infinity,
+		node:  &newRec,
+		props: append([]storage.Prop(nil), oldProps...),
+	}
+	e.nodeChains.getOrCreate(id).push(ver)
+	d := &dirtyObj{key: key, ver: ver, hasOld: true, oldNode: rec, oldProps: oldProps}
+	tx.dirty[key] = d
+	tx.order = append(tx.order, key)
+	return d, nil
+}
+
+// writeChecksNode enforces the MVTO write rules after the lock was taken:
+// the record must be the latest committed version and must not have been
+// read by a more recent transaction (rts check). On violation the lock is
+// released and the transaction aborted.
+func (tx *Tx) writeChecksNode(off, id uint64, rec storage.NodeRec) error {
+	e := tx.e
+	unlock := func() {
+		e.dev.WriteU64(off+storage.NTxnID, 0)
+		e.dev.Persist(off+storage.NTxnID, 8)
+	}
+	if rec.Bts == 0 {
+		unlock()
+		return ErrNotFound
+	}
+	if rec.Ets != Infinity {
+		unlock()
+		if rec.Ets <= tx.id {
+			return ErrNotFound // deleted before us
+		}
+		tx.mustAbort()
+		return abortf("node %d deleted by a newer transaction", id)
+	}
+	if rec.Bts > tx.id {
+		unlock()
+		tx.mustAbort()
+		return abortf("node %d has a newer version (bts %d > txn %d)", id, rec.Bts, tx.id)
+	}
+	if rts := e.nodeRTS.get(id); rts > tx.id {
+		unlock()
+		tx.mustAbort()
+		return abortf("node %d was read by txn %d > %d", id, rts, tx.id)
+	}
+	return nil
+}
+
+// lockRel is the relationship counterpart of lockNode.
+func (tx *Tx) lockRel(id uint64) (*dirtyObj, error) {
+	key := objKey{kindRel, id}
+	if d, ok := tx.dirty[key]; ok {
+		if d.isDelete {
+			return nil, ErrNotFound
+		}
+		return d, nil
+	}
+	e := tx.e
+	off, ok := e.rels.RecordOffset(id)
+	if !ok || !e.rels.Occupied(id) {
+		return nil, ErrNotFound
+	}
+	if !e.dev.CompareAndSwapU64(off+storage.RTxnID, 0, tx.id) {
+		tx.mustAbort()
+		return nil, abortf("relationship %d is locked by txn %d", id, e.dev.ReadU64(off+storage.RTxnID))
+	}
+	rec := storage.ReadRelRec(e.dev, off)
+	rec.TxnID = 0
+	unlock := func() {
+		e.dev.WriteU64(off+storage.RTxnID, 0)
+		e.dev.Persist(off+storage.RTxnID, 8)
+	}
+	if rec.Bts == 0 {
+		unlock()
+		return nil, ErrNotFound
+	}
+	if rec.Ets != Infinity {
+		unlock()
+		if rec.Ets <= tx.id {
+			return nil, ErrNotFound
+		}
+		tx.mustAbort()
+		return nil, abortf("relationship %d deleted by a newer transaction", id)
+	}
+	if rec.Bts > tx.id {
+		unlock()
+		tx.mustAbort()
+		return nil, abortf("relationship %d has a newer version", id)
+	}
+	if rts := e.relRTS.get(id); rts > tx.id {
+		unlock()
+		tx.mustAbort()
+		return nil, abortf("relationship %d was read by txn %d > %d", id, rts, tx.id)
+	}
+	oldProps := storage.ReadPropChain(e.props, rec.Props)
+	newRec := rec
+	ver := &version{
+		txnID: tx.id,
+		bts:   tx.id, ets: Infinity,
+		rel:   &newRec,
+		props: append([]storage.Prop(nil), oldProps...),
+	}
+	e.relChains.getOrCreate(id).push(ver)
+	d := &dirtyObj{key: key, ver: ver, hasOld: true, oldRel: rec, oldProps: oldProps}
+	tx.dirty[key] = d
+	tx.order = append(tx.order, key)
+	return d, nil
+}
+
+// CreateNode inserts a new node. Per §5.1, the record is stored in the
+// persistent array immediately but stays write-locked (txn-id set,
+// bts = 0) until commit.
+func (tx *Tx) CreateNode(label string, props map[string]any) (uint64, error) {
+	if err := tx.check(); err != nil {
+		return 0, err
+	}
+	e := tx.e
+	labelCode, err := e.dict.Encode(label)
+	if err != nil {
+		return 0, err
+	}
+	encProps, err := e.encodeProps(props)
+	if err != nil {
+		return 0, err
+	}
+	var id, off uint64
+	err = e.pool.RunTx(func(ptx *pmemobj.Tx) error {
+		var err error
+		id, off, err = e.nodes.InsertTx(ptx)
+		if err != nil {
+			return err
+		}
+		rec := storage.NodeRec{
+			TxnID: tx.id, Bts: 0, Ets: Infinity,
+			Label: uint32(labelCode),
+			Out:   storage.NilID, In: storage.NilID, Props: storage.NilID,
+		}
+		storage.WriteNodeRec(e.dev, off, &rec)
+		ptx.NoteWrite(off, storage.NodeRecordSize)
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: create node: %w", err)
+	}
+	rec := storage.NodeRec{
+		Bts: tx.id, Ets: Infinity,
+		Label: uint32(labelCode),
+		Out:   storage.NilID, In: storage.NilID, Props: storage.NilID,
+	}
+	ver := &version{txnID: tx.id, bts: tx.id, ets: Infinity, node: &rec, props: encProps}
+	e.nodeChains.getOrCreate(id).push(ver)
+	key := objKey{kindNode, id}
+	tx.dirty[key] = &dirtyObj{key: key, ver: ver, isInsert: true, propsChanged: true}
+	tx.order = append(tx.order, key)
+	return id, nil
+}
+
+// CreateRel inserts a new relationship from src to dst. Both endpoint
+// nodes are write-locked because their adjacency heads change (DD4: the
+// new relationship is prepended to both offset-linked lists).
+func (tx *Tx) CreateRel(src, dst uint64, label string, props map[string]any) (uint64, error) {
+	if err := tx.check(); err != nil {
+		return 0, err
+	}
+	e := tx.e
+	labelCode, err := e.dict.Encode(label)
+	if err != nil {
+		return 0, err
+	}
+	encProps, err := e.encodeProps(props)
+	if err != nil {
+		return 0, err
+	}
+	srcD, err := tx.lockNode(src)
+	if err != nil {
+		return 0, fmt.Errorf("core: create rel: source: %w", err)
+	}
+	var dstD *dirtyObj
+	if dst == src {
+		dstD = srcD
+	} else {
+		dstD, err = tx.lockNode(dst)
+		if err != nil {
+			return 0, fmt.Errorf("core: create rel: destination: %w", err)
+		}
+	}
+
+	var id, off uint64
+	nextSrc := srcD.ver.node.Out
+	nextDst := dstD.ver.node.In
+	err = e.pool.RunTx(func(ptx *pmemobj.Tx) error {
+		var err error
+		id, off, err = e.rels.InsertTx(ptx)
+		if err != nil {
+			return err
+		}
+		rec := storage.RelRec{
+			TxnID: tx.id, Bts: 0, Ets: Infinity,
+			Label: uint32(labelCode),
+			Src:   src, Dst: dst,
+			NextSrc: nextSrc, NextDst: nextDst,
+			Props: storage.NilID,
+		}
+		storage.WriteRelRec(e.dev, off, &rec)
+		ptx.NoteWrite(off, storage.RelRecordSize)
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: create rel: %w", err)
+	}
+	rec := storage.RelRec{
+		Bts: tx.id, Ets: Infinity,
+		Label: uint32(labelCode),
+		Src:   src, Dst: dst,
+		NextSrc: nextSrc, NextDst: nextDst,
+		Props: storage.NilID,
+	}
+	ver := &version{txnID: tx.id, bts: tx.id, ets: Infinity, rel: &rec, props: encProps}
+	e.relChains.getOrCreate(id).push(ver)
+	key := objKey{kindRel, id}
+	tx.dirty[key] = &dirtyObj{key: key, ver: ver, isInsert: true, propsChanged: true}
+	tx.order = append(tx.order, key)
+
+	// Prepend to both adjacency lists in the DRAM dirty versions.
+	srcD.ver.node.Out = id
+	dstD.ver.node.In = id
+	return id, nil
+}
+
+// SetNodeProps updates (merges) properties of a node; a nil value removes
+// the key.
+func (tx *Tx) SetNodeProps(id uint64, props map[string]any) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	encProps, err := tx.e.encodeProps(props)
+	if err != nil {
+		return err
+	}
+	removes, err := tx.removalKeys(props)
+	if err != nil {
+		return err
+	}
+	d, err := tx.lockNode(id)
+	if err != nil {
+		return err
+	}
+	d.ver.props = mergeProps(d.ver.props, encProps, removes)
+	d.propsChanged = true
+	return nil
+}
+
+// SetRelProps updates (merges) properties of a relationship.
+func (tx *Tx) SetRelProps(id uint64, props map[string]any) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	encProps, err := tx.e.encodeProps(props)
+	if err != nil {
+		return err
+	}
+	removes, err := tx.removalKeys(props)
+	if err != nil {
+		return err
+	}
+	d, err := tx.lockRel(id)
+	if err != nil {
+		return err
+	}
+	d.ver.props = mergeProps(d.ver.props, encProps, removes)
+	d.propsChanged = true
+	return nil
+}
+
+func (tx *Tx) removalKeys(props map[string]any) (map[uint32]bool, error) {
+	var removes map[uint32]bool
+	for k, v := range props {
+		if v == nil {
+			code, err := tx.e.dict.Encode(k)
+			if err != nil {
+				return nil, err
+			}
+			if removes == nil {
+				removes = make(map[uint32]bool)
+			}
+			removes[uint32(code)] = true
+		}
+	}
+	return removes, nil
+}
+
+// mergeProps overlays updates onto base and drops removed keys.
+func mergeProps(base, updates []storage.Prop, removes map[uint32]bool) []storage.Prop {
+	out := make([]storage.Prop, 0, len(base)+len(updates))
+	updated := make(map[uint32]storage.Value, len(updates))
+	for _, u := range updates {
+		if !u.Val.IsNil() {
+			updated[u.Key] = u.Val
+		}
+	}
+	for _, b := range base {
+		if removes[b.Key] {
+			continue
+		}
+		if v, ok := updated[b.Key]; ok {
+			out = append(out, storage.Prop{Key: b.Key, Val: v})
+			delete(updated, b.Key)
+			continue
+		}
+		out = append(out, b)
+	}
+	for _, u := range updates {
+		if v, ok := updated[u.Key]; ok && !removes[u.Key] {
+			out = append(out, storage.Prop{Key: u.Key, Val: v})
+			delete(updated, u.Key)
+		}
+	}
+	return out
+}
+
+// DeleteRel tombstones a relationship. The physical unlink from the
+// adjacency lists happens later, during garbage collection (§5.3).
+func (tx *Tx) DeleteRel(id uint64) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	d, err := tx.lockRel(id)
+	if err != nil {
+		return err
+	}
+	d.isDelete = true
+	d.ver.tombstone = true
+	return nil
+}
+
+// DeleteNode tombstones a node. It fails with ErrHasRels if the node
+// still has visible relationships; use DetachDeleteNode to cascade.
+func (tx *Tx) DeleteNode(id uint64) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	snap, err := tx.GetNode(id)
+	if err != nil {
+		return err
+	}
+	hasRel := false
+	if err := tx.OutRels(snap, func(RelSnap) bool { hasRel = true; return false }); err != nil {
+		return err
+	}
+	if !hasRel {
+		if err := tx.InRels(snap, func(RelSnap) bool { hasRel = true; return false }); err != nil {
+			return err
+		}
+	}
+	if hasRel {
+		return ErrHasRels
+	}
+	d, err := tx.lockNode(id)
+	if err != nil {
+		return err
+	}
+	d.isDelete = true
+	d.ver.tombstone = true
+	return nil
+}
+
+// DetachDeleteNode deletes a node and all its visible relationships.
+func (tx *Tx) DetachDeleteNode(id uint64) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	snap, err := tx.GetNode(id)
+	if err != nil {
+		return err
+	}
+	var relIDs []uint64
+	if err := tx.OutRels(snap, func(r RelSnap) bool { relIDs = append(relIDs, r.ID); return true }); err != nil {
+		return err
+	}
+	if err := tx.InRels(snap, func(r RelSnap) bool { relIDs = append(relIDs, r.ID); return true }); err != nil {
+		return err
+	}
+	for _, rid := range relIDs {
+		if err := tx.DeleteRel(rid); err != nil && err != ErrNotFound {
+			return err
+		}
+	}
+	return tx.DeleteNode(id)
+}

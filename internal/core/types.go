@@ -1,0 +1,74 @@
+// Package core is the paper's primary contribution: a transactional
+// property-graph engine for persistent memory (§4 storage model, §5 MVTO
+// transaction processing) with hybrid DRAM/PMem storage management.
+//
+// The engine stores nodes, relationships and properties in chunked PMem
+// tables (package storage), encodes strings through a persistent
+// dictionary (package dict), accelerates property lookups with hybrid
+// B+-trees (package index) and provides snapshot-isolated multi-version
+// timestamp-ordering (MVTO) transactions whose uncommitted state lives
+// entirely in DRAM (§5.2, DG1/DG2).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode selects the storage medium of the engine, matching the paper's
+// evaluation variants.
+type Mode int
+
+// Engine modes.
+const (
+	// PMem keeps the primary data in simulated persistent memory with
+	// Optane-like latencies; the engine survives Crash.
+	PMem Mode = iota
+	// DRAM is the paper's dram baseline: the same engine bit-for-bit, on
+	// a volatile zero-latency device.
+	DRAM
+)
+
+func (m Mode) String() string {
+	if m == DRAM {
+		return "dram"
+	}
+	return "pmem"
+}
+
+// Infinity is the end timestamp of a live object version.
+const Infinity = ^uint64(0)
+
+// Common errors. Transaction aborts wrap ErrAborted; callers typically
+// retry the transaction.
+var (
+	ErrAborted   = errors.New("core: transaction aborted")
+	ErrNotFound  = errors.New("core: object not found")
+	ErrTxDone    = errors.New("core: transaction already finished")
+	ErrHasRels   = errors.New("core: node still has relationships")
+	ErrBadConfig = errors.New("core: invalid configuration")
+)
+
+// abortf builds an abort error with a reason.
+func abortf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrAborted, fmt.Sprintf(format, args...))
+}
+
+type objKind uint8
+
+const (
+	kindNode objKind = iota
+	kindRel
+)
+
+func (k objKind) String() string {
+	if k == kindNode {
+		return "node"
+	}
+	return "relationship"
+}
+
+type objKey struct {
+	kind objKind
+	id   uint64
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"poseidon/internal/storage"
+)
+
+// Volatile MVCC sidecars (§5.1/§5.2). Each record's persistent part
+// carries txn-id/bts/ets; the volatile part — the paper's "pointer" field
+// to the DRAM-resident dirty list, and the read timestamp rts — lives
+// here. Both are re-initialized (empty) after a restart, which §5.1
+// explicitly allows for rts.
+
+// version is one DRAM-resident version of a node or relationship: either
+// an uncommitted dirty version created by an in-flight transaction
+// (txnID != 0) or a superseded committed version kept for older readers
+// until garbage collection.
+type version struct {
+	txnID     uint64 // owner while uncommitted, 0 once superseded-committed
+	bts, ets  uint64 // visibility window once committed
+	tombstone bool   // version represents a deletion
+
+	node  *storage.NodeRec // exactly one of node/rel is set
+	rel   *storage.RelRec
+	props []storage.Prop
+}
+
+// visibleAt reports whether the version is visible to a reader at ts.
+func (v *version) visibleAt(ts uint64) bool {
+	return v.txnID == 0 && v.bts <= ts && ts < v.ets
+}
+
+// chain is the per-object volatile version list, newest first.
+type chain struct {
+	mu       sync.Mutex
+	versions []*version
+}
+
+const chainShards = 64
+
+type chainShard struct {
+	mu sync.Mutex
+	m  map[uint64]*chain
+}
+
+// chainTable maps record ids to their volatile version chains. It stands
+// in for the per-record volatile pointer field of Fig 2. The live counter
+// lets transaction-end GC skip the shard sweep entirely when no volatile
+// versions exist (the common read-only steady state).
+type chainTable struct {
+	shards [chainShards]chainShard
+	live   atomic.Int64
+}
+
+func newChainTable() *chainTable {
+	t := &chainTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*chain)
+	}
+	return t
+}
+
+func (t *chainTable) shard(id uint64) *chainShard {
+	return &t.shards[id%chainShards]
+}
+
+// get returns the chain for id, or nil if the object has no volatile
+// versions (the common case: read straight from PMem).
+func (t *chainTable) get(id uint64) *chain {
+	s := t.shard(id)
+	s.mu.Lock()
+	c := s.m[id]
+	s.mu.Unlock()
+	return c
+}
+
+// getOrCreate returns the chain for id, creating it if needed.
+func (t *chainTable) getOrCreate(id uint64) *chain {
+	s := t.shard(id)
+	s.mu.Lock()
+	c := s.m[id]
+	if c == nil {
+		c = &chain{}
+		s.m[id] = c
+		t.live.Add(1)
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// drop removes an empty chain.
+func (t *chainTable) drop(id uint64) {
+	s := t.shard(id)
+	s.mu.Lock()
+	if c := s.m[id]; c != nil {
+		c.mu.Lock()
+		if len(c.versions) == 0 {
+			delete(s.m, id)
+			t.live.Add(-1)
+		}
+		c.mu.Unlock()
+	}
+	s.mu.Unlock()
+}
+
+// push prepends a version (newest first).
+func (c *chain) push(v *version) {
+	c.mu.Lock()
+	c.versions = append([]*version{v}, c.versions...)
+	c.mu.Unlock()
+}
+
+// remove deletes the exact version pointer from the chain.
+func (c *chain) remove(v *version) {
+	c.mu.Lock()
+	for i, cur := range c.versions {
+		if cur == v {
+			c.versions = append(c.versions[:i], c.versions[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// findVisible returns the version visible at ts, if any.
+func (c *chain) findVisible(ts uint64) *version {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range c.versions {
+		if v.visibleAt(ts) {
+			return v
+		}
+	}
+	return nil
+}
+
+// prune drops committed versions invisible to every transaction at or
+// after minActive, returning the number of remaining versions.
+func (c *chain) prune(minActive uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.versions[:0]
+	for _, v := range c.versions {
+		if v.txnID != 0 || v.ets > minActive {
+			kept = append(kept, v)
+		}
+	}
+	// Zero the tail so dropped versions are collectable.
+	for i := len(kept); i < len(c.versions); i++ {
+		c.versions[i] = nil
+	}
+	c.versions = kept
+	return len(kept)
+}
+
+// --- read timestamps (volatile, sharded) ---
+
+const rtsShards = 64
+
+type rtsShard struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+}
+
+// rtsTable tracks the latest reader timestamp per record (§5.1). Being
+// volatile, it resets to zero after recovery, which conservatively allows
+// the first post-restart writers to proceed.
+type rtsTable struct {
+	shards [rtsShards]rtsShard
+}
+
+func newRTSTable() *rtsTable {
+	t := &rtsTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]uint64)
+	}
+	return t
+}
+
+// bump raises the rts of id to ts if larger.
+func (t *rtsTable) bump(id, ts uint64) {
+	s := &t.shards[id%rtsShards]
+	s.mu.Lock()
+	if s.m[id] < ts {
+		s.m[id] = ts
+	}
+	s.mu.Unlock()
+}
+
+// get returns the current rts of id (0 if never read).
+func (t *rtsTable) get(id uint64) uint64 {
+	s := &t.shards[id%rtsShards]
+	s.mu.Lock()
+	v := s.m[id]
+	s.mu.Unlock()
+	return v
+}
+
+// forget clears the rts of id (after the record slot is reused).
+func (t *rtsTable) forget(id uint64) {
+	s := &t.shards[id%rtsShards]
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}

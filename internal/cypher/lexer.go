@@ -1,0 +1,221 @@
+// Package cypher implements the Cypher-like query language the paper's
+// engine exposes (§1: "we support Cypher-like navigational queries").
+// A practical subset is covered:
+//
+//	MATCH (a:Person {name: $n})-[r:knows]->(b)
+//	WHERE b.age > 21 AND NOT b.name = 'x'
+//	RETURN b.name, r.since ORDER BY r.since DESC LIMIT 10
+//
+//	CREATE (p:Person {name: 'ada', age: 30})
+//	MATCH (a {id: $a}), (b {id: $b}) CREATE (a)-[:knows {since: 2024}]->(b)
+//	MATCH (p:Person {id: $id}) SET p.age = $age
+//	MATCH (p:Person {id: $id}) DETACH DELETE p
+//
+// Queries compile to the graph algebra of package query, so they run on
+// every execution mode (interpreted, parallel, JIT, adaptive).
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokInt
+	tokFloat
+	tokParam  // $name
+	tokLParen // (
+	tokRParen
+	tokLBrace // {
+	tokRBrace
+	tokLBrack // [
+	tokRBrack
+	tokColon
+	tokComma
+	tokDot
+	tokDash   // -
+	tokArrowR // ->
+	tokArrowL // <-
+	tokEq     // =
+	tokNe     // <>
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokStar   // *
+)
+
+var keywords = map[string]bool{
+	"MATCH": true, "WHERE": true, "RETURN": true, "ORDER": true, "BY": true,
+	"LIMIT": true, "DESC": true, "ASC": true, "AND": true, "OR": true,
+	"NOT": true, "CREATE": true, "SET": true, "DELETE": true, "DETACH": true,
+	"TRUE": true, "FALSE": true, "DISTINCT": true, "COUNT": true, "AS": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexError reports a lexing problem with its byte position.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("cypher: position %d: %s", e.pos, e.msg)
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBrack, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBrack, "]", i})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '-':
+			if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{tokArrowR, "->", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokDash, "-", i})
+				i++
+			}
+		case c == '<':
+			switch {
+			case i+1 < len(src) && src[i+1] == '-':
+				toks = append(toks, token{tokArrowL, "<-", i})
+				i += 2
+			case i+1 < len(src) && src[i+1] == '=':
+				toks = append(toks, token{tokLe, "<=", i})
+				i += 2
+			case i+1 < len(src) && src[i+1] == '>':
+				toks = append(toks, token{tokNe, "<>", i})
+				i += 2
+			default:
+				toks = append(toks, token{tokLt, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokGe, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGt, ">", i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '$':
+			start := i
+			i++
+			for i < len(src) && isIdentChar(rune(src[i])) {
+				i++
+			}
+			if i == start+1 {
+				return nil, &lexError{start, "empty parameter name after $"}
+			}
+			toks = append(toks, token{tokParam, src[start+1 : i], start})
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			var sb strings.Builder
+			for i < len(src) && src[i] != quote {
+				if src[i] == '\\' && i+1 < len(src) {
+					i++
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if i >= len(src) {
+				return nil, &lexError{start, "unterminated string literal"}
+			}
+			i++ // closing quote
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c >= '0' && c <= '9':
+			start := i
+			isFloat := false
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				if src[i] == '.' {
+					if i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9' {
+						isFloat = true
+					} else {
+						break
+					}
+				}
+				i++
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, src[start:i], start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(src) && isIdentChar(rune(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			if keywords[strings.ToUpper(word)] {
+				toks = append(toks, token{tokKeyword, strings.ToUpper(word), start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		default:
+			return nil, &lexError{i, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,669 @@
+package cypher
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// AST for the supported Cypher subset.
+
+// Stmt is a parsed statement.
+type Stmt struct {
+	Match  []NodePattern // node patterns connected by Rels
+	Rels   []RelPattern  // Rels[i] connects Match[i] and Match[i+1]
+	Extra  []NodePattern // additional comma-separated MATCH patterns (single nodes)
+	Where  Cond
+	Return *ReturnClause
+	Create *CreateClause
+	Set    []SetItem
+	Delete []string // variables to DETACH DELETE
+}
+
+// NodePattern is (v:Label {k: value, ...}).
+type NodePattern struct {
+	Var   string
+	Label string
+	Props []PropMatch
+}
+
+// RelPattern is -[v:LABEL]-> / <-[...]- / -[...]-.
+type RelPattern struct {
+	Var   string
+	Label string
+	Dir   int // +1 right, -1 left, 0 undirected
+	Props []PropMatch
+}
+
+// PropMatch is one {key: value} constraint.
+type PropMatch struct {
+	Key string
+	Val Lit
+}
+
+// Lit is a literal or parameter value.
+type Lit struct {
+	Kind byte // 'i' int, 'f' float, 's' string, 'b' bool, 'p' param
+	I    int64
+	F    float64
+	S    string // string value or param name
+	B    bool
+}
+
+// Cond is a boolean condition tree.
+type Cond interface{ cond() }
+
+// CmpCond compares var.prop against a literal (or two props).
+type CmpCond struct {
+	Var  string
+	Prop string
+	Op   string // = <> < <= > >=
+	Val  Lit
+}
+
+// AndCond is a conjunction of two conditions.
+type AndCond struct{ L, R Cond }
+
+// OrCond is a disjunction of two conditions.
+type OrCond struct{ L, R Cond }
+
+// NotCond negates a condition.
+type NotCond struct{ X Cond }
+
+func (*CmpCond) cond() {}
+func (*AndCond) cond() {}
+func (*OrCond) cond()  {}
+func (*NotCond) cond() {}
+
+// ReturnClause is RETURN items [ORDER BY item [DESC]] [LIMIT n].
+type ReturnClause struct {
+	Distinct bool
+	Count    bool // RETURN COUNT(*)
+	Items    []ReturnItem
+	OrderBy  *ReturnItem
+	Desc     bool
+	Limit    int
+}
+
+// ReturnItem is var or var.prop.
+type ReturnItem struct {
+	Var  string
+	Prop string // empty = the entity id
+}
+
+// CreateClause creates nodes and relationships; variables may reference
+// matched nodes.
+type CreateClause struct {
+	Nodes []NodePattern // nodes to create (with fresh variables)
+	Rels  []CreateRel
+}
+
+// CreateRel creates one relationship between two variables.
+type CreateRel struct {
+	From  string
+	To    string
+	Label string
+	Props []PropMatch
+}
+
+// SetItem is SET var.prop = value.
+type SetItem struct {
+	Var  string
+	Prop string
+	Val  Lit
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atKeyword(k string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == k
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("cypher: position %d: expected %s, got %q", t.pos, what, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(k string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != k {
+		return fmt.Errorf("cypher: position %d: expected %s, got %q", t.pos, k, t.text)
+	}
+	return nil
+}
+
+// Parse parses one statement.
+func Parse(src string) (*Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st := &Stmt{}
+
+	switch {
+	case p.atKeyword("MATCH"):
+		p.next()
+		if err := p.parseMatch(st); err != nil {
+			return nil, err
+		}
+	case p.atKeyword("CREATE"):
+		// standalone CREATE
+	default:
+		return nil, fmt.Errorf("cypher: statement must start with MATCH or CREATE")
+	}
+
+	if p.atKeyword("WHERE") {
+		p.next()
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = c
+	}
+
+	switch {
+	case p.atKeyword("RETURN"):
+		p.next()
+		r, err := p.parseReturn()
+		if err != nil {
+			return nil, err
+		}
+		st.Return = r
+	case p.atKeyword("CREATE"):
+		p.next()
+		c, err := p.parseCreate(st)
+		if err != nil {
+			return nil, err
+		}
+		st.Create = c
+	case p.atKeyword("SET"):
+		p.next()
+		if err := p.parseSet(st); err != nil {
+			return nil, err
+		}
+	case p.atKeyword("DETACH"):
+		p.next()
+		if err := p.expectKeyword("DELETE"); err != nil {
+			return nil, err
+		}
+		if err := p.parseDelete(st); err != nil {
+			return nil, err
+		}
+	case p.atKeyword("DELETE"):
+		p.next()
+		if err := p.parseDelete(st); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cypher: position %d: expected RETURN, CREATE, SET or DELETE, got %q",
+			p.peek().pos, p.peek().text)
+	}
+
+	if _, err := p.expect(tokEOF, "end of query"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseMatch parses a pattern chain plus optional comma-separated single
+// node patterns.
+func (p *parser) parseMatch(st *Stmt) error {
+	n, err := p.parseNodePattern()
+	if err != nil {
+		return err
+	}
+	st.Match = append(st.Match, n)
+	for {
+		switch p.peek().kind {
+		case tokDash, tokArrowL:
+			r, err := p.parseRelPattern()
+			if err != nil {
+				return err
+			}
+			n, err := p.parseNodePattern()
+			if err != nil {
+				return err
+			}
+			st.Rels = append(st.Rels, r)
+			st.Match = append(st.Match, n)
+		case tokComma:
+			p.next()
+			n, err := p.parseNodePattern()
+			if err != nil {
+				return err
+			}
+			st.Extra = append(st.Extra, n)
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseNodePattern() (NodePattern, error) {
+	var n NodePattern
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return n, err
+	}
+	if p.peek().kind == tokIdent {
+		n.Var = p.next().text
+	}
+	if p.peek().kind == tokColon {
+		p.next()
+		t, err := p.expect(tokIdent, "label")
+		if err != nil {
+			return n, err
+		}
+		n.Label = t.text
+	}
+	if p.peek().kind == tokLBrace {
+		props, err := p.parseProps()
+		if err != nil {
+			return n, err
+		}
+		n.Props = props
+	}
+	_, err := p.expect(tokRParen, ")")
+	return n, err
+}
+
+func (p *parser) parseRelPattern() (RelPattern, error) {
+	var r RelPattern
+	switch p.peek().kind {
+	case tokArrowL: // <-[...]-
+		p.next()
+		r.Dir = -1
+	case tokDash: // -[...]-> or -[...]-
+		p.next()
+		r.Dir = 0
+	default:
+		return r, fmt.Errorf("cypher: position %d: expected relationship pattern", p.peek().pos)
+	}
+	if p.peek().kind == tokLBrack {
+		p.next()
+		if p.peek().kind == tokIdent {
+			r.Var = p.next().text
+		}
+		if p.peek().kind == tokColon {
+			p.next()
+			t, err := p.expect(tokIdent, "relationship label")
+			if err != nil {
+				return r, err
+			}
+			r.Label = t.text
+		}
+		if p.peek().kind == tokLBrace {
+			props, err := p.parseProps()
+			if err != nil {
+				return r, err
+			}
+			r.Props = props
+		}
+		if _, err := p.expect(tokRBrack, "]"); err != nil {
+			return r, err
+		}
+	}
+	switch p.peek().kind {
+	case tokArrowR:
+		p.next()
+		if r.Dir == -1 {
+			return r, fmt.Errorf("cypher: relationship cannot point both ways")
+		}
+		r.Dir = +1
+	case tokDash:
+		p.next()
+		// keep r.Dir: -1 for <-[..]- , 0 for -[..]-
+	default:
+		return r, fmt.Errorf("cypher: position %d: unterminated relationship pattern", p.peek().pos)
+	}
+	return r, nil
+}
+
+func (p *parser) parseProps() ([]PropMatch, error) {
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return nil, err
+	}
+	var props []PropMatch
+	for {
+		key, err := p.expect(tokIdent, "property key")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon, ":"); err != nil {
+			return nil, err
+		}
+		lit, err := p.parseLit()
+		if err != nil {
+			return nil, err
+		}
+		props = append(props, PropMatch{Key: key.text, Val: lit})
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	_, err := p.expect(tokRBrace, "}")
+	return props, err
+}
+
+func (p *parser) parseLit() (Lit, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Lit{}, fmt.Errorf("cypher: position %d: bad integer %q", t.pos, t.text)
+		}
+		return Lit{Kind: 'i', I: v}, nil
+	case tokFloat:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Lit{}, fmt.Errorf("cypher: position %d: bad float %q", t.pos, t.text)
+		}
+		return Lit{Kind: 'f', F: v}, nil
+	case tokString:
+		return Lit{Kind: 's', S: t.text}, nil
+	case tokParam:
+		return Lit{Kind: 'p', S: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			return Lit{Kind: 'b', B: true}, nil
+		case "FALSE":
+			return Lit{Kind: 'b', B: false}, nil
+		}
+	}
+	return Lit{}, fmt.Errorf("cypher: position %d: expected literal, got %q", t.pos, t.text)
+}
+
+// parseCond parses OR-separated AND-separated atoms.
+func (p *parser) parseCond() (Cond, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &OrCond{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Cond, error) {
+	l, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.next()
+		r, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		l = &AndCond{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAtom() (Cond, error) {
+	if p.atKeyword("NOT") {
+		p.next()
+		x, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &NotCond{X: x}, nil
+	}
+	if p.peek().kind == tokLParen {
+		p.next()
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	v, err := p.expect(tokIdent, "variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDot, "."); err != nil {
+		return nil, err
+	}
+	prop, err := p.expect(tokIdent, "property")
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	var op string
+	switch opTok.kind {
+	case tokEq:
+		op = "="
+	case tokNe:
+		op = "<>"
+	case tokLt:
+		op = "<"
+	case tokLe:
+		op = "<="
+	case tokGt:
+		op = ">"
+	case tokGe:
+		op = ">="
+	default:
+		return nil, fmt.Errorf("cypher: position %d: expected comparison, got %q", opTok.pos, opTok.text)
+	}
+	lit, err := p.parseLit()
+	if err != nil {
+		return nil, err
+	}
+	return &CmpCond{Var: v.text, Prop: prop.text, Op: op, Val: lit}, nil
+}
+
+func (p *parser) parseReturn() (*ReturnClause, error) {
+	r := &ReturnClause{}
+	if p.atKeyword("DISTINCT") {
+		p.next()
+		r.Distinct = true
+	}
+	if p.atKeyword("COUNT") {
+		p.next()
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokStar, "*"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		r.Count = true
+	} else {
+		for {
+			item, err := p.parseReturnItem()
+			if err != nil {
+				return nil, err
+			}
+			r.Items = append(r.Items, item)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		item, err := p.parseReturnItem()
+		if err != nil {
+			return nil, err
+		}
+		r.OrderBy = &item
+		if p.atKeyword("DESC") {
+			p.next()
+			r.Desc = true
+		} else if p.atKeyword("ASC") {
+			p.next()
+		}
+	}
+	if p.atKeyword("LIMIT") {
+		p.next()
+		t, err := p.expect(tokInt, "limit count")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("cypher: position %d: bad LIMIT %q", t.pos, t.text)
+		}
+		r.Limit = n
+	}
+	return r, nil
+}
+
+func (p *parser) parseReturnItem() (ReturnItem, error) {
+	v, err := p.expect(tokIdent, "variable")
+	if err != nil {
+		return ReturnItem{}, err
+	}
+	item := ReturnItem{Var: v.text}
+	if p.peek().kind == tokDot {
+		p.next()
+		prop, err := p.expect(tokIdent, "property")
+		if err != nil {
+			return ReturnItem{}, err
+		}
+		item.Prop = prop.text
+	}
+	return item, nil
+}
+
+// parseCreate parses CREATE patterns: nodes and/or relationships between
+// (possibly matched) variables.
+func (p *parser) parseCreate(st *Stmt) (*CreateClause, error) {
+	c := &CreateClause{}
+	for {
+		n, err := p.parseNodePattern()
+		if err != nil {
+			return nil, err
+		}
+		created := false
+		if n.Label != "" || len(n.Props) > 0 || !p.knownVar(st, c, n.Var) {
+			c.Nodes = append(c.Nodes, n)
+			created = true
+		}
+		_ = created
+		// Optional relationship to a following node pattern.
+		if p.peek().kind == tokDash || p.peek().kind == tokArrowL {
+			r, err := p.parseRelPattern()
+			if err != nil {
+				return nil, err
+			}
+			if r.Dir == 0 {
+				return nil, fmt.Errorf("cypher: CREATE relationships must be directed")
+			}
+			m, err := p.parseNodePattern()
+			if err != nil {
+				return nil, err
+			}
+			if m.Label != "" || len(m.Props) > 0 || !p.knownVar(st, c, m.Var) {
+				c.Nodes = append(c.Nodes, m)
+			}
+			from, to := n.Var, m.Var
+			if r.Dir == -1 {
+				from, to = to, from
+			}
+			c.Rels = append(c.Rels, CreateRel{From: from, To: to, Label: r.Label, Props: r.Props})
+		}
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	return c, nil
+}
+
+// knownVar reports whether v names a matched or already-created node.
+func (p *parser) knownVar(st *Stmt, c *CreateClause, v string) bool {
+	if v == "" {
+		return false
+	}
+	for _, n := range st.Match {
+		if n.Var == v {
+			return true
+		}
+	}
+	for _, n := range st.Extra {
+		if n.Var == v {
+			return true
+		}
+	}
+	for _, n := range c.Nodes {
+		if n.Var == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseSet(st *Stmt) error {
+	for {
+		v, err := p.expect(tokIdent, "variable")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokDot, "."); err != nil {
+			return err
+		}
+		prop, err := p.expect(tokIdent, "property")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokEq, "="); err != nil {
+			return err
+		}
+		lit, err := p.parseLit()
+		if err != nil {
+			return err
+		}
+		st.Set = append(st.Set, SetItem{Var: v.text, Prop: prop.text, Val: lit})
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseDelete(st *Stmt) error {
+	for {
+		v, err := p.expect(tokIdent, "variable")
+		if err != nil {
+			return err
+		}
+		st.Delete = append(st.Delete, v.text)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}

@@ -1,0 +1,252 @@
+package dict
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"poseidon/internal/pmem"
+	"poseidon/internal/pmemobj"
+)
+
+func newTestDict(t *testing.T, size int) (*Dict, *pmem.Device) {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Name: "dict", Size: size, Persistent: true})
+	pool, err := pmemobj.Create(dev, pmemobj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	d, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, dev
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d, _ := newTestDict(t, 8<<20)
+	words := []string{"Person", "knows", "likes", "", "a", "comment", "Straße", "名前"}
+	codes := make(map[string]uint64)
+	for _, w := range words {
+		c, err := d.Encode(w)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", w, err)
+		}
+		if c == 0 {
+			t.Fatalf("Encode(%q) returned reserved code 0", w)
+		}
+		codes[w] = c
+	}
+	for _, w := range words {
+		got, err := d.Decode(codes[w])
+		if err != nil {
+			t.Fatalf("Decode(%d): %v", codes[w], err)
+		}
+		if got != w {
+			t.Errorf("Decode(Encode(%q)) = %q", w, got)
+		}
+	}
+}
+
+func TestEncodeIsIdempotent(t *testing.T) {
+	d, _ := newTestDict(t, 8<<20)
+	a, _ := d.Encode("hello")
+	b, _ := d.Encode("hello")
+	if a != b {
+		t.Errorf("codes differ: %d vs %d", a, b)
+	}
+	if d.Count() != 1 {
+		t.Errorf("count = %d, want 1", d.Count())
+	}
+}
+
+func TestLookupDoesNotInsert(t *testing.T) {
+	d, _ := newTestDict(t, 8<<20)
+	if _, ok := d.Lookup("ghost"); ok {
+		t.Error("Lookup found a string never inserted")
+	}
+	if d.Count() != 0 {
+		t.Errorf("count = %d after failed lookup, want 0", d.Count())
+	}
+	c, _ := d.Encode("real")
+	got, ok := d.Lookup("real")
+	if !ok || got != c {
+		t.Errorf("Lookup = (%d,%v), want (%d,true)", got, ok, c)
+	}
+}
+
+func TestDecodeUnknownCode(t *testing.T) {
+	d, _ := newTestDict(t, 8<<20)
+	d.Encode("x")
+	for _, code := range []uint64{0, 2, 999} {
+		if _, err := d.Decode(code); !errors.Is(err, ErrUnknownCode) {
+			t.Errorf("Decode(%d) err = %v, want ErrUnknownCode", code, err)
+		}
+	}
+}
+
+func TestGrowRehashPreservesAllCodes(t *testing.T) {
+	d, _ := newTestDict(t, 64<<20)
+	const n = 5000 // forces several rehashes past the initial 1024 buckets
+	codes := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		c, err := d.Encode(fmt.Sprintf("string-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes[i] = c
+	}
+	if d.Count() != n {
+		t.Fatalf("count = %d, want %d", d.Count(), n)
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("string-%d", i)
+		if got, err := d.Decode(codes[i]); err != nil || got != want {
+			t.Fatalf("Decode(%d) = %q,%v want %q", codes[i], got, err, want)
+		}
+		if got, ok := d.Lookup(want); !ok || got != codes[i] {
+			t.Fatalf("Lookup(%q) = %d,%v want %d", want, got, ok, codes[i])
+		}
+	}
+}
+
+func TestDictSurvivesCleanCrash(t *testing.T) {
+	dev := pmem.New(pmem.Config{Name: "dict", Size: 16 << 20, Persistent: true})
+	pool, _ := pmemobj.Create(dev, pmemobj.Options{})
+	d, _ := Create(pool)
+	pool.SetRoot(d.Offset())
+	want := map[string]uint64{}
+	for i := 0; i < 200; i++ {
+		s := fmt.Sprintf("label-%d", i)
+		c, err := d.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[s] = c
+	}
+	pool.Close()
+	dev.Crash()
+
+	pool2, err := pmemobj.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	d2 := Open(pool2, pool2.Root())
+	for s, c := range want {
+		got, ok := d2.Lookup(s)
+		if !ok || got != c {
+			t.Fatalf("after crash: Lookup(%q) = %d,%v want %d", s, got, ok, c)
+		}
+		if str, err := d2.Decode(c); err != nil || str != s {
+			t.Fatalf("after crash: Decode(%d) = %q,%v want %q", c, str, err, s)
+		}
+	}
+}
+
+func TestConcurrentEncode(t *testing.T) {
+	d, _ := newTestDict(t, 64<<20)
+	const workers = 8
+	const perWorker = 300
+	var wg sync.WaitGroup
+	results := make([]map[string]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := make(map[string]uint64)
+			for i := 0; i < perWorker; i++ {
+				// Heavy overlap across workers to exercise the double-check.
+				s := fmt.Sprintf("shared-%d", i%100)
+				c, err := d.Encode(s)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				m[s] = c
+			}
+			results[w] = m
+		}(w)
+	}
+	wg.Wait()
+	// All workers must agree on every code.
+	for s, c := range results[0] {
+		for w := 1; w < workers; w++ {
+			if results[w][s] != c {
+				t.Fatalf("worker %d disagrees on %q: %d vs %d", w, s, results[w][s], c)
+			}
+		}
+	}
+	if d.Count() != 100 {
+		t.Errorf("count = %d, want 100 distinct strings", d.Count())
+	}
+}
+
+func TestDictBijectionProperty(t *testing.T) {
+	d, _ := newTestDict(t, 64<<20)
+	seen := map[uint64]string{}
+	f := func(s string) bool {
+		if len(s) > 1000 {
+			s = s[:1000]
+		}
+		c, err := d.Encode(s)
+		if err != nil {
+			return false
+		}
+		if prev, ok := seen[c]; ok && prev != s {
+			return false // two strings share a code
+		}
+		seen[c] = s
+		back, err := d.Decode(c)
+		return err == nil && back == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongStrings(t *testing.T) {
+	d, _ := newTestDict(t, 16<<20)
+	long := make([]byte, 10000)
+	for i := range long {
+		long[i] = byte('a' + i%26)
+	}
+	c, err := d.Encode(string(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Decode(c)
+	if err != nil || got != string(long) {
+		t.Error("long string round trip failed")
+	}
+}
+
+func TestDecodeCacheServesHotCodes(t *testing.T) {
+	d, dev := newTestDict(t, 8<<20)
+	c, err := d.Encode("cached-string")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decode(c); err != nil { // populate the DRAM cache
+		t.Fatal(err)
+	}
+	before := dev.Stats.Snapshot()
+	for i := 0; i < 100; i++ {
+		s, err := d.Decode(c)
+		if err != nil || s != "cached-string" {
+			t.Fatalf("Decode = %q, %v", s, err)
+		}
+	}
+	delta := dev.Stats.Snapshot().Sub(before)
+	if delta.Reads != 0 {
+		t.Errorf("hot decodes did %d PMem reads, want 0 (hybrid dictionary, §8)", delta.Reads)
+	}
+	// A reopened dictionary starts with a cold cache but stays correct.
+	d2 := Open(d.pool, d.hdr)
+	if s, err := d2.Decode(c); err != nil || s != "cached-string" {
+		t.Fatalf("cold decode = %q, %v", s, err)
+	}
+}

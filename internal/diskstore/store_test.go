@@ -1,0 +1,289 @@
+package diskstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+// fast returns zero-latency config for functional tests.
+func fast() Config {
+	return Config{Lat: &Latencies{}}
+}
+
+func TestAddAndReadNode(t *testing.T) {
+	s := Open(fast())
+	tx := s.Begin()
+	id := tx.AddNode("Person", map[string]any{"name": "alice", "age": int64(30), "pi": 3.14, "ok": true})
+	tx.Commit()
+
+	tx2 := s.Begin()
+	defer tx2.Abort()
+	n, err := tx2.Node(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Label != "Person" {
+		t.Errorf("label = %q", n.Label)
+	}
+	want := map[string]any{"name": "alice", "age": int64(30), "pi": 3.14, "ok": true}
+	for k, v := range want {
+		if n.Props[k] != v {
+			t.Errorf("%s = %v (%T), want %v", k, n.Props[k], n.Props[k], v)
+		}
+	}
+	if _, err := tx2.Node(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing node err = %v", err)
+	}
+}
+
+func TestManyPropsChainAcrossCells(t *testing.T) {
+	s := Open(fast())
+	props := map[string]any{}
+	for i := 0; i < 11; i++ { // 4 cells
+		props[fmt.Sprintf("k%02d", i)] = int64(i)
+	}
+	tx := s.Begin()
+	id := tx.AddNode("N", props)
+	tx.Commit()
+	tx2 := s.Begin()
+	defer tx2.Abort()
+	n, _ := tx2.Node(id)
+	if len(n.Props) != 11 {
+		t.Fatalf("got %d props, want 11", len(n.Props))
+	}
+	if v, ok := tx2.NodeProp(id, "k07"); !ok || v != int64(7) {
+		t.Errorf("NodeProp(k07) = %v,%v", v, ok)
+	}
+	if _, ok := tx2.NodeProp(id, "nope"); ok {
+		t.Error("NodeProp found missing key")
+	}
+}
+
+func TestAdjacencyTraversal(t *testing.T) {
+	s := Open(fast())
+	tx := s.Begin()
+	a := tx.AddNode("P", nil)
+	b := tx.AddNode("P", nil)
+	c := tx.AddNode("P", nil)
+	r1 := tx.AddRel(a, b, "knows", map[string]any{"w": int64(1)})
+	r2 := tx.AddRel(a, c, "likes", nil)
+	r3 := tx.AddRel(b, a, "knows", nil)
+	tx.Commit()
+
+	tx2 := s.Begin()
+	defer tx2.Abort()
+	var out []uint64
+	tx2.Out(a, "", func(r RelData) bool { out = append(out, r.ID); return true })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) != 2 || out[0] != r1 || out[1] != r2 {
+		t.Errorf("out(a) = %v, want [%d %d]", out, r1, r2)
+	}
+	out = out[:0]
+	tx2.Out(a, "knows", func(r RelData) bool {
+		out = append(out, r.ID)
+		if r.Src != a || r.Dst != b || r.Props["w"] != int64(1) {
+			t.Errorf("rel data wrong: %+v", r)
+		}
+		return true
+	})
+	if len(out) != 1 || out[0] != r1 {
+		t.Errorf("out(a,knows) = %v", out)
+	}
+	var in []uint64
+	tx2.In(a, "", func(r RelData) bool { in = append(in, r.ID); return true })
+	if len(in) != 1 || in[0] != r3 {
+		t.Errorf("in(a) = %v", in)
+	}
+	// Unknown label matches nothing.
+	n := 0
+	tx2.Out(a, "ghost", func(RelData) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("ghost label matched %d rels", n)
+	}
+}
+
+func TestSetPropsAndIndex(t *testing.T) {
+	s := Open(fast())
+	tx := s.Begin()
+	ids := make([]uint64, 10)
+	for i := range ids {
+		ids[i] = tx.AddNode("Person", map[string]any{"num": int64(i)})
+	}
+	tx.Commit()
+	s.CreateIndex("Person", "num")
+
+	tx2 := s.Begin()
+	got, err := tx2.Lookup("Person", "num", int64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != ids[7] {
+		t.Errorf("lookup(7) = %v, want [%d]", got, ids[7])
+	}
+	// Update moves the index entry.
+	if err := tx2.SetNodeProps(ids[7], map[string]any{"num": int64(70)}); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+
+	tx3 := s.Begin()
+	defer tx3.Abort()
+	if got, _ := tx3.Lookup("Person", "num", int64(7)); len(got) != 0 {
+		t.Errorf("lookup(7) after update = %v", got)
+	}
+	if got, _ := tx3.Lookup("Person", "num", int64(70)); len(got) != 1 || got[0] != ids[7] {
+		t.Errorf("lookup(70) = %v", got)
+	}
+	if n, _ := tx3.Node(ids[7]); n.Props["num"] != int64(70) {
+		t.Errorf("num = %v", n.Props["num"])
+	}
+	// New inserts are indexed immediately.
+	tx3.Abort()
+	tx4 := s.Begin()
+	nid := tx4.AddNode("Person", map[string]any{"num": int64(1000)})
+	if got, _ := tx4.Lookup("Person", "num", int64(1000)); len(got) != 1 || got[0] != nid {
+		t.Errorf("lookup(1000) = %v", got)
+	}
+	tx4.Commit()
+
+	if _, err := (&Tx{s: s}).Lookup("Ghost", "num", int64(1)); !errors.Is(err, ErrNoIndex) {
+		t.Errorf("lookup without index = %v", err)
+	}
+}
+
+func TestBufferPoolEvictionCorrectness(t *testing.T) {
+	// Tiny pool forces constant eviction; data must survive round trips
+	// through the simulated disk.
+	s := Open(Config{BufferPages: 8, Lat: &Latencies{}})
+	tx := s.Begin()
+	const n = 2000 // ~32 node pages + prop pages >> 8 frames
+	ids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = tx.AddNode("N", map[string]any{"v": int64(i * 3)})
+	}
+	for i := 0; i < n-1; i++ {
+		tx.AddRel(ids[i], ids[i+1], "next", nil)
+	}
+	tx.Commit()
+
+	tx2 := s.Begin()
+	defer tx2.Abort()
+	for i := 0; i < n; i += 37 {
+		nd, err := tx2.Node(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nd.Props["v"] != int64(i*3) {
+			t.Fatalf("node %d v = %v, want %d", i, nd.Props["v"], i*3)
+		}
+	}
+	// Chain traversal through evicted pages.
+	count := 0
+	tx2.Out(ids[500], "next", func(r RelData) bool {
+		if r.Dst != ids[501] {
+			t.Errorf("rel dst = %d, want %d", r.Dst, ids[501])
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("out count = %d", count)
+	}
+	if s.Stats().Reads.Load() == 0 {
+		t.Error("tiny pool produced no disk reads")
+	}
+}
+
+func TestWALReplayRebuildsStore(t *testing.T) {
+	s := Open(fast())
+	tx := s.Begin()
+	a := tx.AddNode("P", map[string]any{"name": "a"})
+	b := tx.AddNode("P", map[string]any{"name": "b"})
+	tx.AddRel(a, b, "knows", map[string]any{"since": int64(2020)})
+	tx.SetNodeProps(a, map[string]any{"age": int64(5)})
+	tx.Commit()
+
+	// Uncommitted tail must not replay.
+	tx2 := s.Begin()
+	tx2.AddNode("P", map[string]any{"name": "ghost"})
+	tx2.Abort()
+
+	r := Replay(s, fast())
+	rtx := r.Begin()
+	defer rtx.Abort()
+	if r.NodeCount() != 2 {
+		t.Fatalf("replayed %d nodes, want 2", r.NodeCount())
+	}
+	n, err := rtx.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Props["name"] != "a" || n.Props["age"] != int64(5) {
+		t.Errorf("replayed node props = %v", n.Props)
+	}
+	found := 0
+	rtx.Out(0, "knows", func(rd RelData) bool {
+		if rd.Props["since"] != int64(2020) {
+			t.Errorf("replayed rel props = %v", rd.Props)
+		}
+		found++
+		return true
+	})
+	if found != 1 {
+		t.Errorf("replayed %d rels", found)
+	}
+}
+
+func TestCommitPaysFsync(t *testing.T) {
+	s := Open(Config{Lat: &Latencies{Fsync: time.Microsecond}})
+	tx := s.Begin()
+	tx.AddNode("P", nil)
+	before := s.Stats().Fsyncs.Load()
+	tx.Commit()
+	if got := s.Stats().Fsyncs.Load(); got != before+1 {
+		t.Errorf("fsyncs = %d, want %d", got, before+1)
+	}
+	// Read-only transactions do not fsync.
+	tx2 := s.Begin()
+	tx2.Node(0)
+	tx2.Commit()
+	if got := s.Stats().Fsyncs.Load(); got != before+1 {
+		t.Errorf("read-only commit fsynced")
+	}
+}
+
+func TestHotColdLatencyGap(t *testing.T) {
+	lat := Latencies{Read: 200 * time.Microsecond}
+	s := Open(Config{BufferPages: 64, Lat: &lat})
+	tx := s.Begin()
+	id := tx.AddNode("P", map[string]any{"v": int64(1)})
+	tx.Commit()
+	s.Checkpoint()
+
+	// Evict everything by touching many other pages.
+	tx2 := s.Begin()
+	for i := 0; i < 5000; i++ {
+		tx2.AddNode("Filler", nil)
+	}
+	tx2.Commit()
+
+	tx3 := s.Begin()
+	defer tx3.Abort()
+	cold := timeIt(func() { tx3.Node(id) })
+	hot := timeIt(func() { tx3.Node(id) })
+	if cold < lat.Read {
+		t.Errorf("cold read %v did not pay disk latency %v", cold, lat.Read)
+	}
+	if hot > cold/2 {
+		t.Errorf("hot read %v not much faster than cold %v", hot, cold)
+	}
+}
+
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

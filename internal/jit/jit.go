@@ -1,0 +1,359 @@
+package jit
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"poseidon/internal/core"
+	"poseidon/internal/query"
+)
+
+// Engine is the JIT query engine wrapping a graph engine: it compiles
+// graph-algebra plans to optimized pipelines, caches compiled code in
+// memory and (serialized) in PMem, and provides the paper's execution
+// modes: AOT interpretation, JIT compilation and adaptive execution.
+type Engine struct {
+	core  *core.Engine
+	cache *pcache
+
+	mu  sync.Mutex
+	mem map[string]*Compiled
+}
+
+// Compiled is a ready-to-run compilation result.
+type Compiled struct {
+	Sig    string
+	Plan   *query.MorselPlan
+	Full   *Program // full-scan pipeline (single-threaded execution)
+	Morsel *Program // chunk-driven pipeline (adaptive/parallel execution)
+
+	// CompileTime is the wall time of codegen + passes + lowering (or
+	// just relinking, when the code came from the persistent cache).
+	CompileTime time.Duration
+	FromCache   bool
+	Stats       []PassStat
+}
+
+// New creates a JIT engine, opening the persistent code cache inside the
+// graph engine's pool.
+func New(e *core.Engine) (*Engine, error) {
+	c, err := openCache(e)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{core: e, cache: c, mem: make(map[string]*Compiled)}, nil
+}
+
+// Core returns the wrapped graph engine.
+func (j *Engine) Core() *core.Engine { return j.core }
+
+// InvalidateSession drops the in-memory code cache (the persistent cache
+// stays, simulating a restart where code is relinked from PMem).
+func (j *Engine) InvalidateSession() {
+	j.mu.Lock()
+	j.mem = make(map[string]*Compiled)
+	j.mu.Unlock()
+}
+
+// Compile produces (or fetches) the compiled form of a plan. The paper's
+// flow: derive the query identifier, look up the persistent hash map; on
+// a hit, link the stored code; otherwise generate IR, run the
+// optimization cascade, lower, and persist.
+func (j *Engine) Compile(plan *query.Plan) (*Compiled, error) {
+	sig := plan.Signature()
+	j.mu.Lock()
+	if c, ok := j.mem[sig]; ok {
+		j.mu.Unlock()
+		return c, nil
+	}
+	j.mu.Unlock()
+
+	mp, ok := query.SplitPipeline(plan)
+	if !ok {
+		return nil, fmt.Errorf("%w: plan contains a join", ErrUnsupported)
+	}
+
+	start := time.Now()
+	if blob, hit := j.cache.lookup(sig); hit {
+		bundle, err := decodeBundle(blob)
+		if err == nil {
+			full, err1 := Lower(bundle.Full)
+			morsel, err2 := Lower(bundle.Morsel)
+			if err1 == nil && err2 == nil {
+				c := &Compiled{
+					Sig: sig, Plan: mp, Full: full, Morsel: morsel,
+					CompileTime: time.Since(start), FromCache: true,
+				}
+				j.remember(c)
+				return c, nil
+			}
+		}
+		// A corrupt or stale cache entry falls through to recompilation.
+	}
+
+	fullFn, err := Compile(mp, false)
+	if err != nil {
+		return nil, err
+	}
+	morselFn, err := Compile(mp, true)
+	if err != nil {
+		return nil, err
+	}
+	stats := Optimize(fullFn)
+	Optimize(morselFn)
+	full, err := Lower(fullFn)
+	if err != nil {
+		return nil, err
+	}
+	morsel, err := Lower(morselFn)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		Sig: sig, Plan: mp, Full: full, Morsel: morsel,
+		CompileTime: time.Since(start), Stats: stats,
+	}
+	if blob, err := encodeBundle(&codeBundle{Full: fullFn, Morsel: morselFn}); err == nil {
+		_ = j.cache.store(sig, blob) // cache-full is non-fatal
+	}
+	j.remember(c)
+	return c, nil
+}
+
+// CompileUncached always performs the full compilation (codegen, pass
+// cascade, lowering), bypassing both the in-memory and the persistent
+// cache. Benchmarks use it to measure the cold-code path.
+func (j *Engine) CompileUncached(plan *query.Plan) (*Compiled, error) {
+	sig := plan.Signature()
+	mp, ok := query.SplitPipeline(plan)
+	if !ok {
+		return nil, fmt.Errorf("%w: plan contains a join", ErrUnsupported)
+	}
+	start := time.Now()
+	fullFn, err := Compile(mp, false)
+	if err != nil {
+		return nil, err
+	}
+	morselFn, err := Compile(mp, true)
+	if err != nil {
+		return nil, err
+	}
+	stats := Optimize(fullFn)
+	Optimize(morselFn)
+	full, err := Lower(fullFn)
+	if err != nil {
+		return nil, err
+	}
+	morsel, err := Lower(morselFn)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		Sig: sig, Plan: mp, Full: full, Morsel: morsel,
+		CompileTime: time.Since(start), Stats: stats,
+	}
+	j.remember(c)
+	return c, nil
+}
+
+func (j *Engine) remember(c *Compiled) {
+	j.mu.Lock()
+	j.mem[c.Sig] = c
+	j.mu.Unlock()
+}
+
+// RunStats reports the cost breakdown of one execution.
+type RunStats struct {
+	CompileTime time.Duration
+	ExecTime    time.Duration
+	FromCache   bool
+	Compiled    bool // false when execution fell back to interpretation
+	Adaptive    struct {
+		InterpretedMorsels int
+		CompiledMorsels    int
+	}
+}
+
+// Run executes the plan in JIT mode within tx: compile (or fetch), run
+// the compiled pipeline single-threaded, then the breaker tail.
+func (j *Engine) Run(tx *core.Tx, plan *query.Plan, params query.Params, emit func(query.Row) bool) (RunStats, error) {
+	var st RunStats
+	c, err := j.Compile(plan)
+	if err != nil {
+		return st, err
+	}
+	st.CompileTime = c.CompileTime
+	st.FromCache = c.FromCache
+	st.Compiled = true
+
+	bound, err := query.BindParams(j.core, params)
+	if err != nil {
+		return st, err
+	}
+	ctx := &query.Ctx{E: j.core, Tx: tx, Params: bound}
+
+	start := time.Now()
+	err = j.runCompiled(c, ctx, emit)
+	st.ExecTime = time.Since(start)
+	return st, err
+}
+
+func (j *Engine) runCompiled(c *Compiled, ctx *query.Ctx, emit func(query.Row) bool) error {
+	exec := c.Full.NewExec()
+	if len(c.Plan.Tail) == 0 {
+		// Streaming: emit rows directly from the compiled pipeline.
+		sink := func(t query.Tuple) (bool, error) { return emit(query.ToRow(t)), nil }
+		return exec.Run(ctx, 0, sink)
+	}
+	var collected []query.Tuple
+	sink := func(t query.Tuple) (bool, error) {
+		collected = append(collected, t)
+		return true, nil
+	}
+	if err := exec.Run(ctx, 0, sink); err != nil {
+		return err
+	}
+	return c.Plan.RunTail(ctx, collected, emit)
+}
+
+// RunAdaptive executes the plan with the paper's adaptive strategy
+// (§6.2, Fig 3): morsels are processed by the AOT interpreter while a
+// background goroutine compiles the pipeline; once compilation finishes,
+// the task function is swapped and the remaining morsels run compiled.
+// Plans that cannot be parallelized fall back to Run (JIT).
+func (j *Engine) RunAdaptive(tx *core.Tx, plan *query.Plan, params query.Params, workers int, emit func(query.Row) bool) (RunStats, error) {
+	var st RunStats
+	mp, ok := query.SplitForMorsels(plan)
+	if !ok {
+		return j.Run(tx, plan, params, emit)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	bound, err := query.BindParams(j.core, params)
+	if err != nil {
+		return st, err
+	}
+	ctx := &query.Ctx{E: j.core, Tx: tx, Params: bound}
+
+	var nchunks uint64
+	if _, isRel := mp.Leaf.(*query.RelScan); isRel {
+		nchunks = query.MorselCount(j.core.Rels().MaxID())
+	} else {
+		nchunks = query.MorselCount(j.core.Nodes().MaxID())
+	}
+
+	// Already-linked code is used directly; otherwise compilation runs in
+	// the background and the pointer swap is the paper's "redirecting the
+	// static task function to the compiled function".
+	var compiledProg atomic.Pointer[Program]
+	compileDone := make(chan *Compiled, 1)
+	j.mu.Lock()
+	pre := j.mem[plan.Signature()]
+	j.mu.Unlock()
+	if pre != nil {
+		compiledProg.Store(pre.Morsel)
+		compileDone <- pre
+	} else {
+		go func() {
+			c, err := j.Compile(plan)
+			if err != nil {
+				compileDone <- nil
+				return
+			}
+			compiledProg.Store(c.Morsel)
+			compileDone <- c
+		}()
+	}
+
+	var mu sync.Mutex
+	var collected []query.Tuple
+	stopped := false
+	streaming := len(mp.Tail) == 0
+	var interpMorsels, compiledMorsels atomic.Int64
+	collect := func(t query.Tuple) (bool, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped {
+			return false, nil
+		}
+		if streaming {
+			if !emit(query.ToRow(t)) {
+				stopped = true
+				return false, nil
+			}
+			return true, nil
+		}
+		collected = append(collected, append(query.Tuple(nil), t...))
+		return true, nil
+	}
+
+	start := time.Now()
+	var next atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var chunk uint64
+			interp, err := mp.PipelineRunner(ctx, &chunk, collect)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			var exec *Exec
+			for {
+				c := next.Add(1) - 1
+				if c >= nchunks || firstErr.Load() != nil {
+					return
+				}
+				mu.Lock()
+				done := stopped
+				mu.Unlock()
+				if done {
+					return
+				}
+				if prog := compiledProg.Load(); prog != nil {
+					if exec == nil {
+						exec = prog.NewExec()
+					}
+					compiledMorsels.Add(1)
+					if err := exec.Run(ctx, c, collect); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					continue
+				}
+				interpMorsels.Add(1)
+				chunk = c
+				if err := interp(); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c := <-compileDone; c != nil {
+		st.CompileTime = c.CompileTime
+		st.FromCache = c.FromCache
+		st.Compiled = true
+	}
+	st.Adaptive.InterpretedMorsels = int(interpMorsels.Load())
+	st.Adaptive.CompiledMorsels = int(compiledMorsels.Load())
+
+	if err, _ := firstErr.Load().(error); err != nil {
+		return st, err
+	}
+	if !streaming {
+		if err := mp.RunTail(ctx, collected, emit); err != nil {
+			return st, err
+		}
+	}
+	st.ExecTime = time.Since(start)
+	return st, nil
+}

@@ -1,0 +1,236 @@
+package jit
+
+import (
+	"strings"
+	"testing"
+
+	"poseidon/internal/core"
+	"poseidon/internal/query"
+	"poseidon/internal/storage"
+)
+
+// Direct lowering tests over hand-built IR, covering opcodes the plan
+// generator reaches rarely (guarded/typed comparisons, bool ops, label
+// equality, rel field access) and the machine's error paths.
+
+// runProgram lowers fn and executes it once, returning emitted tuples.
+func runProgram(t *testing.T, e *core.Engine, fn *Fn, params query.Params) []query.Tuple {
+	t.Helper()
+	if err := fn.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Lower(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := query.BindParams(e, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	defer tx.Abort()
+	ctx := &query.Ctx{E: e, Tx: tx, Params: bound}
+	var out []query.Tuple
+	exec := prog.NewExec()
+	err = exec.Run(ctx, 0, func(tp query.Tuple) (bool, error) {
+		cp := make(query.Tuple, len(tp))
+		copy(cp, tp)
+		out = append(out, cp)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// straightLine builds a single-block function that emits the given value
+// registers once.
+func straightLine(instrs []Instr, emitRegs []Reg, numVals int) *Fn {
+	cols := make([]Col, len(emitRegs))
+	for i, r := range emitRegs {
+		cols[i] = Col{Kind: ColVal, Reg: r}
+	}
+	emitDst := Reg(numVals)
+	instrs = append(instrs, Instr{Op: OpEmit, Dst: emitDst, A: NoReg, B: NoReg, Cols: cols})
+	return &Fn{
+		Name:    "t",
+		NumVals: numVals + 1,
+		Blocks:  []*Block{{Name: "b", Instrs: instrs, Kind: TermRet}},
+		OutCols: cols,
+	}
+}
+
+func TestLowerComparisonOpcodes(t *testing.T) {
+	e, _ := buildGraph(t, core.DRAM)
+	cases := []struct {
+		name string
+		op   Opcode
+		aux  int
+		a, b storage.Value
+		want bool
+	}{
+		{"i64-lt", OpCmpI64, cmpLt, storage.IntValue(-5), storage.IntValue(3), true},
+		{"i64-ge", OpCmpI64, cmpGe, storage.IntValue(3), storage.IntValue(3), true},
+		{"i64g-int", OpCmpI64Guard, cmpGt, storage.IntValue(9), storage.IntValue(2), true},
+		{"i64g-mixed", OpCmpI64Guard, cmpLt, storage.IntValue(1), storage.FloatValue(1.5), true},
+		{"bool-eq", OpCmpBool, cmpEq, storage.BoolValue(true), storage.BoolValue(true), true},
+		{"bool-lt", OpCmpBool, cmpLt, storage.BoolValue(false), storage.BoolValue(true), true},
+		{"code-eq", OpCmpCode, cmpEq, storage.StringValue(7), storage.StringValue(7), true},
+		{"code-ne", OpCmpCode, cmpNe, storage.StringValue(7), storage.StringValue(8), true},
+		{"dyn-float", OpCmpDyn, cmpLe, storage.FloatValue(1.5), storage.FloatValue(2.0), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fn := straightLine([]Instr{
+				{Op: OpConst, Dst: 0, A: NoReg, B: NoReg, Val: c.a},
+				{Op: OpConst, Dst: 1, A: NoReg, B: NoReg, Val: c.b},
+				{Op: c.op, Dst: 2, A: 0, B: 1, Aux: c.aux},
+			}, []Reg{2}, 3)
+			got := runProgram(t, e, fn, nil)
+			if len(got) != 1 || got[0][0].Val.Bool() != c.want {
+				t.Errorf("result = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestLowerBoolAndArith(t *testing.T) {
+	e, _ := buildGraph(t, core.DRAM)
+	fn := straightLine([]Instr{
+		{Op: OpConst, Dst: 0, A: NoReg, B: NoReg, Val: storage.BoolValue(true)},
+		{Op: OpConst, Dst: 1, A: NoReg, B: NoReg, Val: storage.BoolValue(false)},
+		{Op: OpAnd, Dst: 2, A: 0, B: 1},
+		{Op: OpOr, Dst: 3, A: 0, B: 1},
+		{Op: OpNot, Dst: 4, A: 1, B: NoReg},
+		{Op: OpConst, Dst: 5, A: NoReg, B: NoReg, Val: storage.IntValue(40)},
+		{Op: OpConst, Dst: 6, A: NoReg, B: NoReg, Val: storage.IntValue(2)},
+		{Op: OpAddI64, Dst: 7, A: 5, B: 6},
+	}, []Reg{2, 3, 4, 7}, 8)
+	got := runProgram(t, e, fn, nil)
+	r := got[0]
+	if r[0].Val.Bool() || !r[1].Val.Bool() || !r[2].Val.Bool() || r[3].Val.Int() != 42 {
+		t.Errorf("bool/arith row = %v", r)
+	}
+}
+
+func TestLowerSlotOps(t *testing.T) {
+	e, _ := buildGraph(t, core.DRAM)
+	fn := straightLine([]Instr{
+		{Op: OpAlloca, Dst: 0, A: NoReg, B: NoReg, Val: storage.IntValue(5)},
+		{Op: OpLoad, Dst: 0, A: 0, B: NoReg},
+		{Op: OpConst, Dst: 1, A: NoReg, B: NoReg, Val: storage.IntValue(1)},
+		{Op: OpAddI64, Dst: 2, A: 0, B: 1},
+		{Op: OpStore, Dst: 0, A: 2, B: NoReg},
+		{Op: OpLoad, Dst: 3, A: 0, B: NoReg},
+	}, []Reg{3}, 4)
+	fn.NumSlots = 1
+	got := runProgram(t, e, fn, nil)
+	if got[0][0].Val.Int() != 6 {
+		t.Errorf("slot round trip = %v, want 6", got[0][0].Val.Int())
+	}
+}
+
+func TestLowerRelFieldAccess(t *testing.T) {
+	e, persons := buildGraph(t, core.DRAM)
+	// Scan rels of a known person and project src/dst/id plus label
+	// equality through hand-built IR.
+	fn := &Fn{
+		Name: "rels", NumVals: 8, NumNodes: 1, NumRels: 1, NumIters: 1,
+		Blocks: []*Block{
+			{Name: "entry", Instrs: []Instr{
+				{Op: OpLoadParam, Dst: 0, A: NoReg, B: NoReg, Sym: "id"},
+				{Op: OpGetNode, Dst: 0, Dst2: 1, A: 0, B: NoReg},
+				{Op: OpIterOutRels, Dst: 0, A: 0, B: NoReg, Sym: "knows"},
+			}, Kind: TermJump, To: 1},
+			{Name: "header", Instrs: []Instr{
+				{Op: OpIterNext, Dst: 2, A: 0, B: NoReg},
+			}, Kind: TermBranch, Cond: 2, To: 2, Else: 3},
+			{Name: "body", Instrs: []Instr{
+				{Op: OpIterRelGet, Dst: 0, A: 0, B: NoReg},
+				{Op: OpRelSrcID, Dst: 3, A: 0, B: NoReg},
+				{Op: OpRelDstID, Dst: 4, A: 0, B: NoReg},
+				{Op: OpRelIDVal, Dst: 5, A: 0, B: NoReg},
+				{Op: OpRelLabelEq, Dst: 6, A: 0, B: NoReg, Sym: "knows"},
+				{Op: OpRelOtherID, Dst: 7, A: 0, B: 0},
+				{Op: OpEmit, Dst: 2, A: NoReg, B: NoReg, Cols: []Col{
+					{Kind: ColVal, Reg: 3}, {Kind: ColVal, Reg: 4},
+					{Kind: ColVal, Reg: 6}, {Kind: ColVal, Reg: 7},
+				}},
+			}, Kind: TermJump, To: 1},
+			{Name: "exit", Kind: TermRet},
+		},
+	}
+	got := runProgram(t, e, fn, query.Params{"id": int64(persons[10])})
+	if len(got) != 2 { // i knows i+1 and i+7
+		t.Fatalf("rows = %d, want 2", len(got))
+	}
+	for _, r := range got {
+		if uint64(r[0].Val.Int()) != persons[10] {
+			t.Errorf("src = %v, want %d", r[0].Val.Int(), persons[10])
+		}
+		if !r[2].Val.Bool() {
+			t.Error("label equality false for knows rel")
+		}
+		if r[1].Val.Int() != r[3].Val.Int() {
+			t.Errorf("other-end (%d) != dst (%d) for out rel from src", r[3].Val.Int(), r[1].Val.Int())
+		}
+	}
+}
+
+func TestLowerUnboundParamError(t *testing.T) {
+	e, _ := buildGraph(t, core.DRAM)
+	fn := straightLine([]Instr{
+		{Op: OpLoadParam, Dst: 0, A: NoReg, B: NoReg, Sym: "missing"},
+	}, []Reg{0}, 1)
+	prog, err := Lower(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	defer tx.Abort()
+	ctx := &query.Ctx{E: e, Tx: tx, Params: map[string]storage.Value{}}
+	if err := prog.NewExec().Run(ctx, 0, func(query.Tuple) (bool, error) { return true, nil }); err == nil {
+		t.Error("unbound parameter did not error")
+	}
+}
+
+func TestLowerUnknownOpcodeRejected(t *testing.T) {
+	fn := straightLine([]Instr{{Op: Opcode(200), Dst: 0, A: NoReg, B: NoReg}}, []Reg{0}, 1)
+	if _, err := Lower(fn); err == nil {
+		t.Error("unknown opcode lowered successfully")
+	}
+}
+
+func TestLowerConstStrInternsLazily(t *testing.T) {
+	e, _ := buildGraph(t, core.DRAM)
+	// "Person" exists in the dictionary; a new string is interned on
+	// first execution (compiled CREATE/SET can introduce strings).
+	fn := straightLine([]Instr{
+		{Op: OpConstStr, Dst: 0, A: NoReg, B: NoReg, Sym: "Person"},
+		{Op: OpConstStr, Dst: 1, A: NoReg, B: NoReg, Sym: "never-seen-string"},
+	}, []Reg{0, 1}, 2)
+	got := runProgram(t, e, fn, nil)
+	if got[0][0].Val.Type != storage.TypeString {
+		t.Errorf("known string const type = %v", got[0][0].Val.Type)
+	}
+	if got[0][1].Val.Type != storage.TypeString {
+		t.Fatalf("new string const = %v, want interned string", got[0][1].Val)
+	}
+	if s, err := e.Dict().Decode(got[0][1].Val.Code()); err != nil || s != "never-seen-string" {
+		t.Errorf("interned decode = %q, %v", s, err)
+	}
+}
+
+func TestProgramStringsInSignDump(t *testing.T) {
+	// The IR printer must name every opcode used by a realistic pipeline.
+	plan := plansUnderTest()["two-hop"]
+	mp, _ := query.SplitPipeline(plan)
+	fn, _ := Compile(mp, true)
+	dump := fn.String()
+	for _, tok := range []string{"loadchunk", "iter.chunk", "iter.outrels", "getnode", "rel.dst", "cmp"} {
+		if !strings.Contains(dump, tok) {
+			t.Errorf("dump missing %q", tok)
+		}
+	}
+}

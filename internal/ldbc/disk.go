@@ -1,0 +1,329 @@
+package ldbc
+
+import (
+	"fmt"
+	"sort"
+
+	"poseidon/internal/diskstore"
+	"poseidon/internal/query"
+)
+
+// Hand-written implementations of the SR and IU queries against the disk
+// baseline. The paper's DISK system is a separate native graph database;
+// accordingly these use the diskstore's own API (DRAM index lookups plus
+// page-based traversals) rather than the PMem engine's query machinery.
+
+func pint(params query.Params, key string) int64 {
+	v, _ := params[key].(int64)
+	return v
+}
+
+func diskNodeByID(tx *diskstore.Tx, label string, id int64) (uint64, bool, error) {
+	ids, err := tx.Lookup(label, "id", id)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(ids) == 0 {
+		return 0, false, nil
+	}
+	return ids[0], true, nil
+}
+
+// RunSRDisk executes one SR query against the disk store, returning the
+// number of result rows.
+func RunSRDisk(tx *diskstore.Tx, q QueryID, params query.Params) (int, error) {
+	L := msgLabel(q.Variant)
+	switch q.Num {
+	case 1:
+		p, ok, err := diskNodeByID(tx, "Person", pint(params, "id"))
+		if err != nil || !ok {
+			return 0, err
+		}
+		n, err := tx.Node(p)
+		if err != nil {
+			return 0, err
+		}
+		rows := 0
+		tx.Out(p, "isLocatedIn", func(r diskstore.RelData) bool {
+			city, err2 := tx.Node(r.Dst)
+			if err2 == nil {
+				_ = n.Props["firstName"]
+				_ = city.Props["id"]
+				rows++
+			}
+			return true
+		})
+		return rows, nil
+
+	case 2:
+		p, ok, err := diskNodeByID(tx, "Person", pint(params, "id"))
+		if err != nil || !ok {
+			return 0, err
+		}
+		type msg struct {
+			date int64
+			id   uint64
+		}
+		var msgs []msg
+		tx.In(p, "hasCreator", func(r diskstore.RelData) bool {
+			m, err2 := tx.Node(r.Src)
+			if err2 != nil || m.Label != L {
+				return true
+			}
+			d, _ := m.Props["creationDate"].(int64)
+			msgs = append(msgs, msg{d, m.ID})
+			return true
+		})
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].date > msgs[j].date })
+		if len(msgs) > 10 {
+			msgs = msgs[:10]
+		}
+		for _, m := range msgs {
+			if _, err := tx.Node(m.id); err != nil {
+				return 0, err
+			}
+		}
+		return len(msgs), nil
+
+	case 3:
+		p, ok, err := diskNodeByID(tx, "Person", pint(params, "id"))
+		if err != nil || !ok {
+			return 0, err
+		}
+		type friend struct {
+			date int64
+			id   uint64
+		}
+		var friends []friend
+		visit := func(r diskstore.RelData) bool {
+			other := r.Dst
+			if other == p {
+				other = r.Src
+			}
+			f, err2 := tx.Node(other)
+			if err2 != nil {
+				return true
+			}
+			d, _ := r.Props["creationDate"].(int64)
+			_ = f.Props["firstName"]
+			friends = append(friends, friend{d, other})
+			return true
+		}
+		tx.Out(p, "knows", visit)
+		tx.In(p, "knows", visit)
+		sort.Slice(friends, func(i, j int) bool { return friends[i].date > friends[j].date })
+		return len(friends), nil
+
+	case 4:
+		m, ok, err := diskNodeByID(tx, L, pint(params, "id"))
+		if err != nil || !ok {
+			return 0, err
+		}
+		n, err := tx.Node(m)
+		if err != nil {
+			return 0, err
+		}
+		_ = n.Props["content"]
+		return 1, nil
+
+	case 5:
+		m, ok, err := diskNodeByID(tx, L, pint(params, "id"))
+		if err != nil || !ok {
+			return 0, err
+		}
+		rows := 0
+		tx.Out(m, "hasCreator", func(r diskstore.RelData) bool {
+			if p, err2 := tx.Node(r.Dst); err2 == nil {
+				_ = p.Props["firstName"]
+				rows++
+			}
+			return true
+		})
+		return rows, nil
+
+	case 6:
+		m, ok, err := diskNodeByID(tx, L, pint(params, "id"))
+		if err != nil || !ok {
+			return 0, err
+		}
+		post := m
+		if q.Variant == "cmt" {
+			found := false
+			tx.Out(m, "replyOf", func(r diskstore.RelData) bool {
+				post, found = r.Dst, true
+				return false
+			})
+			if !found {
+				return 0, nil
+			}
+		}
+		rows := 0
+		tx.In(post, "containerOf", func(r diskstore.RelData) bool {
+			forum := r.Src
+			tx.Out(forum, "hasModerator", func(r2 diskstore.RelData) bool {
+				if mod, err2 := tx.Node(r2.Dst); err2 == nil {
+					_ = mod.Props["firstName"]
+					rows++
+				}
+				return true
+			})
+			return true
+		})
+		return rows, nil
+
+	case 7:
+		m, ok, err := diskNodeByID(tx, L, pint(params, "id"))
+		if err != nil || !ok {
+			return 0, err
+		}
+		type reply struct {
+			date int64
+			id   uint64
+		}
+		var replies []reply
+		tx.In(m, "replyOf", func(r diskstore.RelData) bool {
+			c, err2 := tx.Node(r.Src)
+			if err2 != nil {
+				return true
+			}
+			tx.Out(c.ID, "hasCreator", func(r2 diskstore.RelData) bool {
+				if a, err3 := tx.Node(r2.Dst); err3 == nil {
+					_ = a.Props["firstName"]
+				}
+				return true
+			})
+			d, _ := c.Props["creationDate"].(int64)
+			replies = append(replies, reply{d, c.ID})
+			return true
+		})
+		sort.Slice(replies, func(i, j int) bool { return replies[i].date > replies[j].date })
+		return len(replies), nil
+
+	default:
+		return 0, fmt.Errorf("ldbc: unknown SR query %d", q.Num)
+	}
+}
+
+// RunIUDisk executes one IU query against the disk store.
+func RunIUDisk(tx *diskstore.Tx, q QueryID, params query.Params) error {
+	get := func(label, param string) (uint64, error) {
+		id, ok, err := diskNodeByID(tx, label, pint(params, param))
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("ldbc: %s %d not found", label, pint(params, param))
+		}
+		return id, nil
+	}
+	switch q.Num {
+	case 1:
+		p := tx.AddNode("Person", map[string]any{
+			"id": params["personId"], "firstName": params["firstName"],
+			"lastName": params["lastName"], "gender": params["gender"],
+			"birthday": params["birthday"], "creationDate": params["creationDate"],
+			"locationIP": params["locationIP"], "browserUsed": params["browserUsed"],
+		})
+		city, err := get("City", "cityId")
+		if err != nil {
+			return err
+		}
+		tx.AddRel(p, city, "isLocatedIn", nil)
+		tag, err := get("Tag", "tagId")
+		if err != nil {
+			return err
+		}
+		tx.AddRel(p, tag, "hasInterest", nil)
+		return nil
+	case 2:
+		p, err := get("Person", "personId")
+		if err != nil {
+			return err
+		}
+		post, err := get("Post", "postId")
+		if err != nil {
+			return err
+		}
+		tx.AddRel(p, post, "likes", map[string]any{"creationDate": params["creationDate"]})
+		return nil
+	case 3:
+		p, err := get("Person", "personId")
+		if err != nil {
+			return err
+		}
+		c, err := get("Comment", "commentId")
+		if err != nil {
+			return err
+		}
+		tx.AddRel(p, c, "likes", map[string]any{"creationDate": params["creationDate"]})
+		return nil
+	case 4:
+		f := tx.AddNode("Forum", map[string]any{
+			"id": params["forumId"], "title": params["title"], "creationDate": params["creationDate"],
+		})
+		mod, err := get("Person", "moderatorId")
+		if err != nil {
+			return err
+		}
+		tx.AddRel(f, mod, "hasModerator", nil)
+		return nil
+	case 5:
+		f, err := get("Forum", "forumId")
+		if err != nil {
+			return err
+		}
+		p, err := get("Person", "personId")
+		if err != nil {
+			return err
+		}
+		tx.AddRel(f, p, "hasMember", map[string]any{"joinDate": params["joinDate"]})
+		return nil
+	case 6:
+		post := tx.AddNode("Post", map[string]any{
+			"id": params["postId"], "content": params["content"],
+			"creationDate": params["creationDate"], "browserUsed": params["browserUsed"],
+			"length": params["length"],
+		})
+		author, err := get("Person", "authorId")
+		if err != nil {
+			return err
+		}
+		tx.AddRel(post, author, "hasCreator", nil)
+		forum, err := get("Forum", "forumId")
+		if err != nil {
+			return err
+		}
+		tx.AddRel(forum, post, "containerOf", nil)
+		return nil
+	case 7:
+		c := tx.AddNode("Comment", map[string]any{
+			"id": params["commentId"], "content": params["content"],
+			"creationDate": params["creationDate"], "browserUsed": params["browserUsed"],
+			"length": params["length"],
+		})
+		author, err := get("Person", "authorId")
+		if err != nil {
+			return err
+		}
+		tx.AddRel(c, author, "hasCreator", nil)
+		post, err := get("Post", "postId")
+		if err != nil {
+			return err
+		}
+		tx.AddRel(c, post, "replyOf", nil)
+		return nil
+	case 8:
+		p1, err := get("Person", "person1Id")
+		if err != nil {
+			return err
+		}
+		p2, err := get("Person", "person2Id")
+		if err != nil {
+			return err
+		}
+		tx.AddRel(p1, p2, "knows", map[string]any{"creationDate": params["creationDate"]})
+		return nil
+	default:
+		return fmt.Errorf("ldbc: unknown IU query %d", q.Num)
+	}
+}

@@ -1,0 +1,350 @@
+// Package ldbc provides a deterministic LDBC-SNB-like social network
+// generator and the Interactive Short Read (SR) and Interactive Update
+// (IU) query workloads of the paper's evaluation (§7.2).
+//
+// The generator reproduces the SNB schema the paper's queries touch:
+// persons connected by knows edges with a skewed degree distribution,
+// forums containing posts moderated by persons, comments replying to
+// posts, likes, tags, places and organisations. Scale is a parameter
+// (Config.Persons); entity ratios follow the SNB's shape (messages are
+// the bulk of the data). One simplification is documented in DESIGN.md:
+// comments reply directly to posts (reply depth 1), which keeps every SR
+// query a bounded-length traversal.
+package ldbc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"poseidon/internal/core"
+	"poseidon/internal/diskstore"
+	"poseidon/internal/index"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Persons scales the dataset (SNB-style ratios derive the rest).
+	// Default 1000.
+	Persons int
+	// Seed makes generation deterministic. Default 42.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Persons == 0 {
+		c.Persons = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// NodeSpec describes one node to load.
+type NodeSpec struct {
+	Label string
+	Props map[string]any
+}
+
+// EdgeSpec describes one relationship between nodes by index.
+type EdgeSpec struct {
+	Src, Dst int
+	Label    string
+	Props    map[string]any
+}
+
+// Dataset is a generated social network plus the id pools the parameter
+// generator draws from.
+type Dataset struct {
+	Nodes []NodeSpec
+	Edges []EdgeSpec
+
+	PersonIDs  []int64
+	PostIDs    []int64
+	CommentIDs []int64
+	ForumIDs   []int64
+	TagIDs     []int64
+	CityIDs    []int64
+}
+
+var (
+	firstNames = []string{"Jan", "Mia", "Ali", "Chen", "Ada", "Ken", "Eva", "Bob", "Ida", "Max", "Lea", "Tom"}
+	lastNames  = []string{"Smith", "Garcia", "Mueller", "Tanaka", "Okafor", "Silva", "Nowak", "Khan", "Berg", "Rossi"}
+	browsers   = []string{"Firefox", "Chrome", "Safari", "Opera"}
+	tagWords   = []string{"music", "sports", "science", "art", "travel", "food", "films", "books", "games", "history", "nature", "tech"}
+)
+
+// Generate builds the dataset.
+func Generate(cfg Config) *Dataset {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{}
+	p := cfg.Persons
+
+	nCities := maxi(10, p/20)
+	nCountries := 10
+	nTags := maxi(12, p/10)
+	nForums := maxi(5, p/2)
+	nPosts := 5 * p
+	nComments := 10 * p
+
+	addNode := func(label string, props map[string]any) int {
+		ds.Nodes = append(ds.Nodes, NodeSpec{Label: label, Props: props})
+		return len(ds.Nodes) - 1
+	}
+	addEdge := func(src, dst int, label string, props map[string]any) {
+		ds.Edges = append(ds.Edges, EdgeSpec{Src: src, Dst: dst, Label: label, Props: props})
+	}
+
+	// Places and organisations.
+	countries := make([]int, nCountries)
+	for i := range countries {
+		countries[i] = addNode("Country", map[string]any{
+			"id": int64(i), "name": fmt.Sprintf("country-%d", i),
+		})
+	}
+	cities := make([]int, nCities)
+	for i := range cities {
+		cities[i] = addNode("City", map[string]any{
+			"id": int64(i), "name": fmt.Sprintf("city-%d", i),
+		})
+		ds.CityIDs = append(ds.CityIDs, int64(i))
+		addEdge(cities[i], countries[i%nCountries], "isPartOf", nil)
+	}
+	universities := make([]int, nCities/2+1)
+	for i := range universities {
+		universities[i] = addNode("University", map[string]any{
+			"id": int64(i), "name": fmt.Sprintf("university-%d", i),
+		})
+		addEdge(universities[i], cities[i%nCities], "isLocatedIn", nil)
+	}
+	companies := make([]int, nCities/2+1)
+	for i := range companies {
+		companies[i] = addNode("Company", map[string]any{
+			"id": int64(i), "name": fmt.Sprintf("company-%d", i),
+		})
+		addEdge(companies[i], countries[i%nCountries], "isLocatedIn", nil)
+	}
+
+	// Tags.
+	tags := make([]int, nTags)
+	for i := range tags {
+		tags[i] = addNode("Tag", map[string]any{
+			"id": int64(i), "name": tagWords[i%len(tagWords)] + fmt.Sprint(i/len(tagWords)),
+		})
+		ds.TagIDs = append(ds.TagIDs, int64(i))
+	}
+
+	// Persons.
+	persons := make([]int, p)
+	for i := range persons {
+		gender := "male"
+		if rng.Intn(2) == 0 {
+			gender = "female"
+		}
+		persons[i] = addNode("Person", map[string]any{
+			"id":           int64(i),
+			"firstName":    firstNames[rng.Intn(len(firstNames))],
+			"lastName":     lastNames[rng.Intn(len(lastNames))],
+			"gender":       gender,
+			"birthday":     int64(19500101 + rng.Intn(550000)),
+			"creationDate": int64(20100000 + i),
+			"locationIP":   fmt.Sprintf("10.%d.%d.%d", rng.Intn(256), rng.Intn(256), rng.Intn(256)),
+			"browserUsed":  browsers[rng.Intn(len(browsers))],
+		})
+		ds.PersonIDs = append(ds.PersonIDs, int64(i))
+		addEdge(persons[i], cities[rng.Intn(nCities)], "isLocatedIn", nil)
+		addEdge(persons[i], universities[rng.Intn(len(universities))], "studyAt",
+			map[string]any{"classYear": int64(1990 + rng.Intn(30))})
+		if rng.Intn(2) == 0 {
+			addEdge(persons[i], companies[rng.Intn(len(companies))], "workAt",
+				map[string]any{"workFrom": int64(2000 + rng.Intn(20))})
+		}
+		for _, t := range pickDistinct(rng, nTags, 1+rng.Intn(4)) {
+			addEdge(persons[i], tags[t], "hasInterest", nil)
+		}
+	}
+
+	// knows: skewed degrees (a few hubs, many low-degree persons).
+	for i := range persons {
+		deg := 2 + powerlawDegree(rng, 16)
+		for _, other := range pickDistinct(rng, p, deg) {
+			if other == i {
+				continue
+			}
+			addEdge(persons[i], persons[other], "knows",
+				map[string]any{"creationDate": int64(20120000 + rng.Intn(80000))})
+		}
+	}
+
+	// Forums.
+	forums := make([]int, nForums)
+	for i := range forums {
+		forums[i] = addNode("Forum", map[string]any{
+			"id":           int64(i),
+			"title":        fmt.Sprintf("forum-%d-%s", i, tagWords[i%len(tagWords)]),
+			"creationDate": int64(20110000 + i),
+		})
+		ds.ForumIDs = append(ds.ForumIDs, int64(i))
+		addEdge(forums[i], persons[rng.Intn(p)], "hasModerator", nil)
+		for _, m := range pickDistinct(rng, p, 3+rng.Intn(8)) {
+			addEdge(forums[i], persons[m], "hasMember",
+				map[string]any{"joinDate": int64(20110000 + rng.Intn(90000))})
+		}
+		addEdge(forums[i], tags[rng.Intn(nTags)], "hasTag", nil)
+	}
+
+	// Posts: the bulk of the data.
+	posts := make([]int, nPosts)
+	for i := range posts {
+		posts[i] = addNode("Post", map[string]any{
+			"id":           int64(i),
+			"content":      content(rng, 40+rng.Intn(120)),
+			"creationDate": int64(20120000 + i),
+			"browserUsed":  browsers[rng.Intn(len(browsers))],
+			"locationIP":   fmt.Sprintf("10.0.%d.%d", rng.Intn(256), rng.Intn(256)),
+			"length":       int64(40 + rng.Intn(120)),
+		})
+		ds.PostIDs = append(ds.PostIDs, int64(i))
+		addEdge(posts[i], persons[powerlawPick(rng, p)], "hasCreator", nil)
+		addEdge(forums[rng.Intn(nForums)], posts[i], "containerOf", nil)
+		addEdge(posts[i], countries[rng.Intn(nCountries)], "isLocatedIn", nil)
+		if rng.Intn(3) == 0 {
+			addEdge(posts[i], tags[rng.Intn(nTags)], "hasTag", nil)
+		}
+	}
+
+	// Comments: reply directly to posts (documented depth-1 simplification).
+	comments := make([]int, nComments)
+	for i := range comments {
+		comments[i] = addNode("Comment", map[string]any{
+			"id":           int64(i),
+			"content":      content(rng, 20+rng.Intn(80)),
+			"creationDate": int64(20130000 + i),
+			"browserUsed":  browsers[rng.Intn(len(browsers))],
+			"locationIP":   fmt.Sprintf("10.1.%d.%d", rng.Intn(256), rng.Intn(256)),
+			"length":       int64(20 + rng.Intn(80)),
+		})
+		ds.CommentIDs = append(ds.CommentIDs, int64(i))
+		addEdge(comments[i], persons[powerlawPick(rng, p)], "hasCreator", nil)
+		addEdge(comments[i], posts[powerlawPick(rng, nPosts)], "replyOf", nil)
+		addEdge(comments[i], countries[rng.Intn(nCountries)], "isLocatedIn", nil)
+	}
+
+	// Likes.
+	for i := 0; i < 2*p; i++ {
+		addEdge(persons[rng.Intn(p)], posts[powerlawPick(rng, nPosts)], "likes",
+			map[string]any{"creationDate": int64(20130000 + rng.Intn(60000))})
+		addEdge(persons[rng.Intn(p)], comments[rng.Intn(nComments)], "likes",
+			map[string]any{"creationDate": int64(20135000 + rng.Intn(60000))})
+	}
+	return ds
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// powerlawDegree draws a degree with a heavy tail capped at max.
+func powerlawDegree(rng *rand.Rand, max int) int {
+	d := 1
+	for d < max && rng.Intn(3) != 0 {
+		d++
+	}
+	return d
+}
+
+// powerlawPick prefers low indices, giving early entities (hub persons,
+// popular posts) higher in-degrees.
+func powerlawPick(rng *rand.Rand, n int) int {
+	// Square of a uniform variable skews toward 0.
+	f := rng.Float64()
+	return int(f * f * float64(n))
+}
+
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := rng.Intn(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func content(rng *rand.Rand, n int) string {
+	buf := make([]byte, n)
+	for i := range buf {
+		if i%6 == 5 {
+			buf[i] = ' '
+		} else {
+			buf[i] = byte('a' + rng.Intn(26))
+		}
+	}
+	return string(buf)
+}
+
+// IndexSpecs lists the secondary indexes the indexed workload variants
+// use (business-id lookups, as in the paper's -i configurations).
+func IndexSpecs() [][2]string {
+	return [][2]string{
+		{"Person", "id"}, {"Post", "id"}, {"Comment", "id"},
+		{"Forum", "id"}, {"Tag", "id"}, {"City", "id"},
+	}
+}
+
+// LoadCore bulk-loads the dataset into a graph engine, optionally
+// creating the workload indexes of the given kind.
+func (ds *Dataset) LoadCore(e *core.Engine, withIndexes bool, kind index.Kind) error {
+	bl := e.NewBulkLoader()
+	ids := make([]uint64, len(ds.Nodes))
+	for i, n := range ds.Nodes {
+		id, err := bl.AddNode(n.Label, n.Props)
+		if err != nil {
+			return fmt.Errorf("ldbc: load node %d: %w", i, err)
+		}
+		ids[i] = id
+	}
+	for i, ed := range ds.Edges {
+		if _, err := bl.AddRel(ids[ed.Src], ids[ed.Dst], ed.Label, ed.Props); err != nil {
+			return fmt.Errorf("ldbc: load edge %d: %w", i, err)
+		}
+	}
+	if err := bl.Finish(); err != nil {
+		return err
+	}
+	if withIndexes {
+		for _, spec := range IndexSpecs() {
+			if err := e.CreateIndex(spec[0], spec[1], kind); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadDisk loads the dataset into the disk baseline, creating its DRAM
+// indexes.
+func (ds *Dataset) LoadDisk(s *diskstore.Store) []uint64 {
+	tx := s.Begin()
+	ids := make([]uint64, len(ds.Nodes))
+	for i, n := range ds.Nodes {
+		ids[i] = tx.AddNode(n.Label, n.Props)
+	}
+	for _, ed := range ds.Edges {
+		tx.AddRel(ids[ed.Src], ids[ed.Dst], ed.Label, ed.Props)
+	}
+	tx.Commit()
+	for _, spec := range IndexSpecs() {
+		s.CreateIndex(spec[0], spec[1])
+	}
+	return ids
+}

@@ -1,0 +1,83 @@
+package pmem
+
+import "sync"
+
+// Simulated CPU cache. Loads from the device first probe this cache: a hit
+// is free, a miss pays the device read latency (C1) and installs the line.
+// The cache only tracks tags (which lines are resident), never data — the
+// data always lives in the device's CPU view. This is sufficient to model
+// hot-vs-cold behaviour, which drives the paper's "hot run" results where
+// PMem latency is hidden by the CPU caches.
+
+const (
+	// LineSize is the CPU cache line size in bytes.
+	LineSize = 64
+	// BlockSize is the DCPMM internal write block size in bytes (C3).
+	BlockSize = 256
+	cacheWays = 8
+)
+
+type cacheSet struct {
+	mu   sync.Mutex
+	tags [cacheWays]uint64 // line number + 1; 0 means empty
+	hand uint8             // round-robin eviction cursor
+}
+
+type cacheSim struct {
+	sets []cacheSet
+	mask uint64
+}
+
+// newCacheSim builds a cache covering capacityBytes with 64-byte lines and
+// 8-way associativity. capacityBytes is rounded to a power-of-two set count.
+func newCacheSim(capacityBytes int) *cacheSim {
+	lines := capacityBytes / LineSize
+	numSets := 1
+	for numSets*cacheWays < lines {
+		numSets <<= 1
+	}
+	return &cacheSim{sets: make([]cacheSet, numSets), mask: uint64(numSets - 1)}
+}
+
+// touch probes the cache for the given line number and installs it on a
+// miss. It reports whether the probe hit.
+func (c *cacheSim) touch(line uint64) bool {
+	set := &c.sets[line&c.mask]
+	tag := line + 1
+	set.mu.Lock()
+	for i := range set.tags {
+		if set.tags[i] == tag {
+			set.mu.Unlock()
+			return true
+		}
+	}
+	set.tags[set.hand] = tag
+	set.hand = (set.hand + 1) % cacheWays
+	set.mu.Unlock()
+	return false
+}
+
+// invalidate drops the line if resident (used by crash simulation so that
+// post-crash reads are cold again).
+func (c *cacheSim) invalidate(line uint64) {
+	set := &c.sets[line&c.mask]
+	tag := line + 1
+	set.mu.Lock()
+	for i := range set.tags {
+		if set.tags[i] == tag {
+			set.tags[i] = 0
+		}
+	}
+	set.mu.Unlock()
+}
+
+// invalidateAll empties the cache (full power-cycle).
+func (c *cacheSim) invalidateAll() {
+	for i := range c.sets {
+		set := &c.sets[i]
+		set.mu.Lock()
+		set.tags = [cacheWays]uint64{}
+		set.hand = 0
+		set.mu.Unlock()
+	}
+}

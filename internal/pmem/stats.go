@@ -1,0 +1,69 @@
+package pmem
+
+import "sync/atomic"
+
+// Stats holds access counters for a Device. All counters are updated
+// atomically; read a consistent-enough view with Snapshot.
+type Stats struct {
+	Reads       atomic.Uint64 // 8-byte loads
+	Writes      atomic.Uint64 // 8-byte stores
+	CacheHits   atomic.Uint64 // loads served by the simulated CPU cache
+	CacheMisses atomic.Uint64 // loads that paid the device read latency
+	LineFlushes atomic.Uint64 // clwb-equivalent cache line flushes
+	BlockWrites atomic.Uint64 // 256-byte internal block writes (C3)
+	Drains      atomic.Uint64 // sfence-equivalent barriers
+	Crashes     atomic.Uint64 // simulated power failures
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	Reads       uint64
+	Writes      uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	LineFlushes uint64
+	BlockWrites uint64
+	Drains      uint64
+	Crashes     uint64
+}
+
+// Snapshot returns the current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Reads:       s.Reads.Load(),
+		Writes:      s.Writes.Load(),
+		CacheHits:   s.CacheHits.Load(),
+		CacheMisses: s.CacheMisses.Load(),
+		LineFlushes: s.LineFlushes.Load(),
+		BlockWrites: s.BlockWrites.Load(),
+		Drains:      s.Drains.Load(),
+		Crashes:     s.Crashes.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.Reads.Store(0)
+	s.Writes.Store(0)
+	s.CacheHits.Store(0)
+	s.CacheMisses.Store(0)
+	s.LineFlushes.Store(0)
+	s.BlockWrites.Store(0)
+	s.Drains.Store(0)
+	s.Crashes.Store(0)
+}
+
+// Sub returns the delta s - o, counter-wise. Useful for per-experiment
+// accounting.
+func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Reads:       s.Reads - o.Reads,
+		Writes:      s.Writes - o.Writes,
+		CacheHits:   s.CacheHits - o.CacheHits,
+		CacheMisses: s.CacheMisses - o.CacheMisses,
+		LineFlushes: s.LineFlushes - o.LineFlushes,
+		BlockWrites: s.BlockWrites - o.BlockWrites,
+		Drains:      s.Drains - o.Drains,
+		Crashes:     s.Crashes - o.Crashes,
+	}
+}

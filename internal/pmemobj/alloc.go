@@ -1,0 +1,184 @@
+package pmemobj
+
+import (
+	"fmt"
+
+	"poseidon/internal/pmem"
+)
+
+// Segregated free-list allocator.
+//
+// Every block carries a 64-byte header so that user data stays cache-line
+// and 256-byte aligned (DG3). Header word 0 holds the size class plus an
+// allocated bit; for free blocks, word 1 links to the next free block of
+// the class. Freed blocks are never returned to the heap: they go on a
+// per-class persistent free list for reuse (DG5: reuse blocks of memory
+// instead of deallocating).
+//
+// All metadata mutations happen inside an undo-log transaction, so a crash
+// mid-allocation rolls the allocator back to a consistent state — this is
+// the redo/undo machinery that makes PMem allocations expensive (C5).
+
+const blockHdrSize = 64
+
+const (
+	bhClass = 0 // header word: class index | allocatedBit
+	bhNext  = 8 // header word: next free block (free blocks only)
+	bhSize  = 16
+)
+
+const allocatedBit = uint64(1) << 63
+
+// classSizes are total block sizes (including the 64-byte header), all
+// multiples of 256 bytes beyond the smallest classes so that chunk-sized
+// allocations are DCPMM-block aligned.
+var classSizes = []uint64{
+	128, 192, 256, 512, 1024, 2048, 4096, 8192,
+	16384, 32768, 65536, 131072, 262144, 524288,
+	1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20,
+}
+
+const numClasses = 20
+
+func classFor(total uint64) (int, bool) {
+	for i, s := range classSizes {
+		if total <= s {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func freeHeadSlot(class int) uint64 { return hdrFreeHead + uint64(class)*8 }
+
+// Alloc allocates size user bytes in its own transaction and returns the
+// user offset (64-byte aligned). The block contents are zeroed and
+// persisted.
+func (p *Pool) Alloc(size uint64) (uint64, error) {
+	var off uint64
+	err := p.RunTx(func(tx *Tx) error {
+		var err error
+		off, err = tx.Alloc(size)
+		return err
+	})
+	return off, err
+}
+
+// GroupAlloc allocates n blocks of size user bytes within a single
+// transaction, amortizing the logging and flush overhead (DG5).
+func (p *Pool) GroupAlloc(n int, size uint64) ([]uint64, error) {
+	offs := make([]uint64, 0, n)
+	err := p.RunTx(func(tx *Tx) error {
+		for i := 0; i < n; i++ {
+			off, err := tx.Alloc(size)
+			if err != nil {
+				return err
+			}
+			offs = append(offs, off)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return offs, nil
+}
+
+// Free returns the block containing user offset off to its free list, in
+// its own transaction.
+func (p *Pool) Free(off uint64) error {
+	return p.RunTx(func(tx *Tx) error { return tx.Free(off) })
+}
+
+// UsableSize returns the user capacity of the allocated block at off.
+func (p *Pool) UsableSize(off uint64) (uint64, error) {
+	hdr := off - blockHdrSize
+	w := p.dev.ReadU64(hdr + bhClass)
+	if w&allocatedBit == 0 {
+		return 0, ErrBadFree
+	}
+	return p.dev.ReadU64(hdr + bhSize), nil
+}
+
+// Alloc allocates inside the transaction. If the transaction aborts or the
+// system crashes before commit, the allocation is rolled back.
+func (tx *Tx) Alloc(size uint64) (uint64, error) {
+	total := align(size+blockHdrSize, pmem.LineSize)
+	class, ok := classFor(total)
+	if !ok {
+		return 0, fmt.Errorf("%w: allocation of %d bytes exceeds the largest size class", ErrOutOfMemory, size)
+	}
+	blockSize := classSizes[class]
+	p := tx.p
+	dev := p.dev
+
+	slot := freeHeadSlot(class)
+	var block uint64
+	if head := dev.ReadU64(slot); head != 0 {
+		// Pop the free list. Snapshot the head slot and the block header
+		// so a rollback restores the list exactly.
+		if err := tx.Snapshot(slot, 8); err != nil {
+			return 0, err
+		}
+		if err := tx.Snapshot(head, blockHdrSize); err != nil {
+			return 0, err
+		}
+		next := dev.ReadU64(head + bhNext)
+		dev.WriteU64(slot, next)
+		block = head
+	} else {
+		// Bump allocation from the heap top.
+		if err := tx.Snapshot(hdrHeapTop, 8); err != nil {
+			return 0, err
+		}
+		top := dev.ReadU64(hdrHeapTop)
+		top = align(top, pmem.BlockSize)
+		if top+blockSize > uint64(dev.Size()) {
+			return 0, fmt.Errorf("%w: heap exhausted (top=%d, need=%d, size=%d)",
+				ErrOutOfMemory, top, blockSize, dev.Size())
+		}
+		dev.WriteU64(hdrHeapTop, top+blockSize)
+		block = top
+	}
+
+	dev.WriteU64(block+bhClass, uint64(class)|allocatedBit)
+	dev.WriteU64(block+bhNext, 0)
+	dev.WriteU64(block+bhSize, blockSize-blockHdrSize)
+	user := block + blockHdrSize
+	dev.Zero(user, blockSize-blockHdrSize)
+	tx.noteWrite(block, blockSize)
+	return user, nil
+}
+
+// Free returns a block to its class free list inside the transaction.
+func (tx *Tx) Free(off uint64) error {
+	p := tx.p
+	dev := p.dev
+	block := off - blockHdrSize
+	w := dev.ReadU64(block + bhClass)
+	if w&allocatedBit == 0 {
+		return ErrBadFree
+	}
+	class := int(w &^ allocatedBit)
+	if class < 0 || class >= numClasses {
+		return ErrBadFree
+	}
+	slot := freeHeadSlot(class)
+	if err := tx.Snapshot(slot, 8); err != nil {
+		return err
+	}
+	if err := tx.Snapshot(block, blockHdrSize); err != nil {
+		return err
+	}
+	head := dev.ReadU64(slot)
+	dev.WriteU64(block+bhClass, uint64(class))
+	dev.WriteU64(block+bhNext, head)
+	dev.WriteU64(slot, block)
+	return nil
+}
+
+// HeapUsed returns the number of bytes consumed from the heap (including
+// freed-but-reusable blocks, which are never returned to the heap).
+func (p *Pool) HeapUsed() uint64 {
+	return p.dev.ReadU64(hdrHeapTop)
+}

@@ -1,0 +1,165 @@
+package pmemobj
+
+import (
+	"errors"
+	"testing"
+
+	"poseidon/internal/pmem"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	p := newTestPool(t, 4<<20)
+	for _, size := range []uint64{1, 63, 64, 100, 4096, 65536} {
+		off, err := p.Alloc(size)
+		if err != nil {
+			t.Fatalf("Alloc(%d): %v", size, err)
+		}
+		if off%pmem.LineSize != 0 {
+			t.Errorf("Alloc(%d) = %d, not cache-line aligned", size, off)
+		}
+		usable, err := p.UsableSize(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if usable < size {
+			t.Errorf("Alloc(%d): usable %d < requested", size, usable)
+		}
+	}
+}
+
+func TestAllocZeroesMemory(t *testing.T) {
+	p := newTestPool(t, 1<<20)
+	off, _ := p.Alloc(256)
+	// Dirty it, free it, allocate the same class again: must be zero.
+	p.Device().WriteU64(off, 0xFFFF)
+	p.Device().WriteU64(off+248, 0xFFFF)
+	if err := p.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	off2, _ := p.Alloc(256)
+	if off2 != off {
+		t.Fatalf("free list did not reuse block: got %d, want %d", off2, off)
+	}
+	if p.Device().ReadU64(off2) != 0 || p.Device().ReadU64(off2+248) != 0 {
+		t.Error("reallocated block not zeroed")
+	}
+}
+
+func TestFreeListReusePerClass(t *testing.T) {
+	p := newTestPool(t, 4<<20)
+	a, _ := p.Alloc(100) // class 192 (incl. 64-byte header)
+	b, _ := p.Alloc(960) // class 1024
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := p.Alloc(900) // class 1024: should reuse b, not a
+	if c != b {
+		t.Errorf("class-1024 alloc = %d, want reused block %d", c, b)
+	}
+	d, _ := p.Alloc(80) // class 192: should reuse a
+	if d != a {
+		t.Errorf("class-192 alloc = %d, want reused block %d", d, a)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	p := newTestPool(t, 1<<20)
+	off, _ := p.Alloc(64)
+	if err := p.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(off); !errors.Is(err, ErrBadFree) {
+		t.Errorf("double free = %v, want ErrBadFree", err)
+	}
+}
+
+func TestFreeOfGarbageOffsetDetected(t *testing.T) {
+	p := newTestPool(t, 1<<20)
+	off, _ := p.Alloc(4096)
+	if err := p.Free(off + 128); !errors.Is(err, ErrBadFree) {
+		t.Errorf("free of interior pointer = %v, want ErrBadFree", err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	p := newTestPool(t, 1<<20)
+	var last error
+	for i := 0; i < 100; i++ {
+		if _, err := p.Alloc(64 * 1024); err != nil {
+			last = err
+			break
+		}
+	}
+	if !errors.Is(last, ErrOutOfMemory) {
+		t.Errorf("exhaustion error = %v, want ErrOutOfMemory", last)
+	}
+}
+
+func TestAllocTooLarge(t *testing.T) {
+	p := newTestPool(t, 1<<20)
+	if _, err := p.Alloc(1 << 30); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversized alloc = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestGroupAllocAmortizesLogging(t *testing.T) {
+	p1 := newTestPool(t, 8<<20)
+	before := p1.Device().Stats.Snapshot()
+	if _, err := p1.GroupAlloc(64, 1024); err != nil {
+		t.Fatal(err)
+	}
+	groupDrains := p1.Device().Stats.Snapshot().Sub(before).Drains
+
+	p2 := newTestPool(t, 8<<20)
+	before = p2.Device().Stats.Snapshot()
+	for i := 0; i < 64; i++ {
+		if _, err := p2.Alloc(1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	singleDrains := p2.Device().Stats.Snapshot().Sub(before).Drains
+
+	if groupDrains*2 >= singleDrains {
+		t.Errorf("group allocation drains (%d) not substantially fewer than singles (%d)",
+			groupDrains, singleDrains)
+	}
+}
+
+func TestGroupAllocRollbackOnFailure(t *testing.T) {
+	p := newTestPool(t, 1<<20)
+	used := p.HeapUsed()
+	// Request far more than fits: the whole group must roll back.
+	if _, err := p.GroupAlloc(1000, 4096); err == nil {
+		t.Fatal("expected group alloc failure")
+	}
+	if got := p.HeapUsed(); got != used {
+		t.Errorf("heap top %d after failed group alloc, want %d (rolled back)", got, used)
+	}
+}
+
+func TestHeapBlocksDoNotOverlap(t *testing.T) {
+	p := newTestPool(t, 8<<20)
+	type blk struct{ off, size uint64 }
+	var blocks []blk
+	sizes := []uint64{64, 128, 100, 300, 64, 1000, 5000, 64}
+	for _, s := range sizes {
+		off, err := p.Alloc(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, blk{off, s})
+	}
+	for i, a := range blocks {
+		for j, b := range blocks {
+			if i == j {
+				continue
+			}
+			if a.off < b.off+b.size && b.off < a.off+a.size {
+				t.Fatalf("blocks %d and %d overlap: %+v %+v", i, j, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package pmemobj
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Persistent multi-word compare-and-swap — the alternative §5.1 mentions
+// for making commits failure-atomic without PMDK transactions ("using
+// Multi-Word CaS instructions such as PMwCAS which allows atomically
+// changing multiple 8-byte words on PMem").
+//
+// The implementation is descriptor-based: the operation's entries are
+// made durable in a persistent descriptor before any target word is
+// touched, and a single 8-byte status store is the linearization and
+// failure-atomicity point:
+//
+//	statusIdle      → descriptor empty
+//	statusPrepared  → entries durable, targets untouched (roll back = drop)
+//	statusApplying  → new values are being installed (roll forward = redo)
+//
+// Recovery redoes an Applying descriptor and discards a Prepared one, so
+// the swap is all-or-nothing across crashes. Unlike the lock-free PMwCAS
+// of Wang et al., concurrency control is delegated to the pool lock —
+// the property under test here is failure atomicity, which is what the
+// paper's commit path needs.
+
+// CASEntry is one word of a multi-word CAS.
+type CASEntry struct {
+	Off uint64 // 8-byte-aligned word offset
+	Old uint64 // expected value
+	New uint64 // replacement value
+}
+
+const (
+	mwStatusIdle     = 0
+	mwStatusPrepared = 1
+	mwStatusApplying = 2
+
+	mwMaxEntries = 30
+	// Descriptor layout: [status u64][count u64][entries: off,old,new ×
+	// mwMaxEntries] = 16 + 30*24 = 736 bytes.
+	mwDescSize = 16 + mwMaxEntries*24
+)
+
+// ErrMWCASTooLarge reports too many entries for the descriptor.
+var ErrMWCASTooLarge = fmt.Errorf("pmemobj: MWCAS supports at most %d words", mwMaxEntries)
+
+// hdrMWDesc is the pool-header word anchoring the MWCAS descriptor
+// (reserved word at offset 56, between hdrLogCap and the free lists).
+const hdrMWDesc = 56
+
+var mwAllocMu sync.Mutex
+
+// mwDescOff returns the descriptor offset, allocating it on first use.
+// It must be called before taking the pool's transaction lock (the
+// first-use allocation runs its own pool transaction).
+func (p *Pool) mwDescOff() (uint64, error) {
+	if off := p.dev.ReadU64(hdrMWDesc); off != 0 {
+		return off, nil
+	}
+	mwAllocMu.Lock()
+	defer mwAllocMu.Unlock()
+	if off := p.dev.ReadU64(hdrMWDesc); off != 0 {
+		return off, nil
+	}
+	off, err := p.Alloc(mwDescSize)
+	if err != nil {
+		return 0, err
+	}
+	p.dev.WriteU64(off, mwStatusIdle)
+	p.dev.Persist(off, 8)
+	p.dev.WriteU64(hdrMWDesc, off)
+	p.dev.Persist(hdrMWDesc, 8)
+	return off, nil
+}
+
+// MWCAS atomically installs every entry's New value iff every entry's
+// current value equals Old. It returns false (with no changes) on any
+// mismatch. The operation is failure-atomic: after a crash, either all
+// or none of the new values are present.
+func (p *Pool) MWCAS(entries []CASEntry) (bool, error) {
+	if len(entries) == 0 {
+		return true, nil
+	}
+	if len(entries) > mwMaxEntries {
+		return false, ErrMWCASTooLarge
+	}
+	desc, err := p.mwDescOff()
+	if err != nil {
+		return false, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dev := p.dev
+
+	// Compare phase: any mismatch fails the whole operation.
+	for _, e := range entries {
+		if e.Off%8 != 0 {
+			return false, fmt.Errorf("pmemobj: MWCAS offset %d not 8-byte aligned", e.Off)
+		}
+		if dev.ReadU64(e.Off) != e.Old {
+			return false, nil
+		}
+	}
+
+	// Prepare: persist the descriptor before touching any target (the
+	// redo information).
+	for i, e := range entries {
+		base := desc + 16 + uint64(i)*24
+		dev.WriteU64(base, e.Off)
+		dev.WriteU64(base+8, e.Old)
+		dev.WriteU64(base+16, e.New)
+	}
+	dev.WriteU64(desc+8, uint64(len(entries)))
+	dev.Flush(desc+8, 8+uint64(len(entries))*24)
+	dev.Drain()
+	dev.WriteU64(desc, mwStatusPrepared)
+	dev.Persist(desc, 8)
+
+	// Linearization point: one failure-atomic 8-byte store. From here on
+	// a crash rolls the operation forward.
+	dev.WriteU64(desc, mwStatusApplying)
+	dev.Persist(desc, 8)
+
+	// Apply: install and persist every new value (idempotent, so redo
+	// after a crash is safe).
+	for _, e := range entries {
+		dev.WriteU64(e.Off, e.New)
+		dev.Flush(e.Off, 8)
+	}
+	dev.Drain()
+
+	dev.WriteU64(desc, mwStatusIdle)
+	dev.Persist(desc, 8)
+	return true, nil
+}
+
+// recoverMWCAS finishes or discards an in-flight multi-word CAS after a
+// crash. Called from Open.
+func (p *Pool) recoverMWCAS() {
+	desc := p.dev.ReadU64(hdrMWDesc)
+	if desc == 0 {
+		return
+	}
+	dev := p.dev
+	switch dev.ReadU64(desc) {
+	case mwStatusApplying:
+		// Roll forward: reinstall every new value.
+		n := dev.ReadU64(desc + 8)
+		if n > mwMaxEntries {
+			n = 0 // corrupt descriptor: nothing safe to redo
+		}
+		for i := uint64(0); i < n; i++ {
+			base := desc + 16 + i*24
+			off := dev.ReadU64(base)
+			dev.WriteU64(off, dev.ReadU64(base+16))
+			dev.Flush(off, 8)
+		}
+		dev.Drain()
+		fallthrough
+	case mwStatusPrepared:
+		// Prepared-but-not-applying simply discards (no target written).
+		dev.WriteU64(desc, mwStatusIdle)
+		dev.Persist(desc, 8)
+	}
+}
+
+// mwDescForTest exposes the descriptor offset to crash-injection tests.
+func (p *Pool) mwDescForTest() (uint64, error) { return p.mwDescOff() }

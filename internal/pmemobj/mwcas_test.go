@@ -1,0 +1,234 @@
+package pmemobj
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"poseidon/internal/pmem"
+)
+
+func TestMWCASInstallsAllWords(t *testing.T) {
+	p := newTestPool(t, 4<<20)
+	dev := p.Device()
+	off, _ := p.Alloc(64)
+	dev.WriteU64(off, 1)
+	dev.WriteU64(off+8, 2)
+	dev.WriteU64(off+16, 3)
+	dev.Persist(off, 24)
+
+	ok, err := p.MWCAS([]CASEntry{
+		{Off: off, Old: 1, New: 10},
+		{Off: off + 8, Old: 2, New: 20},
+		{Off: off + 16, Old: 3, New: 30},
+	})
+	if err != nil || !ok {
+		t.Fatalf("MWCAS = %v, %v", ok, err)
+	}
+	for i, want := range []uint64{10, 20, 30} {
+		if got := dev.ReadU64(off + uint64(i)*8); got != want {
+			t.Errorf("word %d = %d, want %d", i, got, want)
+		}
+	}
+	// The result is durable.
+	dev.Crash()
+	if dev.ReadU64(off) != 10 {
+		t.Error("MWCAS result lost after crash")
+	}
+}
+
+func TestMWCASFailsAtomicallyOnMismatch(t *testing.T) {
+	p := newTestPool(t, 4<<20)
+	dev := p.Device()
+	off, _ := p.Alloc(64)
+	dev.WriteU64(off, 1)
+	dev.WriteU64(off+8, 999) // does not match Old below
+	dev.Persist(off, 16)
+
+	ok, err := p.MWCAS([]CASEntry{
+		{Off: off, Old: 1, New: 10},
+		{Off: off + 8, Old: 2, New: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("MWCAS succeeded despite mismatch")
+	}
+	if dev.ReadU64(off) != 1 || dev.ReadU64(off+8) != 999 {
+		t.Error("failed MWCAS modified memory")
+	}
+}
+
+func TestMWCASValidation(t *testing.T) {
+	p := newTestPool(t, 4<<20)
+	if ok, err := p.MWCAS(nil); err != nil || !ok {
+		t.Errorf("empty MWCAS = %v, %v", ok, err)
+	}
+	big := make([]CASEntry, mwMaxEntries+1)
+	if _, err := p.MWCAS(big); !errors.Is(err, ErrMWCASTooLarge) {
+		t.Errorf("oversized MWCAS err = %v", err)
+	}
+	off, _ := p.Alloc(64)
+	if _, err := p.MWCAS([]CASEntry{{Off: off + 4}}); err == nil {
+		t.Error("misaligned MWCAS accepted")
+	}
+}
+
+// TestMWCASCrashRollsForward injects a crash after the Applying status is
+// durable but before the values are: recovery must complete the swap.
+func TestMWCASCrashRollsForward(t *testing.T) {
+	dev := pmem.New(pmem.Config{Name: "mw", Size: 4 << 20, Persistent: true})
+	p, _ := Create(dev, Options{})
+	off, _ := p.Alloc(64)
+	dev.WriteU64(off, 1)
+	dev.WriteU64(off+8, 2)
+	dev.Persist(off, 16)
+
+	// Hand-craft the in-flight state: descriptor prepared and Applying,
+	// targets not yet written (the worst-case crash point).
+	desc, err := p.mwDescForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []CASEntry{{Off: off, Old: 1, New: 10}, {Off: off + 8, Old: 2, New: 20}}
+	for i, e := range entries {
+		base := desc + 16 + uint64(i)*24
+		dev.WriteU64(base, e.Off)
+		dev.WriteU64(base+8, e.Old)
+		dev.WriteU64(base+16, e.New)
+	}
+	dev.WriteU64(desc+8, 2)
+	dev.Flush(desc+8, 8+2*24)
+	dev.Drain()
+	dev.WriteU64(desc, mwStatusApplying)
+	dev.Persist(desc, 8)
+	p.Close()
+	dev.Crash()
+
+	p2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if dev.ReadU64(off) != 10 || dev.ReadU64(off+8) != 20 {
+		t.Errorf("values after roll-forward = %d,%d, want 10,20",
+			dev.ReadU64(off), dev.ReadU64(off+8))
+	}
+	// The descriptor must be idle again and MWCAS usable.
+	if ok, err := p2.MWCAS([]CASEntry{{Off: off, Old: 10, New: 11}}); err != nil || !ok {
+		t.Fatalf("MWCAS after recovery = %v, %v", ok, err)
+	}
+}
+
+// TestMWCASCrashDiscardsPrepared injects a crash before the Applying
+// status: recovery must discard the descriptor and leave targets alone.
+func TestMWCASCrashDiscardsPrepared(t *testing.T) {
+	dev := pmem.New(pmem.Config{Name: "mw", Size: 4 << 20, Persistent: true})
+	p, _ := Create(dev, Options{})
+	off, _ := p.Alloc(64)
+	dev.WriteU64(off, 1)
+	dev.Persist(off, 8)
+	desc, _ := p.mwDescForTest()
+	dev.WriteU64(desc+16, off)
+	dev.WriteU64(desc+16+8, 1)
+	dev.WriteU64(desc+16+16, 99)
+	dev.WriteU64(desc+8, 1)
+	dev.Flush(desc+8, 32)
+	dev.Drain()
+	dev.WriteU64(desc, mwStatusPrepared)
+	dev.Persist(desc, 8)
+	p.Close()
+	dev.Crash()
+
+	p2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := dev.ReadU64(off); got != 1 {
+		t.Errorf("prepared-only crash changed target: %d", got)
+	}
+}
+
+// TestMWCASAtomicityProperty: across random crash points, after recovery
+// the words are either all old or all new.
+func TestMWCASAtomicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := pmem.New(pmem.Config{Name: "mw", Size: 4 << 20, Persistent: true})
+		p, err := Create(dev, Options{})
+		if err != nil {
+			return false
+		}
+		off, err := p.Alloc(256)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(8)
+		entries := make([]CASEntry, n)
+		for i := range entries {
+			entries[i] = CASEntry{Off: off + uint64(i)*8, Old: uint64(i + 1), New: uint64(100 + i)}
+			dev.WriteU64(entries[i].Off, entries[i].Old)
+		}
+		dev.Persist(off, uint64(n)*8)
+
+		// Build the descriptor to a random durable stage, then crash.
+		desc, err := p.mwDescForTest()
+		if err != nil {
+			return false
+		}
+		stage := rng.Intn(3) // 0: nothing, 1: prepared, 2: applying (+partial)
+		if stage >= 1 {
+			for i, e := range entries {
+				base := desc + 16 + uint64(i)*24
+				dev.WriteU64(base, e.Off)
+				dev.WriteU64(base+8, e.Old)
+				dev.WriteU64(base+16, e.New)
+			}
+			dev.WriteU64(desc+8, uint64(n))
+			dev.Flush(desc+8, 8+uint64(n)*24)
+			dev.Drain()
+			dev.WriteU64(desc, mwStatusPrepared)
+			dev.Persist(desc, 8)
+		}
+		if stage == 2 {
+			dev.WriteU64(desc, mwStatusApplying)
+			dev.Persist(desc, 8)
+			// Apply a random prefix durably.
+			k := rng.Intn(n + 1)
+			for i := 0; i < k; i++ {
+				dev.WriteU64(entries[i].Off, entries[i].New)
+				dev.Flush(entries[i].Off, 8)
+			}
+			dev.Drain()
+		}
+		p.Close()
+		dev.Crash()
+		p2, err := Open(dev)
+		if err != nil {
+			return false
+		}
+		defer p2.Close()
+
+		allOld, allNew := true, true
+		for _, e := range entries {
+			switch dev.ReadU64(e.Off) {
+			case e.Old:
+				allNew = false
+			case e.New:
+				allOld = false
+			default:
+				return false
+			}
+		}
+		if stage == 2 {
+			return allNew // applying must roll forward
+		}
+		return allOld // prepared or untouched must roll back
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

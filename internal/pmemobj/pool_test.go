@@ -1,0 +1,115 @@
+package pmemobj
+
+import (
+	"errors"
+	"testing"
+
+	"poseidon/internal/pmem"
+)
+
+func newTestPool(t *testing.T, size int) *Pool {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Name: "test", Size: size, Persistent: true})
+	p, err := Create(dev, Options{UUID: 0xABCD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	dev := pmem.New(pmem.Config{Name: "t", Size: 1 << 20, Persistent: true})
+	p, err := Create(dev, Options{UUID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := p.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetRoot(off)
+	p.Close()
+
+	p2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.Root() != off {
+		t.Errorf("root = %d, want %d", p2.Root(), off)
+	}
+	if p2.UUID() != 7 {
+		t.Errorf("uuid = %d, want 7", p2.UUID())
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dev := pmem.New(pmem.Config{Name: "t", Size: 4096, Persistent: true})
+	dev.WriteU64(0, 0xDEAD)
+	if _, err := Open(dev); !errors.Is(err, ErrBadPool) {
+		t.Errorf("Open on garbage = %v, want ErrBadPool", err)
+	}
+}
+
+func TestOpenRejectsTinyDevice(t *testing.T) {
+	dev := pmem.New(pmem.Config{Name: "t", Size: 64, Persistent: true})
+	if _, err := Open(dev); !errors.Is(err, ErrBadPool) {
+		t.Errorf("Open on tiny device = %v, want ErrBadPool", err)
+	}
+}
+
+func TestPPtrResolve(t *testing.T) {
+	p := newTestPool(t, 1<<20)
+	off, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := PPtr{Pool: p.UUID(), Off: off}
+	rp, roff, err := Resolve(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp != p || roff != off {
+		t.Error("Resolve returned wrong pool or offset")
+	}
+	if _, _, err := Resolve(PPtr{Pool: 0x999, Off: 1}); err == nil {
+		t.Error("Resolve of unknown pool succeeded")
+	}
+}
+
+func TestPPtrStorageRoundTrip(t *testing.T) {
+	p := newTestPool(t, 1<<20)
+	off, _ := p.Alloc(64)
+	want := PPtr{Pool: 42, Off: 4096}
+	p.WritePPtr(off, want)
+	if got := p.ReadPPtr(off); got != want {
+		t.Errorf("ReadPPtr = %+v, want %+v", got, want)
+	}
+	if !(PPtr{}).IsNull() {
+		t.Error("zero PPtr should be null")
+	}
+	if want.IsNull() {
+		t.Error("non-zero PPtr reported null")
+	}
+}
+
+func TestRootSurvivesCrash(t *testing.T) {
+	dev := pmem.New(pmem.Config{Name: "t", Size: 1 << 20, Persistent: true})
+	p, err := Create(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _ := p.Alloc(64)
+	p.SetRoot(off)
+	p.Close()
+	dev.Crash()
+	p2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.Root() != off {
+		t.Errorf("root after crash = %d, want %d", p2.Root(), off)
+	}
+}

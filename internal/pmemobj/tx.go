@@ -1,0 +1,188 @@
+package pmemobj
+
+import (
+	"fmt"
+)
+
+// Undo-log transactions (the libpmemobj model the paper uses for commit,
+// §5.1). The protocol is:
+//
+//  1. Snapshot(off, len) copies the current contents of the range into the
+//     persistent undo log and makes the log entry durable *before* the
+//     caller modifies the range.
+//  2. The caller mutates the snapshotted ranges through the device.
+//  3. Commit flushes all modified ranges, then invalidates the log with a
+//     single 8-byte durable store of the entry count (C4: the commit point
+//     is one failure-atomic write).
+//
+// If the process crashes between 1 and 3, Open finds a non-empty log and
+// rolls the ranges back to their snapshotted contents. Abort performs the
+// same rollback online.
+
+// Log region layout: word 0 holds the entry count (0 = log invalid/empty);
+// entries start at logOff+64. Each entry is [off u64][len u64][old data,
+// padded to 8 bytes].
+const logDataStart = 64
+
+// Tx is an in-flight failure-atomic transaction. A Tx is only valid inside
+// the RunTx callback that created it and must not be used concurrently.
+type Tx struct {
+	p       *Pool
+	logEnd  uint64 // next free byte in the log region (volatile)
+	count   uint64 // entries appended so far (volatile mirror)
+	touched []txRange
+}
+
+type txRange struct{ off, n uint64 }
+
+// RunTx executes fn inside a transaction. If fn returns nil the
+// transaction commits; any error (or panic) rolls back every snapshotted
+// range. Transactions serialize on the pool: nesting RunTx on the same
+// pool deadlocks by design, matching libpmemobj's one-transaction-per-
+// thread rule.
+func (p *Pool) RunTx(fn func(*Tx) error) (err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tx := &Tx{p: p, logEnd: p.logOff + logDataStart}
+
+	defer func() {
+		if r := recover(); r != nil {
+			tx.rollback()
+			panic(r)
+		}
+	}()
+	if err = fn(tx); err != nil {
+		tx.rollback()
+		return err
+	}
+	tx.commit()
+	return nil
+}
+
+// Begin starts an explicit transaction, taking the pool's transaction
+// lock. Most callers should use RunTx; Begin exists for bulk-load paths
+// and for crash-injection tests that abandon a transaction mid-flight.
+// Every Begin must be paired with exactly one Commit or Abandon.
+func (p *Pool) Begin() *Tx {
+	p.mu.Lock()
+	return &Tx{p: p, logEnd: p.logOff + logDataStart}
+}
+
+// Commit flushes the transaction's ranges, invalidates the undo log and
+// releases the pool lock. Only valid on transactions from Begin.
+func (tx *Tx) Commit() {
+	tx.commit()
+	tx.p.mu.Unlock()
+}
+
+// Abandon releases the pool lock without committing or rolling back,
+// leaving the undo log populated — exactly the persistent state a crash
+// would leave behind. The next Open rolls the transaction back. Only
+// valid on transactions from Begin.
+func (tx *Tx) Abandon() {
+	tx.p.mu.Unlock()
+}
+
+// Snapshot records the current contents of [off, off+n) in the undo log so
+// the range can be modified failure-atomically. It must be called before
+// the first modification of the range within the transaction.
+func (tx *Tx) Snapshot(off, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	if off%8 != 0 {
+		panic("pmemobj: Snapshot offset must be 8-byte aligned")
+	}
+	p := tx.p
+	dataLen := align(n, 8)
+	need := 16 + dataLen
+	if tx.logEnd+need > p.logOff+p.logCap {
+		return fmt.Errorf("%w: need %d bytes", ErrLogFull, need)
+	}
+	dev := p.dev
+	entry := tx.logEnd
+	dev.WriteU64(entry, off)
+	dev.WriteU64(entry+8, n)
+	// Copy the old contents into the log.
+	words := make([]uint64, dataLen/8)
+	for i := range words {
+		words[i] = dev.ReadU64(off + uint64(i)*8)
+	}
+	dev.WriteWords(entry+16, words)
+	dev.Flush(entry, need)
+	// The entry becomes valid only once the count is bumped durably.
+	tx.count++
+	dev.WriteU64(p.logOff, tx.count)
+	dev.Persist(p.logOff, 8)
+	tx.logEnd += need
+	tx.touched = append(tx.touched, txRange{off, n})
+	return nil
+}
+
+// NoteWrite registers a range to be flushed at commit without
+// snapshotting it first. This is only safe for memory whose pre-transaction
+// contents are unreachable — typically memory allocated within the same
+// transaction, which the allocator rolls back wholesale on abort.
+func (tx *Tx) NoteWrite(off, n uint64) {
+	tx.touched = append(tx.touched, txRange{off, n})
+}
+
+func (tx *Tx) noteWrite(off, n uint64) { tx.NoteWrite(off, n) }
+
+func (tx *Tx) commit() {
+	dev := tx.p.dev
+	for _, r := range tx.touched {
+		dev.Flush(r.off, r.n)
+	}
+	dev.Drain()
+	// Single 8-byte store is the commit point (DG4).
+	dev.WriteU64(tx.p.logOff, 0)
+	dev.Persist(tx.p.logOff, 8)
+}
+
+func (tx *Tx) rollback() {
+	tx.p.applyUndo(tx.count)
+}
+
+// applyUndo restores count undo entries in reverse order and invalidates
+// the log. Used by online aborts and by crash recovery.
+func (p *Pool) applyUndo(count uint64) {
+	dev := p.dev
+	if count == 0 {
+		dev.WriteU64(p.logOff, 0)
+		dev.Persist(p.logOff, 8)
+		return
+	}
+	// Walk forward to locate the entries, then restore in reverse so the
+	// oldest snapshot of an overlapping range wins.
+	type loc struct{ entry, off, n uint64 }
+	locs := make([]loc, 0, count)
+	pos := p.logOff + logDataStart
+	for i := uint64(0); i < count; i++ {
+		off := dev.ReadU64(pos)
+		n := dev.ReadU64(pos + 8)
+		locs = append(locs, loc{pos, off, n})
+		pos += 16 + align(n, 8)
+	}
+	for i := len(locs) - 1; i >= 0; i-- {
+		l := locs[i]
+		words := align(l.n, 8) / 8
+		for w := uint64(0); w < words; w++ {
+			dev.WriteU64(l.off+w*8, dev.ReadU64(l.entry+16+w*8))
+		}
+		dev.Flush(l.off, l.n)
+	}
+	dev.Drain()
+	dev.WriteU64(p.logOff, 0)
+	dev.Persist(p.logOff, 8)
+}
+
+// recover rolls back an in-flight transaction found after a crash.
+func (p *Pool) recover() error {
+	count := p.dev.ReadU64(p.logOff)
+	if count == 0 {
+		return nil
+	}
+	p.applyUndo(count)
+	return nil
+}

@@ -1,0 +1,783 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"poseidon/internal/core"
+	"poseidon/internal/storage"
+)
+
+// The AOT-compiled interpreter (§6.1/§6.2 "interpretation mode"): each
+// operator is translated into an interpret function; the functions are
+// linked into a cascade of closures that push tuples downstream. Values
+// cross operator boundaries boxed in Datum structs and expressions are
+// evaluated through dynamic dispatch — exactly the overheads the JIT
+// backend removes.
+
+// DatumKind tags a tuple column.
+type DatumKind uint8
+
+// Tuple column kinds.
+const (
+	DNode DatumKind = iota
+	DRel
+	DVal
+)
+
+// Datum is one tuple column: a node snapshot, a relationship snapshot or
+// a plain value.
+type Datum struct {
+	Kind DatumKind
+	Node core.NodeSnap
+	Rel  core.RelSnap
+	Val  storage.Value
+}
+
+// Tuple is a row flowing through the pipeline.
+type Tuple []Datum
+
+// Row is a finished output row of plain values.
+type Row []storage.Value
+
+// Params binds query parameters by name.
+type Params map[string]any
+
+// ErrBadPlan reports a structurally invalid plan.
+var ErrBadPlan = errors.New("query: invalid plan")
+
+// Sink consumes a tuple and reports whether the producer should continue.
+// Sinks are the push-based links between operators (§6.1).
+type Sink func(t Tuple) (bool, error)
+
+// codeRef lazily resolves a dictionary string to its code. Resolution is
+// cached; a missing string stays unresolved (matching nothing) until it
+// appears in the dictionary.
+type codeRef struct {
+	name string
+	code atomic.Uint64
+}
+
+func (c *codeRef) get(e *core.Engine) (uint64, bool) {
+	if v := c.code.Load(); v != 0 {
+		return v, true
+	}
+	if c.name == "" {
+		return 0, false
+	}
+	v, ok := e.Dict().Lookup(c.name)
+	if !ok {
+		return 0, false
+	}
+	c.code.Store(v)
+	return v, true
+}
+
+// Prepared is a plan bound to an engine, ready for repeated execution.
+type Prepared struct {
+	E    *core.Engine
+	Plan *Plan
+	Sig  string
+}
+
+// Prepare validates and binds a plan to an engine.
+func Prepare(e *core.Engine, p *Plan) (*Prepared, error) {
+	if p == nil || p.Root == nil {
+		return nil, fmt.Errorf("%w: empty plan", ErrBadPlan)
+	}
+	return &Prepared{E: e, Plan: p, Sig: p.Signature()}, nil
+}
+
+// Ctx is the per-execution state shared by all operators of a run.
+type Ctx struct {
+	E      *core.Engine
+	Tx     *core.Tx
+	Params map[string]storage.Value
+}
+
+// BindParams encodes parameter values (interning strings).
+func BindParams(e *core.Engine, params Params) (map[string]storage.Value, error) {
+	out := make(map[string]storage.Value, len(params))
+	for k, v := range params {
+		val, err := e.EncodeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("query: param %s: %w", k, err)
+		}
+		out[k] = val
+	}
+	return out, nil
+}
+
+// Run executes the plan in interpretation mode within tx, calling emit
+// for every result row until exhaustion or emit returns false.
+func (pr *Prepared) Run(tx *core.Tx, params Params, emit func(Row) bool) error {
+	bound, err := BindParams(pr.E, params)
+	if err != nil {
+		return err
+	}
+	ctx := &Ctx{E: pr.E, Tx: tx, Params: bound}
+	terminal := func(t Tuple) (bool, error) {
+		return emit(tupleToRow(t)), nil
+	}
+	run, err := buildOp(pr.Plan.Root, ctx, terminal)
+	if err != nil {
+		return err
+	}
+	return run()
+}
+
+// Collect executes the plan and gathers all rows.
+func (pr *Prepared) Collect(tx *core.Tx, params Params) ([]Row, error) {
+	var rows []Row
+	err := pr.Run(tx, params, func(r Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	return rows, err
+}
+
+// ToRow converts a tuple to a row of plain values (nodes and
+// relationships become their ids).
+func ToRow(t Tuple) Row { return tupleToRow(t) }
+
+func tupleToRow(t Tuple) Row {
+	row := make(Row, len(t))
+	for i, d := range t {
+		switch d.Kind {
+		case DNode:
+			row[i] = storage.IntValue(int64(d.Node.ID))
+		case DRel:
+			row[i] = storage.IntValue(int64(d.Rel.ID))
+		default:
+			row[i] = d.Val
+		}
+	}
+	return row
+}
+
+// buildOp recursively links the operator cascade: each pipeline operator
+// wraps the downstream sink; access paths return the pipeline driver.
+func buildOp(op Op, ctx *Ctx, out Sink) (func() error, error) {
+	switch o := op.(type) {
+	case *NodeScan:
+		return buildNodeScan(o, ctx, out)
+	case *RelScan:
+		return buildRelScan(o, ctx, out)
+	case *NodeByID:
+		return buildNodeByID(o, ctx, out)
+	case *IndexScan:
+		return buildIndexScan(o, ctx, out)
+	case *CreateNode:
+		return buildCreateNode(o, ctx, out)
+	case *Expand:
+		return buildExpand(o, ctx, out)
+	case *GetNode:
+		return buildGetNode(o, ctx, out)
+	case *NodeLookup:
+		return buildNodeLookup(o, ctx, out)
+	case *Filter:
+		return buildFilter(o, ctx, out)
+	case *Project:
+		return buildProject(o, ctx, out)
+	case *Limit:
+		return buildLimit(o, ctx, out)
+	case *OrderBy:
+		return buildOrderBy(o, ctx, out)
+	case *Distinct:
+		return buildDistinct(o, ctx, out)
+	case *CountAgg:
+		return buildCountAgg(o, ctx, out)
+	case *HashJoin:
+		return buildHashJoin(o, ctx, out)
+	case *CreateRel:
+		return buildCreateRel(o, ctx, out)
+	case *SetProps:
+		return buildSetProps(o, ctx, out)
+	case *Delete:
+		return buildDelete(o, ctx, out)
+	case *chunkScan:
+		return buildChunkScan(o, ctx, out)
+	case *tupleSource:
+		return buildTupleSource(o, out)
+	default:
+		return nil, fmt.Errorf("%w: unknown operator %T", ErrBadPlan, op)
+	}
+}
+
+// --- access paths ---
+
+func buildNodeScan(o *NodeScan, ctx *Ctx, out Sink) (func() error, error) {
+	ref := &codeRef{name: o.Label}
+	return func() error {
+		var labelCode uint64
+		if o.Label != "" {
+			code, ok := ref.get(ctx.E)
+			if !ok {
+				return nil // label never seen: empty result
+			}
+			labelCode = code
+		}
+		var sinkErr error
+		err := ctx.Tx.ScanNodes(func(n core.NodeSnap) bool {
+			if labelCode != 0 && uint64(n.Rec.Label) != labelCode {
+				return true
+			}
+			cont, err := out(Tuple{{Kind: DNode, Node: n}})
+			if err != nil {
+				sinkErr = err
+				return false
+			}
+			return cont
+		})
+		if err != nil {
+			return err
+		}
+		return sinkErr
+	}, nil
+}
+
+func buildRelScan(o *RelScan, ctx *Ctx, out Sink) (func() error, error) {
+	ref := &codeRef{name: o.Label}
+	return func() error {
+		var labelCode uint64
+		if o.Label != "" {
+			code, ok := ref.get(ctx.E)
+			if !ok {
+				return nil
+			}
+			labelCode = code
+		}
+		var sinkErr error
+		err := ctx.Tx.ScanRels(func(r core.RelSnap) bool {
+			if labelCode != 0 && uint64(r.Rec.Label) != labelCode {
+				return true
+			}
+			cont, err := out(Tuple{{Kind: DRel, Rel: r}})
+			if err != nil {
+				sinkErr = err
+				return false
+			}
+			return cont
+		})
+		if err != nil {
+			return err
+		}
+		return sinkErr
+	}, nil
+}
+
+func buildNodeByID(o *NodeByID, ctx *Ctx, out Sink) (func() error, error) {
+	return func() error {
+		v, ok := ctx.Params[o.Param]
+		if !ok {
+			return fmt.Errorf("query: unbound parameter $%s", o.Param)
+		}
+		n, err := ctx.Tx.GetNode(uint64(v.Int()))
+		if err == core.ErrNotFound {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		_, err = out(Tuple{{Kind: DNode, Node: n}})
+		return err
+	}, nil
+}
+
+func buildIndexScan(o *IndexScan, ctx *Ctx, out Sink) (func() error, error) {
+	val, err := buildExpr(o.Value, ctx.E)
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		tree, ok := ctx.E.IndexFor(o.Label, o.Key)
+		if !ok {
+			return fmt.Errorf("query: no index on (%s, %s)", o.Label, o.Key)
+		}
+		key, err := val(ctx, nil)
+		if err != nil {
+			return err
+		}
+		snaps, err := ctx.Tx.IndexedLookup(tree, key)
+		if err != nil {
+			return err
+		}
+		for _, n := range snaps {
+			cont, err := out(Tuple{{Kind: DNode, Node: n}})
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+		return nil
+	}, nil
+}
+
+func buildCreateNode(o *CreateNode, ctx *Ctx, out Sink) (func() error, error) {
+	evals, err := buildPropSpecs(o.Props, ctx.E)
+	if err != nil {
+		return nil, err
+	}
+	createInto := func(t Tuple) (bool, error) {
+		props, err := evalPropSpecs(evals, ctx, t)
+		if err != nil {
+			return false, err
+		}
+		id, err := ctx.Tx.CreateNode(o.Label, props)
+		if err != nil {
+			return false, err
+		}
+		n, err := ctx.Tx.GetNode(id)
+		if err != nil {
+			return false, err
+		}
+		nt := make(Tuple, len(t)+1)
+		copy(nt, t)
+		nt[len(t)] = Datum{Kind: DNode, Node: n}
+		return out(nt)
+	}
+	if o.Input == nil {
+		return func() error {
+			_, err := createInto(nil)
+			return err
+		}, nil
+	}
+	return buildOp(o.Input, ctx, createInto)
+}
+
+// --- pipeline operators ---
+
+func buildExpand(o *Expand, ctx *Ctx, out Sink) (func() error, error) {
+	ref := &codeRef{name: o.RelLabel}
+	own := func(t Tuple) (bool, error) {
+		if o.Col >= len(t) || t[o.Col].Kind != DNode {
+			return false, fmt.Errorf("%w: Expand column %d is not a node", ErrBadPlan, o.Col)
+		}
+		var labelCode uint64
+		if o.RelLabel != "" {
+			code, ok := ref.get(ctx.E)
+			if !ok {
+				return true, nil
+			}
+			labelCode = code
+		}
+		cont := true
+		var sinkErr error
+		visit := func(r core.RelSnap) bool {
+			if labelCode != 0 && uint64(r.Rec.Label) != labelCode {
+				return true
+			}
+			// The interpreter copies the tuple at every operator boundary —
+			// the boxing overhead compiled code avoids.
+			nt := make(Tuple, len(t)+1)
+			copy(nt, t)
+			nt[len(t)] = Datum{Kind: DRel, Rel: r}
+			cont, sinkErr = out(nt)
+			return cont && sinkErr == nil
+		}
+		node := t[o.Col].Node
+		if o.Dir == Out || o.Dir == Both {
+			if err := ctx.Tx.OutRels(node, visit); err != nil {
+				return false, err
+			}
+		}
+		if sinkErr == nil && cont && (o.Dir == In || o.Dir == Both) {
+			if err := ctx.Tx.InRels(node, visit); err != nil {
+				return false, err
+			}
+		}
+		return cont, sinkErr
+	}
+	return buildOp(o.Input, ctx, own)
+}
+
+func buildGetNode(o *GetNode, ctx *Ctx, out Sink) (func() error, error) {
+	own := func(t Tuple) (bool, error) {
+		if o.RelCol >= len(t) || t[o.RelCol].Kind != DRel {
+			return false, fmt.Errorf("%w: GetNode column %d is not a relationship", ErrBadPlan, o.RelCol)
+		}
+		rel := t[o.RelCol].Rel
+		var target uint64
+		switch o.End {
+		case Src:
+			target = rel.Rec.Src
+		case Dst:
+			target = rel.Rec.Dst
+		case Other:
+			if o.OtherCol >= len(t) || t[o.OtherCol].Kind != DNode {
+				return false, fmt.Errorf("%w: GetNode other-column %d is not a node", ErrBadPlan, o.OtherCol)
+			}
+			if rel.Rec.Src == t[o.OtherCol].Node.ID {
+				target = rel.Rec.Dst
+			} else {
+				target = rel.Rec.Src
+			}
+		}
+		n, err := ctx.Tx.GetNode(target)
+		if err == core.ErrNotFound {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		nt := make(Tuple, len(t)+1)
+		copy(nt, t)
+		nt[len(t)] = Datum{Kind: DNode, Node: n}
+		return out(nt)
+	}
+	return buildOp(o.Input, ctx, own)
+}
+
+func buildNodeLookup(o *NodeLookup, ctx *Ctx, out Sink) (func() error, error) {
+	val, err := buildExpr(o.Value, ctx.E)
+	if err != nil {
+		return nil, err
+	}
+	own := func(t Tuple) (bool, error) {
+		tree, ok := ctx.E.IndexFor(o.Label, o.Key)
+		if !ok {
+			return false, fmt.Errorf("query: no index on (%s, %s)", o.Label, o.Key)
+		}
+		key, err := val(ctx, t)
+		if err != nil {
+			return false, err
+		}
+		snaps, err := ctx.Tx.IndexedLookup(tree, key)
+		if err != nil {
+			return false, err
+		}
+		for _, n := range snaps {
+			nt := make(Tuple, len(t)+1)
+			copy(nt, t)
+			nt[len(t)] = Datum{Kind: DNode, Node: n}
+			cont, err := out(nt)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	return buildOp(o.Input, ctx, own)
+}
+
+func buildFilter(o *Filter, ctx *Ctx, out Sink) (func() error, error) {
+	pred, err := buildPred(o.Pred, ctx.E)
+	if err != nil {
+		return nil, err
+	}
+	own := func(t Tuple) (bool, error) {
+		ok, err := pred(ctx, t)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		return out(t)
+	}
+	return buildOp(o.Input, ctx, own)
+}
+
+func buildProject(o *Project, ctx *Ctx, out Sink) (func() error, error) {
+	evals := make([]evalFn, len(o.Cols))
+	for i, c := range o.Cols {
+		fn, err := buildExpr(c, ctx.E)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = fn
+	}
+	own := func(t Tuple) (bool, error) {
+		nt := make(Tuple, len(evals))
+		for i, fn := range evals {
+			v, err := fn(ctx, t)
+			if err != nil {
+				return false, err
+			}
+			nt[i] = Datum{Kind: DVal, Val: v}
+		}
+		return out(nt)
+	}
+	return buildOp(o.Input, ctx, own)
+}
+
+func buildLimit(o *Limit, ctx *Ctx, out Sink) (func() error, error) {
+	n := 0
+	own := func(t Tuple) (bool, error) {
+		if n >= o.N {
+			return false, nil
+		}
+		n++
+		cont, err := out(t)
+		return cont && n < o.N, err
+	}
+	return buildOp(o.Input, ctx, own)
+}
+
+func buildOrderBy(o *OrderBy, ctx *Ctx, out Sink) (func() error, error) {
+	key, err := buildExpr(o.Key, ctx.E)
+	if err != nil {
+		return nil, err
+	}
+	type item struct {
+		t Tuple
+		k storage.Value
+	}
+	var buf []item
+	own := func(t Tuple) (bool, error) {
+		k, err := key(ctx, t)
+		if err != nil {
+			return false, err
+		}
+		buf = append(buf, item{append(Tuple(nil), t...), k})
+		return true, nil
+	}
+	childRun, err := buildOp(o.Input, ctx, own)
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		buf = buf[:0]
+		if err := childRun(); err != nil {
+			return err
+		}
+		sort.SliceStable(buf, func(i, j int) bool {
+			if o.Desc {
+				return buf[j].k.Less(buf[i].k)
+			}
+			return buf[i].k.Less(buf[j].k)
+		})
+		n := len(buf)
+		if o.Limit > 0 && o.Limit < n {
+			n = o.Limit
+		}
+		for i := 0; i < n; i++ {
+			cont, err := out(buf[i].t)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+		return nil
+	}, nil
+}
+
+func buildDistinct(o *Distinct, ctx *Ctx, out Sink) (func() error, error) {
+	key, err := buildExpr(o.Key, ctx.E)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[storage.Value]struct{})
+	own := func(t Tuple) (bool, error) {
+		k, err := key(ctx, t)
+		if err != nil {
+			return false, err
+		}
+		if _, dup := seen[k]; dup {
+			return true, nil
+		}
+		seen[k] = struct{}{}
+		return out(t)
+	}
+	return buildOp(o.Input, ctx, own)
+}
+
+func buildCountAgg(o *CountAgg, ctx *Ctx, out Sink) (func() error, error) {
+	var count int64
+	own := func(Tuple) (bool, error) {
+		count++
+		return true, nil
+	}
+	childRun, err := buildOp(o.Input, ctx, own)
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		count = 0
+		if err := childRun(); err != nil {
+			return err
+		}
+		_, err := out(Tuple{{Kind: DVal, Val: storage.IntValue(count)}})
+		return err
+	}, nil
+}
+
+func buildHashJoin(o *HashJoin, ctx *Ctx, out Sink) (func() error, error) {
+	lkey, err := buildExpr(o.LKey, ctx.E)
+	if err != nil {
+		return nil, err
+	}
+	rkey, err := buildExpr(o.RKey, ctx.E)
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[storage.Value][]Tuple)
+	rightSink := func(t Tuple) (bool, error) {
+		k, err := rkey(ctx, t)
+		if err != nil {
+			return false, err
+		}
+		table[k] = append(table[k], append(Tuple(nil), t...))
+		return true, nil
+	}
+	rightRun, err := buildOp(o.Right, ctx, rightSink)
+	if err != nil {
+		return nil, err
+	}
+	leftSink := func(t Tuple) (bool, error) {
+		k, err := lkey(ctx, t)
+		if err != nil {
+			return false, err
+		}
+		for _, rt := range table[k] {
+			nt := make(Tuple, len(t)+len(rt))
+			copy(nt, t)
+			copy(nt[len(t):], rt)
+			cont, err := out(nt)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	leftRun, err := buildOp(o.Left, ctx, leftSink)
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		clear(table)
+		// Materialize the right side first (§6.2), then stream the left.
+		if err := rightRun(); err != nil {
+			return err
+		}
+		return leftRun()
+	}, nil
+}
+
+// --- update operators ---
+
+func buildCreateRel(o *CreateRel, ctx *Ctx, out Sink) (func() error, error) {
+	evals, err := buildPropSpecs(o.Props, ctx.E)
+	if err != nil {
+		return nil, err
+	}
+	own := func(t Tuple) (bool, error) {
+		if o.SrcCol >= len(t) || t[o.SrcCol].Kind != DNode ||
+			o.DstCol >= len(t) || t[o.DstCol].Kind != DNode {
+			return false, fmt.Errorf("%w: CreateRel endpoints must be nodes", ErrBadPlan)
+		}
+		props, err := evalPropSpecs(evals, ctx, t)
+		if err != nil {
+			return false, err
+		}
+		id, err := ctx.Tx.CreateRel(t[o.SrcCol].Node.ID, t[o.DstCol].Node.ID, o.Label, props)
+		if err != nil {
+			return false, err
+		}
+		r, err := ctx.Tx.GetRel(id)
+		if err != nil {
+			return false, err
+		}
+		nt := make(Tuple, len(t)+1)
+		copy(nt, t)
+		nt[len(t)] = Datum{Kind: DRel, Rel: r}
+		return out(nt)
+	}
+	return buildOp(o.Input, ctx, own)
+}
+
+func buildSetProps(o *SetProps, ctx *Ctx, out Sink) (func() error, error) {
+	evals, err := buildPropSpecs(o.Props, ctx.E)
+	if err != nil {
+		return nil, err
+	}
+	own := func(t Tuple) (bool, error) {
+		if o.Col >= len(t) {
+			return false, fmt.Errorf("%w: SetProps column %d out of range", ErrBadPlan, o.Col)
+		}
+		props, err := evalPropSpecs(evals, ctx, t)
+		if err != nil {
+			return false, err
+		}
+		switch t[o.Col].Kind {
+		case DNode:
+			if err := ctx.Tx.SetNodeProps(t[o.Col].Node.ID, props); err != nil {
+				return false, err
+			}
+		case DRel:
+			if err := ctx.Tx.SetRelProps(t[o.Col].Rel.ID, props); err != nil {
+				return false, err
+			}
+		default:
+			return false, fmt.Errorf("%w: SetProps column %d is a value", ErrBadPlan, o.Col)
+		}
+		return out(t)
+	}
+	return buildOp(o.Input, ctx, own)
+}
+
+func buildDelete(o *Delete, ctx *Ctx, out Sink) (func() error, error) {
+	own := func(t Tuple) (bool, error) {
+		if o.Col >= len(t) {
+			return false, fmt.Errorf("%w: Delete column %d out of range", ErrBadPlan, o.Col)
+		}
+		switch t[o.Col].Kind {
+		case DNode:
+			if err := ctx.Tx.DetachDeleteNode(t[o.Col].Node.ID); err != nil {
+				return false, err
+			}
+		case DRel:
+			if err := ctx.Tx.DeleteRel(t[o.Col].Rel.ID); err != nil {
+				return false, err
+			}
+		default:
+			return false, fmt.Errorf("%w: Delete column %d is a value", ErrBadPlan, o.Col)
+		}
+		return out(t)
+	}
+	return buildOp(o.Input, ctx, own)
+}
+
+// --- property specs ---
+
+type propSpecEval struct {
+	key string
+	fn  evalFn
+}
+
+func buildPropSpecs(specs []PropSpec, e *core.Engine) ([]propSpecEval, error) {
+	out := make([]propSpecEval, len(specs))
+	for i, s := range specs {
+		fn, err := buildExpr(s.Val, e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = propSpecEval{key: s.Key, fn: fn}
+	}
+	return out, nil
+}
+
+func evalPropSpecs(evals []propSpecEval, ctx *Ctx, t Tuple) (map[string]any, error) {
+	if len(evals) == 0 {
+		return nil, nil
+	}
+	props := make(map[string]any, len(evals))
+	for _, pe := range evals {
+		v, err := pe.fn(ctx, t)
+		if err != nil {
+			return nil, err
+		}
+		gv, err := ctx.E.DecodeValue(v)
+		if err != nil {
+			return nil, err
+		}
+		props[pe.key] = gv
+	}
+	return props, nil
+}

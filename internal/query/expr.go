@@ -1,0 +1,135 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a scalar expression evaluated against a tuple. Expressions are
+// resolved (dictionary codes bound) at prepare time and evaluated by the
+// interpreter through dynamic dispatch; the JIT backend instead
+// specializes them into the generated pipeline code.
+type Expr interface {
+	sig(b *strings.Builder)
+}
+
+// Prop reads a property of the node or relationship in column Col.
+type Prop struct {
+	Col int
+	Key string
+}
+
+func (e *Prop) sig(b *strings.Builder) { fmt.Fprintf(b, "prop(%d,%s)", e.Col, e.Key) }
+
+// IDOf yields the record id of the node or relationship in column Col.
+type IDOf struct {
+	Col int
+}
+
+func (e *IDOf) sig(b *strings.Builder) { fmt.Fprintf(b, "id(%d)", e.Col) }
+
+// LabelOf yields the label code of the node or relationship in Col.
+type LabelOf struct {
+	Col int
+}
+
+func (e *LabelOf) sig(b *strings.Builder) { fmt.Fprintf(b, "label(%d)", e.Col) }
+
+// Const is a literal value (Go int/int64/float64/bool/string).
+type Const struct {
+	Val any
+}
+
+func (e *Const) sig(b *strings.Builder) { fmt.Fprintf(b, "const(%v)", e.Val) }
+
+// Param references a named query parameter bound at execution time. Its
+// signature contribution is the name only, so compiled code is shared
+// across bindings.
+type Param struct {
+	Name string
+}
+
+func (e *Param) sig(b *strings.Builder) { fmt.Fprintf(b, "$%s", e.Name) }
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// Cmp compares two expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+func (e *Cmp) sig(b *strings.Builder) {
+	b.WriteString("(")
+	e.L.sig(b)
+	b.WriteString(e.Op.String())
+	e.R.sig(b)
+	b.WriteString(")")
+}
+
+// And is a conjunction.
+type And struct{ L, R Expr }
+
+func (e *And) sig(b *strings.Builder) {
+	b.WriteString("(")
+	e.L.sig(b)
+	b.WriteString(" and ")
+	e.R.sig(b)
+	b.WriteString(")")
+}
+
+// Or is a disjunction.
+type Or struct{ L, R Expr }
+
+func (e *Or) sig(b *strings.Builder) {
+	b.WriteString("(")
+	e.L.sig(b)
+	b.WriteString(" or ")
+	e.R.sig(b)
+	b.WriteString(")")
+}
+
+// Not negates a boolean expression.
+type Not struct{ X Expr }
+
+func (e *Not) sig(b *strings.Builder) {
+	b.WriteString("not(")
+	e.X.sig(b)
+	b.WriteString(")")
+}
+
+// HasLabel tests the label of the node or relationship in Col.
+type HasLabel struct {
+	Col   int
+	Label string
+}
+
+func (e *HasLabel) sig(b *strings.Builder) { fmt.Fprintf(b, "hasLabel(%d,%s)", e.Col, e.Label) }

@@ -1,0 +1,428 @@
+package query
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"poseidon/internal/core"
+)
+
+// Morsel-driven parallelism (§6.1): scans are split into chunk-granular
+// morsels; each worker pulls morsels from a shared counter and runs the
+// streaming part of the pipeline on its morsel. Operators above the last
+// pipeline breaker run single-threaded over the collected intermediate
+// tuples. The same machinery powers the adaptive JIT execution (§6.2),
+// which swaps the per-morsel task function once compilation finishes.
+
+// MorselPlan is a plan split for morsel-driven execution.
+type MorselPlan struct {
+	// Pipeline is the streaming subtree: leaf scan up to (excluding) the
+	// first pipeline breaker.
+	Pipeline Op
+	// Tail holds the remaining operators root-first; empty if the whole
+	// plan streams.
+	Tail []Op
+	// Leaf is the plan's access path, a *NodeScan or *RelScan.
+	Leaf Op
+}
+
+// isBreaker reports whether the operator must see all input tuples before
+// emitting (a pipeline breaker in the §6.1 sense).
+func isBreaker(op Op) bool {
+	switch op.(type) {
+	case *OrderBy, *CountAgg, *Distinct, *HashJoin:
+		return true
+	default:
+		return false
+	}
+}
+
+// hasUpdates reports whether the subtree contains update operators, which
+// must not run concurrently on a shared transaction.
+func hasUpdates(op Op) bool {
+	for cur := op; cur != nil; cur = cur.child() {
+		switch cur.(type) {
+		case *CreateNode, *CreateRel, *SetProps, *Delete:
+			return true
+		case *HashJoin:
+			return true // child() only walks the left side
+		}
+	}
+	return false
+}
+
+// SplitForMorsels decomposes a plan for parallel execution. It returns
+// ok=false when the plan cannot be parallelized: the access path is not a
+// table scan, the plan contains updates, or a join.
+func SplitForMorsels(p *Plan) (*MorselPlan, bool) {
+	if p == nil || p.Root == nil || hasUpdates(p.Root) {
+		return nil, false
+	}
+	var chain []Op // root first
+	for cur := p.Root; cur != nil; cur = cur.child() {
+		chain = append(chain, cur)
+	}
+	leaf := chain[len(chain)-1]
+	switch leaf.(type) {
+	case *NodeScan, *RelScan:
+	default:
+		return nil, false
+	}
+	// Find the breaker closest to the leaf.
+	split := -1
+	for i, op := range chain {
+		if isBreaker(op) {
+			split = i
+		}
+	}
+	mp := &MorselPlan{Leaf: leaf}
+	if split == -1 {
+		mp.Pipeline = p.Root
+	} else {
+		mp.Pipeline = chain[split].child()
+		mp.Tail = chain[:split+1]
+	}
+	return mp, true
+}
+
+// SplitPipeline decomposes any single-chain plan into its streaming
+// pipeline and breaker tail, without the parallelizability restrictions
+// of SplitForMorsels. The JIT compiler (§6.2) compiles the pipeline into
+// one function and leaves breakers to the materializing tail. Plans
+// containing joins return ok=false (the join build side is a separate
+// pipeline).
+func SplitPipeline(p *Plan) (*MorselPlan, bool) {
+	if p == nil || p.Root == nil {
+		return nil, false
+	}
+	var chain []Op
+	for cur := p.Root; cur != nil; cur = cur.child() {
+		if _, isJoin := cur.(*HashJoin); isJoin {
+			return nil, false
+		}
+		chain = append(chain, cur)
+	}
+	split := -1
+	for i, op := range chain {
+		if isBreaker(op) {
+			split = i
+		}
+	}
+	mp := &MorselPlan{Leaf: chain[len(chain)-1]}
+	if split == -1 {
+		mp.Pipeline = p.Root
+	} else {
+		mp.Pipeline = chain[split].child()
+		mp.Tail = chain[:split+1]
+	}
+	return mp, true
+}
+
+// MorselGrain is the number of record slots per morsel. Finer than a
+// table chunk so even laptop-scale tables expose enough parallelism for
+// the §6.1 task model (the paper pins morsels to tasks the same way).
+const MorselGrain = 256
+
+// MorselCount returns the number of morsels covering n record slots.
+func MorselCount(maxID uint64) uint64 {
+	return (maxID + MorselGrain - 1) / MorselGrain
+}
+
+// --- internal operators used by the parallel machinery ---
+
+// chunkScan is a NodeScan/RelScan restricted to one chunk; the chunk
+// index is read through a pointer so a worker can reuse its compiled
+// pipeline across morsels.
+type chunkScan struct {
+	label string
+	rel   bool
+	chunk *uint64
+}
+
+func (o *chunkScan) sig(b *strings.Builder) {
+	fmt.Fprintf(b, "chunkScan(%s,%v)", o.label, o.rel)
+}
+func (o *chunkScan) child() Op { return nil }
+
+// tupleSource replays materialized tuples into a pipeline (used to feed
+// the tail operators).
+type tupleSource struct {
+	tuples []Tuple
+}
+
+func (o *tupleSource) sig(b *strings.Builder) { b.WriteString("tupleSource") }
+func (o *tupleSource) child() Op              { return nil }
+
+func buildChunkScan(o *chunkScan, ctx *Ctx, out Sink) (func() error, error) {
+	ref := &codeRef{name: o.label}
+	return func() error {
+		var labelCode uint32
+		if o.label != "" {
+			code, ok := ref.get(ctx.E)
+			if !ok {
+				return nil
+			}
+			labelCode = uint32(code)
+		}
+		from := *o.chunk * MorselGrain
+		to := from + MorselGrain
+		if o.rel {
+			it := ctx.Tx.NewRelRangeIter(from, to, labelCode)
+			for {
+				ok, err := it.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				cont, err := out(Tuple{{Kind: DRel, Rel: it.Rel()}})
+				if err != nil || !cont {
+					return err
+				}
+			}
+		}
+		it := ctx.Tx.NewNodeRangeIter(from, to, labelCode)
+		for {
+			ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			cont, err := out(Tuple{{Kind: DNode, Node: it.Node()}})
+			if err != nil || !cont {
+				return err
+			}
+		}
+	}, nil
+}
+
+func buildTupleSource(o *tupleSource, out Sink) (func() error, error) {
+	return func() error {
+		for _, t := range o.tuples {
+			cont, err := out(t)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+		return nil
+	}, nil
+}
+
+// CloneWithInput shallow-copies a pipeline operator with a new input.
+func CloneWithInput(op Op, in Op) (Op, error) {
+	switch o := op.(type) {
+	case *Expand:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *GetNode:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *NodeLookup:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *CreateNode:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *Filter:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *Project:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *Limit:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *OrderBy:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *Distinct:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *CountAgg:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *CreateRel:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *SetProps:
+		c := *o
+		c.Input = in
+		return &c, nil
+	case *Delete:
+		c := *o
+		c.Input = in
+		return &c, nil
+	default:
+		return nil, fmt.Errorf("%w: cannot re-root %T", ErrBadPlan, op)
+	}
+}
+
+// rebuildOnLeaf clones the subtree rooted at root, substituting newLeaf
+// for its access path.
+func rebuildOnLeaf(root Op, newLeaf Op) (Op, error) {
+	if root.child() == nil {
+		return newLeaf, nil
+	}
+	in, err := rebuildOnLeaf(root.child(), newLeaf)
+	if err != nil {
+		return nil, err
+	}
+	return CloneWithInput(root, in)
+}
+
+// PipelineRunner builds an interpreter instance of the morsel pipeline
+// for one worker. The returned run function executes the pipeline on the
+// chunk currently stored in *chunk.
+func (mp *MorselPlan) PipelineRunner(ctx *Ctx, chunk *uint64, out Sink) (func() error, error) {
+	leaf := &chunkScan{chunk: chunk}
+	switch l := mp.Leaf.(type) {
+	case *NodeScan:
+		leaf.label = l.Label
+	case *RelScan:
+		leaf.label = l.Label
+		leaf.rel = true
+	default:
+		return nil, fmt.Errorf("%w: unsupported morsel leaf %T", ErrBadPlan, mp.Leaf)
+	}
+	root, err := rebuildOnLeaf(mp.Pipeline, leaf)
+	if err != nil {
+		return nil, err
+	}
+	return buildOp(root, ctx, out)
+}
+
+// RunTail executes the tail operators over materialized tuples.
+func (mp *MorselPlan) RunTail(ctx *Ctx, tuples []Tuple, emit func(Row) bool) error {
+	terminal := func(t Tuple) (bool, error) { return emit(tupleToRow(t)), nil }
+	if len(mp.Tail) == 0 {
+		for _, t := range tuples {
+			if cont, err := terminal(t); err != nil || !cont {
+				return err
+			}
+		}
+		return nil
+	}
+	// Rebuild only the tail chain (root-first in mp.Tail) over the
+	// materialized tuples; the pipeline below it already ran.
+	root := Op(&tupleSource{tuples: tuples})
+	for i := len(mp.Tail) - 1; i >= 0; i-- {
+		var err error
+		root, err = CloneWithInput(mp.Tail[i], root)
+		if err != nil {
+			return err
+		}
+	}
+	run, err := buildOp(root, ctx, terminal)
+	if err != nil {
+		return err
+	}
+	return run()
+}
+
+// RunParallel executes the plan with morsel-driven parallelism using the
+// given number of workers (0 = GOMAXPROCS). Plans that cannot be
+// parallelized fall back to single-threaded interpretation. Result order
+// is nondeterministic across morsels.
+func (pr *Prepared) RunParallel(tx *core.Tx, params Params, workers int, emit func(Row) bool) error {
+	mp, ok := SplitForMorsels(pr.Plan)
+	if !ok {
+		return pr.Run(tx, params, emit)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	bound, err := BindParams(pr.E, params)
+	if err != nil {
+		return err
+	}
+	ctx := &Ctx{E: pr.E, Tx: tx, Params: bound}
+
+	var nchunks uint64
+	if _, isRel := mp.Leaf.(*RelScan); isRel {
+		nchunks = MorselCount(pr.E.Rels().MaxID())
+	} else {
+		nchunks = MorselCount(pr.E.Nodes().MaxID())
+	}
+
+	var mu sync.Mutex
+	var collected []Tuple
+	stopped := false
+	streaming := len(mp.Tail) == 0
+	collect := func(t Tuple) (bool, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped {
+			return false, nil
+		}
+		if streaming {
+			if !emit(tupleToRow(t)) {
+				stopped = true
+				return false, nil
+			}
+			return true, nil
+		}
+		collected = append(collected, append(Tuple(nil), t...))
+		return true, nil
+	}
+
+	var next atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var chunk uint64
+			run, err := mp.PipelineRunner(ctx, &chunk, collect)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			for {
+				c := next.Add(1) - 1
+				if c >= nchunks || firstErr.Load() != nil {
+					return
+				}
+				mu.Lock()
+				done := stopped
+				mu.Unlock()
+				if done {
+					return
+				}
+				chunk = c
+				if err := run(); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	if streaming {
+		return nil
+	}
+	return mp.RunTail(ctx, collected, emit)
+}

@@ -1,0 +1,176 @@
+// Package storage implements the paper's §4 storage model: node,
+// relationship and property tables kept in persistent memory as linked
+// lists of fixed-size chunks (DD1), with per-chunk occupancy bitmaps,
+// a persistent chunk directory acting as the sparse index (DD2), records
+// linked by 8-byte array offsets instead of 16-byte persistent pointers
+// (DD2/DD4), and properties outsourced to a separate table in
+// cache-line-sized batches (DD3).
+package storage
+
+import "math"
+
+// NilID is the null record offset/identifier. Offset 0 is a valid record,
+// so the all-ones pattern marks "no record" in offset fields.
+const NilID = ^uint64(0)
+
+// Record sizes in bytes, matching the paper's §4.2 ("a record size for
+// nodes and relationships of 56 and 72 bytes respectively"; property
+// batches are cache-line sized). The read timestamp rts of the MVTO
+// protocol lives in a volatile sidecar (§5.1 discusses this alternative),
+// which is what makes the 56/72-byte persistent layouts possible.
+const (
+	NodeRecordSize = 56
+	RelRecordSize  = 72
+	PropRecordSize = 64
+)
+
+// Node record field offsets.
+const (
+	NTxnID = 0  // write-lock / owner transaction id (8B, CaS target)
+	NBts   = 8  // begin timestamp
+	NEts   = 16 // end timestamp
+	NLabel = 24 // label dictionary code (4B)
+	NFlags = 28 // record flags (4B)
+	NOut   = 32 // offset of first outgoing relationship
+	NIn    = 40 // offset of first incoming relationship
+	NProps = 48 // offset of first property record
+)
+
+// Relationship record field offsets.
+const (
+	RTxnID   = 0
+	RBts     = 8
+	REts     = 16
+	RLabel   = 24 // label dictionary code (4B)
+	RFlags   = 28 // record flags (4B)
+	RSrc     = 32 // source node offset
+	RDst     = 40 // destination node offset
+	RNextSrc = 48 // next relationship of the source node (out-list)
+	RNextDst = 56 // next relationship of the destination node (in-list)
+	RProps   = 64 // offset of first property record
+)
+
+// Property record layout: a 64-byte batch of up to three key/value items
+// belonging to one node or relationship, linked to the next batch.
+const (
+	PNext     = 0 // next property record of the same owner
+	POwner    = 8 // owning node/relationship offset (for integrity checks)
+	PItems    = 16
+	PItemSize = 16
+	PItemsMax = 3 // (64 - 16) / 16
+)
+
+// Property item field offsets relative to the item start.
+const (
+	piKey  = 0 // property key dictionary code (4B)
+	piType = 4 // value type tag (4B)
+	piVal  = 8 // raw 64-bit value
+)
+
+// Record flags.
+const (
+	// FlagTombstone marks a logically deleted record whose slot has not
+	// been reused yet.
+	FlagTombstone = 1 << 0
+)
+
+// ValueType tags property values.
+type ValueType uint32
+
+// Supported property value types.
+const (
+	TypeNil ValueType = iota
+	TypeInt
+	TypeFloat
+	TypeBool
+	TypeString // value is a dictionary code
+)
+
+// Value is a decoded property value: a type tag plus the raw 64-bit
+// payload. String payloads are dictionary codes; translating them to Go
+// strings is the caller's job (the engine layer owns the dictionary).
+type Value struct {
+	Type ValueType
+	Raw  uint64
+}
+
+// IntValue builds an integer value.
+func IntValue(v int64) Value { return Value{Type: TypeInt, Raw: uint64(v)} }
+
+// FloatValue builds a float value.
+func FloatValue(v float64) Value { return Value{Type: TypeFloat, Raw: math.Float64bits(v)} }
+
+// BoolValue builds a boolean value.
+func BoolValue(v bool) Value {
+	var r uint64
+	if v {
+		r = 1
+	}
+	return Value{Type: TypeBool, Raw: r}
+}
+
+// StringValue builds a string value from a dictionary code.
+func StringValue(code uint64) Value { return Value{Type: TypeString, Raw: code} }
+
+// Int returns the integer payload.
+func (v Value) Int() int64 { return int64(v.Raw) }
+
+// Float returns the float payload.
+func (v Value) Float() float64 { return math.Float64frombits(v.Raw) }
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool { return v.Raw != 0 }
+
+// Code returns the dictionary code of a string payload.
+func (v Value) Code() uint64 { return v.Raw }
+
+// IsNil reports whether the value is the nil value.
+func (v Value) IsNil() bool { return v.Type == TypeNil }
+
+// Less orders two values of the same type (strings by code).
+func (v Value) Less(o Value) bool {
+	if v.Type != o.Type {
+		return v.Type < o.Type
+	}
+	switch v.Type {
+	case TypeInt:
+		return v.Int() < o.Int()
+	case TypeFloat:
+		return v.Float() < o.Float()
+	default:
+		return v.Raw < o.Raw
+	}
+}
+
+// Prop is a decoded key/value property pair (key is a dictionary code).
+type Prop struct {
+	Key uint32
+	Val Value
+}
+
+// NodeRec is the volatile mirror of a node record, used for DRAM-resident
+// dirty versions (§5.2) and for bulk record copies.
+type NodeRec struct {
+	TxnID uint64
+	Bts   uint64
+	Ets   uint64
+	Label uint32
+	Flags uint32
+	Out   uint64
+	In    uint64
+	Props uint64
+}
+
+// RelRec is the volatile mirror of a relationship record.
+type RelRec struct {
+	TxnID   uint64
+	Bts     uint64
+	Ets     uint64
+	Label   uint32
+	Flags   uint32
+	Src     uint64
+	Dst     uint64
+	NextSrc uint64
+	NextDst uint64
+	Props   uint64
+}

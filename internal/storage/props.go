@@ -1,0 +1,118 @@
+package storage
+
+import "poseidon/internal/pmemobj"
+
+// Property batches (DD3): key/value pairs of a node or relationship are
+// grouped into cache-line-sized records of up to three items; further
+// items link to the next batch. All property mutations run inside the
+// enclosing pmemobj transaction so that the property chain flips along
+// with its owner's version fields.
+
+// WritePropChainTx stores props as a chain of property records, returning
+// the head record id (or NilID for an empty set). Slots are allocated
+// within tx.
+func WritePropChainTx(tx *pmemobj.Tx, tbl *Table, owner uint64, props []Prop) (uint64, error) {
+	if len(props) == 0 {
+		return NilID, nil
+	}
+	dev := tbl.dev
+	head := NilID
+	var prevOff uint64
+	for i := 0; i < len(props); i += PItemsMax {
+		id, off, err := tbl.InsertTx(tx)
+		if err != nil {
+			return 0, err
+		}
+		dev.WriteU64(off+PNext, NilID)
+		dev.WriteU64(off+POwner, owner)
+		for j := 0; j < PItemsMax; j++ {
+			item := off + PItems + uint64(j)*PItemSize
+			if i+j < len(props) {
+				p := props[i+j]
+				dev.WriteU64(item+piKey, uint64(p.Key)|uint64(p.Val.Type)<<32)
+				dev.WriteU64(item+piVal, p.Val.Raw)
+			} else {
+				dev.WriteU64(item+piKey, 0)
+				dev.WriteU64(item+piVal, 0)
+			}
+		}
+		tx.NoteWrite(off, PropRecordSize)
+		if head == NilID {
+			head = id
+		} else {
+			// Link from the previous batch; it was written in this tx and
+			// is already covered by its NoteWrite.
+			dev.WriteU64(prevOff+PNext, id)
+		}
+		prevOff = off
+	}
+	return head, nil
+}
+
+// ReadPropChain decodes the property chain starting at record id head.
+func ReadPropChain(tbl *Table, head uint64) []Prop {
+	if head == NilID {
+		return nil
+	}
+	dev := tbl.dev
+	var props []Prop
+	for id := head; id != NilID; {
+		off, ok := tbl.RecordOffset(id)
+		if !ok {
+			break
+		}
+		for j := 0; j < PItemsMax; j++ {
+			item := off + PItems + uint64(j)*PItemSize
+			kt := dev.ReadU64(item + piKey)
+			key := uint32(kt)
+			typ := ValueType(kt >> 32)
+			if key == 0 && typ == TypeNil {
+				continue
+			}
+			props = append(props, Prop{Key: key, Val: Value{Type: typ, Raw: dev.ReadU64(item + piVal)}})
+		}
+		id = dev.ReadU64(off + PNext)
+	}
+	return props
+}
+
+// PropValue looks up a single key in the chain without materializing the
+// whole property set; the common case for filters.
+func PropValue(tbl *Table, head uint64, key uint32) (Value, bool) {
+	if head == NilID {
+		return Value{}, false
+	}
+	dev := tbl.dev
+	for id := head; id != NilID; {
+		off, ok := tbl.RecordOffset(id)
+		if !ok {
+			return Value{}, false
+		}
+		for j := 0; j < PItemsMax; j++ {
+			item := off + PItems + uint64(j)*PItemSize
+			kt := dev.ReadU64(item + piKey)
+			if uint32(kt) == key {
+				return Value{Type: ValueType(kt >> 32), Raw: dev.ReadU64(item + piVal)}, true
+			}
+		}
+		id = dev.ReadU64(off + PNext)
+	}
+	return Value{}, false
+}
+
+// FreePropChainTx releases every record of the chain starting at head.
+func FreePropChainTx(tx *pmemobj.Tx, tbl *Table, head uint64) error {
+	dev := tbl.dev
+	for id := head; id != NilID; {
+		off, ok := tbl.RecordOffset(id)
+		if !ok {
+			return nil
+		}
+		next := dev.ReadU64(off + PNext)
+		if err := tbl.ReleaseTx(tx, id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}

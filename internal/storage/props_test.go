@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"reflect"
+	"testing"
+
+	"poseidon/internal/pmemobj"
+)
+
+func writeProps(t *testing.T, pool *pmemobj.Pool, tbl *Table, owner uint64, props []Prop) uint64 {
+	t.Helper()
+	var head uint64
+	err := pool.RunTx(func(tx *pmemobj.Tx) error {
+		var err error
+		head, err = WritePropChainTx(tx, tbl, owner, props)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return head
+}
+
+func TestPropChainRoundTrip(t *testing.T) {
+	pool, _ := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, PropRecordSize, Options{})
+	props := []Prop{
+		{Key: 1, Val: IntValue(-42)},
+		{Key: 2, Val: FloatValue(3.14)},
+		{Key: 3, Val: BoolValue(true)},
+		{Key: 4, Val: StringValue(99)},
+		{Key: 5, Val: IntValue(0)},
+		{Key: 6, Val: BoolValue(false)},
+		{Key: 7, Val: FloatValue(-1e300)},
+	}
+	head := writeProps(t, pool, tbl, 123, props)
+	got := ReadPropChain(tbl, head)
+	if !reflect.DeepEqual(got, props) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, props)
+	}
+}
+
+func TestPropChainEmpty(t *testing.T) {
+	pool, _ := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, PropRecordSize, Options{})
+	head := writeProps(t, pool, tbl, 1, nil)
+	if head != NilID {
+		t.Errorf("empty prop chain head = %d, want NilID", head)
+	}
+	if got := ReadPropChain(tbl, NilID); got != nil {
+		t.Errorf("ReadPropChain(NilID) = %v, want nil", got)
+	}
+}
+
+func TestPropChainBatching(t *testing.T) {
+	pool, _ := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, PropRecordSize, Options{})
+	// Exactly PItemsMax props: one record. One more: two records.
+	three := []Prop{{Key: 1, Val: IntValue(1)}, {Key: 2, Val: IntValue(2)}, {Key: 3, Val: IntValue(3)}}
+	writeProps(t, pool, tbl, 1, three)
+	if c := tbl.Count(); c != 1 {
+		t.Errorf("3 props used %d records, want 1", c)
+	}
+	four := append(three, Prop{Key: 4, Val: IntValue(4)})
+	writeProps(t, pool, tbl, 2, four)
+	if c := tbl.Count(); c != 3 {
+		t.Errorf("3+4 props used %d records total, want 3", c)
+	}
+}
+
+func TestPropValueLookup(t *testing.T) {
+	pool, _ := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, PropRecordSize, Options{})
+	var props []Prop
+	for k := uint32(1); k <= 10; k++ {
+		props = append(props, Prop{Key: k, Val: IntValue(int64(k) * 100)})
+	}
+	head := writeProps(t, pool, tbl, 7, props)
+	for k := uint32(1); k <= 10; k++ {
+		v, ok := PropValue(tbl, head, k)
+		if !ok || v.Int() != int64(k)*100 {
+			t.Errorf("PropValue(%d) = %v,%v", k, v, ok)
+		}
+	}
+	if _, ok := PropValue(tbl, head, 999); ok {
+		t.Error("PropValue found a missing key")
+	}
+	if _, ok := PropValue(tbl, NilID, 1); ok {
+		t.Error("PropValue on empty chain found a key")
+	}
+}
+
+func TestFreePropChainReleasesAllRecords(t *testing.T) {
+	pool, _ := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, PropRecordSize, Options{})
+	var props []Prop
+	for k := uint32(1); k <= 8; k++ { // 3 records
+		props = append(props, Prop{Key: k, Val: IntValue(int64(k))})
+	}
+	head := writeProps(t, pool, tbl, 7, props)
+	if tbl.Count() != 3 {
+		t.Fatalf("setup: %d records", tbl.Count())
+	}
+	err := pool.RunTx(func(tx *pmemobj.Tx) error {
+		return FreePropChainTx(tx, tbl, head)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Count() != 0 {
+		t.Errorf("records after free = %d, want 0", tbl.Count())
+	}
+}
+
+func TestNodeRecRoundTrip(t *testing.T) {
+	pool, dev := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, NodeRecordSize, Options{})
+	_, off, _ := tbl.Insert()
+	want := NodeRec{
+		TxnID: 9, Bts: 10, Ets: 11,
+		Label: 12, Flags: FlagTombstone,
+		Out: 13, In: NilID, Props: 15,
+	}
+	WriteNodeRec(dev, off, &want)
+	if got := ReadNodeRec(dev, off); got != want {
+		t.Errorf("node record round trip:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRelRecRoundTrip(t *testing.T) {
+	pool, dev := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, RelRecordSize, Options{})
+	_, off, _ := tbl.Insert()
+	want := RelRec{
+		TxnID: 1, Bts: 2, Ets: 3,
+		Label: 4, Flags: 0,
+		Src: 5, Dst: 6, NextSrc: NilID, NextDst: 8, Props: NilID,
+	}
+	WriteRelRec(dev, off, &want)
+	if got := ReadRelRec(dev, off); got != want {
+		t.Errorf("rel record round trip:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if v := IntValue(-5); v.Int() != -5 || v.Type != TypeInt {
+		t.Error("IntValue broken")
+	}
+	if v := FloatValue(2.5); v.Float() != 2.5 {
+		t.Error("FloatValue broken")
+	}
+	if !BoolValue(true).Bool() || BoolValue(false).Bool() {
+		t.Error("BoolValue broken")
+	}
+	if StringValue(7).Code() != 7 {
+		t.Error("StringValue broken")
+	}
+	if !(Value{}).IsNil() || IntValue(1).IsNil() {
+		t.Error("IsNil broken")
+	}
+	if !IntValue(1).Less(IntValue(2)) || IntValue(2).Less(IntValue(1)) {
+		t.Error("Less(int) broken")
+	}
+	if !IntValue(-1).Less(IntValue(0)) {
+		t.Error("Less must be signed for ints")
+	}
+	if !FloatValue(1.5).Less(FloatValue(2.5)) {
+		t.Error("Less(float) broken")
+	}
+}

@@ -1,0 +1,74 @@
+package storage
+
+import "poseidon/internal/pmem"
+
+// Typed record accessors. These are thin, explicit field readers/writers —
+// the "AOT-compiled access methods" that both the interpreter and the JIT
+// backend reuse (§6.2: reusing AOT-compiled code keeps generated code
+// compliant with the design goals).
+
+// ReadNodeRec loads a full node record into its volatile mirror.
+func ReadNodeRec(dev *pmem.Device, off uint64) NodeRec {
+	var words [NodeRecordSize / 8]uint64
+	dev.ReadWords(off, words[:])
+	return NodeRec{
+		TxnID: words[0],
+		Bts:   words[1],
+		Ets:   words[2],
+		Label: uint32(words[3]),
+		Flags: uint32(words[3] >> 32),
+		Out:   words[4],
+		In:    words[5],
+		Props: words[6],
+	}
+}
+
+// WriteNodeRec stores a full node record. The caller is responsible for
+// flushing (directly or through a transaction).
+func WriteNodeRec(dev *pmem.Device, off uint64, r *NodeRec) {
+	words := [NodeRecordSize / 8]uint64{
+		r.TxnID,
+		r.Bts,
+		r.Ets,
+		uint64(r.Label) | uint64(r.Flags)<<32,
+		r.Out,
+		r.In,
+		r.Props,
+	}
+	dev.WriteWords(off, words[:])
+}
+
+// ReadRelRec loads a full relationship record into its volatile mirror.
+func ReadRelRec(dev *pmem.Device, off uint64) RelRec {
+	var words [RelRecordSize / 8]uint64
+	dev.ReadWords(off, words[:])
+	return RelRec{
+		TxnID:   words[0],
+		Bts:     words[1],
+		Ets:     words[2],
+		Label:   uint32(words[3]),
+		Flags:   uint32(words[3] >> 32),
+		Src:     words[4],
+		Dst:     words[5],
+		NextSrc: words[6],
+		NextDst: words[7],
+		Props:   words[8],
+	}
+}
+
+// WriteRelRec stores a full relationship record. The caller is responsible
+// for flushing.
+func WriteRelRec(dev *pmem.Device, off uint64, r *RelRec) {
+	words := [RelRecordSize / 8]uint64{
+		r.TxnID,
+		r.Bts,
+		r.Ets,
+		uint64(r.Label) | uint64(r.Flags)<<32,
+		r.Src,
+		r.Dst,
+		r.NextSrc,
+		r.NextDst,
+		r.Props,
+	}
+	dev.WriteWords(off, words[:])
+}

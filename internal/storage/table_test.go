@@ -1,0 +1,350 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"poseidon/internal/pmem"
+	"poseidon/internal/pmemobj"
+)
+
+func newTestPool(t *testing.T, size int) (*pmemobj.Pool, *pmem.Device) {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Name: "storage", Size: size, Persistent: true})
+	pool, err := pmemobj.Create(dev, pmemobj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	return pool, dev
+}
+
+func TestChunkGeometry(t *testing.T) {
+	for _, recSize := range []uint64{NodeRecordSize, RelRecordSize, PropRecordSize, 8, 1024} {
+		cap_, bitmapLen, dataStart := chunkGeometry(recSize, TargetChunkBytes)
+		if cap_ == 0 {
+			t.Fatalf("recSize %d: zero capacity", recSize)
+		}
+		if dataStart%64 != 0 {
+			t.Errorf("recSize %d: dataStart %d not cache-line aligned", recSize, dataStart)
+		}
+		if dataStart < cBitmap+bitmapLen {
+			t.Errorf("recSize %d: records overlap bitmap", recSize)
+		}
+		if dataStart+cap_*recSize > TargetChunkBytes {
+			t.Errorf("recSize %d: chunk overflows budget", recSize)
+		}
+		if bitmapLen*8 < cap_ {
+			t.Errorf("recSize %d: bitmap too small for %d slots", recSize, cap_)
+		}
+	}
+}
+
+func TestInsertAssignsSequentialIDs(t *testing.T) {
+	pool, _ := newTestPool(t, 16<<20)
+	tbl, err := CreateTable(pool, NodeRecordSize, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := uint64(0); want < 100; want++ {
+		id, off, err := tbl.Insert()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != want {
+			t.Fatalf("id = %d, want %d", id, want)
+		}
+		got, ok := tbl.RecordOffset(id)
+		if !ok || got != off {
+			t.Fatalf("RecordOffset(%d) = %d,%v want %d", id, got, ok, off)
+		}
+		if !tbl.Occupied(id) {
+			t.Fatalf("id %d not occupied after insert", id)
+		}
+	}
+	if tbl.Count() != 100 {
+		t.Errorf("Count = %d, want 100", tbl.Count())
+	}
+}
+
+func TestReleaseAndReuse(t *testing.T) {
+	pool, _ := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, NodeRecordSize, Options{})
+	var ids []uint64
+	for i := 0; i < 10; i++ {
+		id, _, _ := tbl.Insert()
+		ids = append(ids, id)
+	}
+	if err := tbl.Release(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Occupied(ids[3]) {
+		t.Error("released slot still occupied")
+	}
+	id, _, err := tbl.Insert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ids[3] {
+		t.Errorf("insert after release = id %d, want reused %d", id, ids[3])
+	}
+}
+
+func TestReleaseErrors(t *testing.T) {
+	pool, _ := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, NodeRecordSize, Options{})
+	if err := tbl.Release(0); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("release of never-allocated id = %v, want ErrBadRecord", err)
+	}
+	id, _, _ := tbl.Insert()
+	if err := tbl.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Release(id); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("double release = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestReleaseZeroesRecord(t *testing.T) {
+	pool, dev := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, NodeRecordSize, Options{})
+	id, off, _ := tbl.Insert()
+	dev.WriteU64(off+NBts, 777)
+	if err := tbl.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	id2, off2, _ := tbl.Insert()
+	if id2 != id {
+		t.Fatalf("expected slot reuse")
+	}
+	if dev.ReadU64(off2+NBts) != 0 {
+		t.Error("reused record not zeroed")
+	}
+}
+
+func TestGrowthAcrossChunks(t *testing.T) {
+	pool, _ := newTestPool(t, 64<<20)
+	tbl, _ := CreateTable(pool, NodeRecordSize, Options{})
+	n := tbl.ChunkCap()*2 + 5 // force three chunks
+	for i := uint64(0); i < n; i++ {
+		if _, _, err := tbl.Insert(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Chunks() != 3 {
+		t.Errorf("chunks = %d, want 3", tbl.Chunks())
+	}
+	if tbl.Count() != n {
+		t.Errorf("count = %d, want %d", tbl.Count(), n)
+	}
+	// Scan must visit every id exactly once, in order.
+	var prev int64 = -1
+	var visited uint64
+	tbl.Scan(func(id, _ uint64) bool {
+		if int64(id) <= prev {
+			t.Fatalf("scan out of order: %d after %d", id, prev)
+		}
+		prev = int64(id)
+		visited++
+		return true
+	})
+	if visited != n {
+		t.Errorf("scan visited %d, want %d", visited, n)
+	}
+}
+
+func TestScanSkipsReleased(t *testing.T) {
+	pool, _ := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, NodeRecordSize, Options{})
+	for i := 0; i < 20; i++ {
+		tbl.Insert()
+	}
+	for _, id := range []uint64{0, 5, 19} {
+		tbl.Release(id)
+	}
+	seen := map[uint64]bool{}
+	tbl.Scan(func(id, _ uint64) bool { seen[id] = true; return true })
+	if len(seen) != 17 {
+		t.Errorf("scan saw %d records, want 17", len(seen))
+	}
+	for _, id := range []uint64{0, 5, 19} {
+		if seen[id] {
+			t.Errorf("scan visited released id %d", id)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	pool, _ := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, NodeRecordSize, Options{})
+	for i := 0; i < 50; i++ {
+		tbl.Insert()
+	}
+	count := 0
+	tbl.Scan(func(_, _ uint64) bool { count++; return count < 7 })
+	if count != 7 {
+		t.Errorf("scan visited %d records after early stop, want 7", count)
+	}
+}
+
+func TestOpenTableRebuildsState(t *testing.T) {
+	dev := pmem.New(pmem.Config{Name: "t", Size: 32 << 20, Persistent: true})
+	pool, _ := pmemobj.Create(dev, pmemobj.Options{})
+	tbl, _ := CreateTable(pool, RelRecordSize, Options{})
+	hdr := tbl.Offset()
+	n := tbl.ChunkCap() + 10
+	for i := uint64(0); i < n; i++ {
+		tbl.Insert()
+	}
+	tbl.Release(2)
+	tbl.Release(7)
+	pool.Close()
+	dev.Crash()
+
+	pool2, err := pmemobj.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	tbl2, err := OpenTable(pool2, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.Count() != n-2 {
+		t.Errorf("count after reopen = %d, want %d", tbl2.Count(), n-2)
+	}
+	// Inserts after reopen must fill existing chunks, not allocate new
+	// ones, and the explicitly freed slots must eventually be reused.
+	free := tbl2.Chunks()*tbl2.ChunkCap() - tbl2.Count() // exactly fills both chunks
+	reused := map[uint64]bool{}
+	for i := uint64(0); i < free; i++ {
+		id, _, err := tbl2.Insert()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused[id] = true
+	}
+	if tbl2.Chunks() != 2 {
+		t.Errorf("chunks after refill = %d, want 2 (slot reuse, DG5)", tbl2.Chunks())
+	}
+	if !reused[2] || !reused[7] {
+		t.Error("freed slots 2 and 7 were not reused")
+	}
+}
+
+func TestInsertAtTx(t *testing.T) {
+	pool, _ := newTestPool(t, 32<<20)
+	tbl, _ := CreateTable(pool, NodeRecordSize, Options{})
+	err := pool.RunTx(func(tx *pmemobj.Tx) error {
+		// Bulk-load to a specific high id, forcing chunk creation.
+		if _, err := tbl.InsertAtTx(tx, tbl.ChunkCap()+3); err != nil {
+			return err
+		}
+		_, err := tbl.InsertAtTx(tx, tbl.ChunkCap()+3)
+		if !errors.Is(err, ErrBadRecord) {
+			t.Errorf("duplicate InsertAtTx = %v, want ErrBadRecord", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Occupied(tbl.ChunkCap() + 3) {
+		t.Error("slot not occupied after InsertAtTx")
+	}
+	if tbl.Chunks() != 2 {
+		t.Errorf("chunks = %d, want 2", tbl.Chunks())
+	}
+}
+
+func TestAbortedInsertRollsBackThenResync(t *testing.T) {
+	pool, _ := newTestPool(t, 16<<20)
+	tbl, _ := CreateTable(pool, NodeRecordSize, Options{})
+	tbl.Insert()
+	sentinel := errors.New("abort")
+	err := pool.RunTx(func(tx *pmemobj.Tx) error {
+		if _, _, err := tbl.InsertTx(tx); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatal(err)
+	}
+	tbl.ResyncVolatile()
+	if tbl.Count() != 1 {
+		t.Errorf("count after aborted insert = %d, want 1", tbl.Count())
+	}
+	// Table must remain fully usable.
+	id, _, err := tbl.Insert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("id after aborted insert = %d, want 1", id)
+	}
+}
+
+func TestCrashDuringInsertRecovers(t *testing.T) {
+	dev := pmem.New(pmem.Config{Name: "t", Size: 16 << 20, Persistent: true})
+	pool, _ := pmemobj.Create(dev, pmemobj.Options{})
+	tbl, _ := CreateTable(pool, NodeRecordSize, Options{})
+	hdr := tbl.Offset()
+	tbl.Insert()
+	tbl.Insert()
+
+	// Start a transaction that inserts, then crash before commit.
+	tx := pool.Begin()
+	if _, _, err := tbl.InsertTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abandon()
+	pool.Close()
+	dev.Crash()
+
+	pool2, err := pmemobj.Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	tbl2, err := OpenTable(pool2, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl2.Count(); got != 2 {
+		t.Errorf("count after crashed insert = %d, want 2", got)
+	}
+}
+
+func TestTableIDOffsetBijectionProperty(t *testing.T) {
+	pool, _ := newTestPool(t, 64<<20)
+	tbl, _ := CreateTable(pool, PropRecordSize, Options{})
+	n := tbl.ChunkCap() * 3
+	offsets := map[uint64]uint64{}
+	for i := uint64(0); i < n; i++ {
+		id, off, err := tbl.Insert()
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets[id] = off
+	}
+	f := func(raw uint64) bool {
+		id := raw % n
+		off, ok := tbl.RecordOffset(id)
+		if !ok || off != offsets[id] {
+			return false
+		}
+		// Offsets of distinct ids never collide and records don't overlap.
+		if id+1 < n {
+			next := offsets[id+1]
+			if next > off && next-off < PropRecordSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

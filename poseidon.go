@@ -1,0 +1,306 @@
+// Package poseidon is the public facade of the PMem graph engine: a
+// transactional property-graph database designed for persistent memory,
+// with MVTO snapshot-isolated transactions, hybrid DRAM/PMem B+-tree
+// indexes, a push-based query engine and a JIT query compiler with
+// adaptive execution — a from-scratch Go reproduction of "JIT happens:
+// Transactional Graph Processing in Persistent Memory meets Just-In-Time
+// Compilation" (EDBT 2021).
+//
+// Quick start:
+//
+//	db, err := poseidon.Open(poseidon.Config{})
+//	tx := db.Begin()
+//	alice, _ := tx.CreateNode("Person", map[string]any{"name": "alice"})
+//	bob, _ := tx.CreateNode("Person", map[string]any{"name": "bob"})
+//	tx.CreateRel(alice, bob, "knows", nil)
+//	tx.Commit()
+//
+//	plan := &query.Plan{Root: &query.NodeScan{Label: "Person"}}
+//	rows, _ := db.Query(plan, nil)
+//
+// The heavy lifting lives in the internal packages: pmem (simulated
+// persistent memory), pmemobj (PMDK-like pools and failure-atomic
+// transactions), storage (chunked record tables), dict (persistent
+// dictionary), index (B+-trees), core (the MVTO engine), query (algebra
+// and interpreter), jit (IR, optimizer, closure backend, code cache),
+// ldbc (the SNB-like workload) and diskstore (the disk baseline).
+package poseidon
+
+import (
+	"fmt"
+	"strings"
+
+	"poseidon/internal/core"
+	"poseidon/internal/cypher"
+	"poseidon/internal/index"
+	"poseidon/internal/jit"
+	"poseidon/internal/pmem"
+	"poseidon/internal/query"
+)
+
+// Mode selects the storage medium.
+type Mode = core.Mode
+
+// Storage modes.
+const (
+	// PMem keeps primary data in simulated persistent memory with
+	// Optane-like latencies; data survives DB.Crash.
+	PMem = core.PMem
+	// DRAM runs the identical engine on volatile zero-latency memory
+	// (the paper's dram baseline).
+	DRAM = core.DRAM
+)
+
+// IndexKind selects a secondary-index variant.
+type IndexKind = index.Kind
+
+// Index variants (paper §4.2 / Fig 8). HybridIndex is the recommended
+// default: PMem leaves with DRAM inner nodes.
+const (
+	VolatileIndex   = index.Volatile
+	HybridIndex     = index.Hybrid
+	PersistentIndex = index.Persistent
+)
+
+// ExecMode selects how DB.Query executes a plan.
+type ExecMode int
+
+// Execution modes (§6).
+const (
+	// Interpret uses the AOT-compiled push-based interpreter.
+	Interpret ExecMode = iota
+	// Parallel uses morsel-driven parallel interpretation.
+	Parallel
+	// JIT compiles the pipeline to specialized code (cached) and runs it.
+	JIT
+	// Adaptive interprets morsels while compiling in the background, then
+	// switches to compiled code (§6.2 "Adaptive Execution").
+	Adaptive
+)
+
+// Config configures a database.
+type Config struct {
+	// Mode selects PMem (default) or DRAM.
+	Mode Mode
+	// PoolSize is the device capacity in bytes (default 256 MiB).
+	PoolSize int
+	// Workers bounds Parallel/Adaptive execution (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DB is a Poseidon graph database.
+type DB struct {
+	engine  *core.Engine
+	jit     *jit.Engine
+	workers int
+}
+
+// Tx is a snapshot-isolated MVTO transaction. See core.Tx for the full
+// API: CreateNode, CreateRel, GetNode, GetRel, SetNodeProps, SetRelProps,
+// DeleteNode, DetachDeleteNode, DeleteRel, OutRels, InRels, ScanNodes,
+// Commit, Abort.
+type Tx = core.Tx
+
+// Open creates a new database.
+func Open(cfg Config) (*DB, error) {
+	e, err := core.Open(core.Config{Mode: cfg.Mode, PoolSize: cfg.PoolSize})
+	if err != nil {
+		return nil, err
+	}
+	j, err := jit.New(e)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	return &DB{engine: e, jit: j, workers: cfg.Workers}, nil
+}
+
+// Reopen attaches to the device of a previously opened PMem database,
+// running crash recovery. Use db.Device() to obtain the device before a
+// crash.
+func Reopen(dev *pmem.Device, cfg Config) (*DB, error) {
+	e, err := core.Reopen(dev, core.Config{Mode: cfg.Mode, PoolSize: cfg.PoolSize})
+	if err != nil {
+		return nil, err
+	}
+	j, err := jit.New(e)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	return &DB{engine: e, jit: j, workers: cfg.Workers}, nil
+}
+
+// Close releases the database. The underlying device stays usable for
+// Reopen.
+func (db *DB) Close() { db.engine.Close() }
+
+// Engine exposes the underlying graph engine.
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Device exposes the simulated memory device (for crash testing, stats
+// and Save/Load persistence across processes).
+func (db *DB) Device() *pmem.Device { return db.engine.Device() }
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx { return db.engine.Begin() }
+
+// CreateIndex builds a secondary index over the given node label and
+// property and keeps it maintained by every commit.
+func (db *DB) CreateIndex(label, key string, kind IndexKind) error {
+	return db.engine.CreateIndex(label, key, kind)
+}
+
+// Query runs a plan in a fresh read-only transaction with the default
+// (Interpret) mode and returns all rows decoded to Go values.
+func (db *DB) Query(plan *query.Plan, params query.Params) ([][]any, error) {
+	return db.QueryMode(plan, params, Interpret)
+}
+
+// QueryMode runs a plan with an explicit execution mode.
+func (db *DB) QueryMode(plan *query.Plan, params query.Params, mode ExecMode) ([][]any, error) {
+	tx := db.engine.Begin()
+	defer tx.Abort()
+	rows, err := db.QueryTx(tx, plan, params, mode)
+	return rows, err
+}
+
+// QueryTx runs a plan inside an existing transaction, so updates observe
+// and join the transaction's effects.
+func (db *DB) QueryTx(tx *Tx, plan *query.Plan, params query.Params, mode ExecMode) ([][]any, error) {
+	var raw []query.Row
+	collect := func(r query.Row) bool { raw = append(raw, r); return true }
+	var err error
+	switch mode {
+	case Interpret:
+		var pr *query.Prepared
+		if pr, err = query.Prepare(db.engine, plan); err == nil {
+			err = pr.Run(tx, params, collect)
+		}
+	case Parallel:
+		var pr *query.Prepared
+		if pr, err = query.Prepare(db.engine, plan); err == nil {
+			err = pr.RunParallel(tx, params, db.workers, collect)
+		}
+	case JIT:
+		_, err = db.jit.Run(tx, plan, params, collect)
+	case Adaptive:
+		_, err = db.jit.RunAdaptive(tx, plan, params, db.workers, collect)
+	default:
+		err = fmt.Errorf("poseidon: unknown execution mode %d", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]any, len(raw))
+	for i, r := range raw {
+		row := make([]any, len(r))
+		for k, v := range r {
+			gv, err := db.engine.DecodeValue(v)
+			if err != nil {
+				return nil, err
+			}
+			row[k] = gv
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// Exec runs an update plan inside a fresh transaction and commits it,
+// returning the number of result rows.
+func (db *DB) Exec(plan *query.Plan, params query.Params) (int, error) {
+	pr, err := query.Prepare(db.engine, plan)
+	if err != nil {
+		return 0, err
+	}
+	tx := db.engine.Begin()
+	n := 0
+	if err := pr.Run(tx, params, func(query.Row) bool { n++; return true }); err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Cypher parses and runs a Cypher-like statement (the paper's §1 "we
+// support Cypher-like navigational queries") in its own transaction,
+// committing updates. Values are decoded to Go types.
+//
+//	rows, err := db.Cypher(`MATCH (p:Person {name: $n})-[:knows]->(f)
+//	                        RETURN f.name ORDER BY f.name`, query.Params{"n": "ada"})
+func (db *DB) Cypher(src string, params query.Params) ([][]any, error) {
+	return db.CypherMode(src, params, Interpret)
+}
+
+// CypherMode runs a Cypher-like statement with an explicit execution
+// mode. Read-only statements may use any mode; updates run reliably under
+// Interpret and JIT.
+func (db *DB) CypherMode(src string, params query.Params, mode ExecMode) ([][]any, error) {
+	plan, err := cypher.Plan(db.engine, src)
+	if err != nil {
+		return nil, err
+	}
+	tx := db.engine.Begin()
+	rows, err := db.QueryTx(tx, plan, params, mode)
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Explain describes how a plan would execute: its signature (the
+// compiled-code cache key), whether the JIT can compile it, and how the
+// morsel-driven executor would split it.
+func (db *DB) Explain(plan *query.Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "signature: %s\n", plan.Signature())
+	if mp, ok := query.SplitPipeline(plan); ok {
+		fmt.Fprintf(&b, "pipeline:  %s\n", (&query.Plan{Root: mp.Pipeline}).Signature())
+		fmt.Fprintf(&b, "tail ops:  %d (materializing breaker and everything above it)\n", len(mp.Tail))
+	} else {
+		b.WriteString("pipeline:  not single-chain (join): interpreter only\n")
+	}
+	if c, err := db.jit.Compile(plan); err == nil {
+		fmt.Fprintf(&b, "jit:       compiled in %v (cache hit: %v)\n", c.CompileTime, c.FromCache)
+	} else {
+		fmt.Fprintf(&b, "jit:       not compilable (%v)\n", err)
+	}
+	if _, ok := query.SplitForMorsels(plan); ok {
+		b.WriteString("parallel:  morsel-driven scan\n")
+	} else {
+		b.WriteString("parallel:  single-threaded (point access or updates)\n")
+	}
+	return b.String()
+}
+
+// ExplainCypher parses a Cypher statement and explains its plan.
+func (db *DB) ExplainCypher(src string) (string, error) {
+	plan, err := cypher.Plan(db.engine, src)
+	if err != nil {
+		return "", err
+	}
+	return db.Explain(plan), nil
+}
+
+// Crash simulates a power failure on a PMem database: everything not yet
+// persisted is lost. Reopen the device to recover.
+func (db *DB) Crash() *pmem.Device {
+	dev := db.engine.Device()
+	db.engine.Close()
+	dev.Crash()
+	return dev
+}
+
+// NodeCount returns the number of allocated node records.
+func (db *DB) NodeCount() uint64 { return db.engine.NodeCount() }
+
+// RelCount returns the number of allocated relationship records.
+func (db *DB) RelCount() uint64 { return db.engine.RelCount() }
