@@ -11,6 +11,7 @@ package poseidon
 // shapes must hold; EXPERIMENTS.md records paper-vs-measured per figure.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -145,6 +146,100 @@ func BenchmarkTxCommitSmallUpdate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- streamed vs materialized result delivery ---
+
+var (
+	streamOnce sync.Once
+	streamDB   *DB
+	streamErr  error
+)
+
+// streamBenchDB lazily builds a 100k-node DRAM graph shared by the
+// streamed/materialized pair, so both measure delivery, not setup.
+func streamBenchDB(b *testing.B) *DB {
+	streamOnce.Do(func() {
+		streamDB, streamErr = Open(Config{Mode: DRAM, PoolSize: 512 << 20})
+		if streamErr != nil {
+			return
+		}
+		const batch = 10000
+		for i := 0; i < 100000; i += batch {
+			tx := streamDB.Begin()
+			for j := i; j < i+batch; j++ {
+				if _, streamErr = tx.CreateNode("Person", map[string]any{"v": int64(j)}); streamErr != nil {
+					return
+				}
+			}
+			if streamErr = tx.Commit(); streamErr != nil {
+				return
+			}
+		}
+	})
+	if streamErr != nil {
+		b.Fatal(streamErr)
+	}
+	return streamDB
+}
+
+func streamBenchPlan() *query.Plan {
+	return &query.Plan{Root: &query.Project{
+		Input: &query.NodeScan{Label: "Person"},
+		Cols:  []query.Expr{&query.Prop{Col: 0, Key: "v"}},
+	}}
+}
+
+// BenchmarkScan100kMaterialized collects a 100k-row scan into [][]any
+// through the classic facade path: every row is decoded and held.
+func BenchmarkScan100kMaterialized(b *testing.B) {
+	db := streamBenchDB(b)
+	plan := streamBenchPlan()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := db.Query(plan, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 100000 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+	b.ReportMetric(float64(100000*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkScan100kStreamed pulls the same scan through a Rows cursor,
+// reading raw values without decoding or materializing: the streaming
+// path's allocation advantage is the point of the comparison.
+func BenchmarkScan100kStreamed(b *testing.B) {
+	db := streamBenchDB(b)
+	stmt, err := db.PreparePlan(streamBenchPlan())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := db.NewSession(SessionConfig{})
+	defer sess.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := sess.Query(context.Background(), stmt, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			_ = rows.Row()
+			n++
+		}
+		if err := rows.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if n != 100000 {
+			b.Fatalf("rows = %d", n)
+		}
+	}
+	b.ReportMetric(float64(100000*b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
 // BenchmarkPointLookup measures an indexed point lookup through the

@@ -19,15 +19,33 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"poseidon"
 	"poseidon/internal/core"
 	"poseidon/internal/query"
 )
+
+// shell bundles the database with the session every statement runs in.
+// The session pins a 30s statement deadline, so a runaway scan cancels
+// itself instead of hanging the prompt.
+type shell struct {
+	db   *poseidon.DB
+	sess *poseidon.Session
+}
+
+func (sh *shell) reset(db *poseidon.DB) {
+	if sh.sess != nil {
+		sh.sess.Close()
+	}
+	sh.db = db
+	sh.sess = db.NewSession(poseidon.SessionConfig{Timeout: 30 * time.Second})
+}
 
 func main() {
 	db, err := poseidon.Open(poseidon.Config{Mode: poseidon.PMem, PoolSize: 256 << 20})
@@ -35,7 +53,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer db.Close()
+	sh := &shell{}
+	sh.reset(db)
+	defer func() {
+		sh.sess.Close()
+		sh.db.Close()
+	}()
 	fmt.Println("poseidon graph shell (PMem mode). Type 'help' for commands.")
 
 	indexed := map[[2]string]bool{}
@@ -47,7 +70,7 @@ func main() {
 		}
 		line := sc.Text()
 		if rest, ok := cutPrefixFold(line, "explain "); ok {
-			out, err := db.ExplainCypher(rest)
+			out, err := sh.db.ExplainCypher(rest)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -56,15 +79,9 @@ func main() {
 			continue
 		}
 		if rest, ok := cutPrefixFold(line, "cypher "); ok {
-			rows, err := db.Cypher(rest, nil)
-			if err != nil {
+			if err := sh.cypher(rest); err != nil {
 				fmt.Println("error:", err)
-				continue
 			}
-			for _, r := range rows {
-				fmt.Println(r)
-			}
-			fmt.Printf("(%d rows)\n", len(rows))
 			continue
 		}
 		fields := strings.Fields(line)
@@ -72,13 +89,49 @@ func main() {
 			continue
 		}
 		cmd, args := fields[0], fields[1:]
-		if err := run(&db, cmd, args, indexed); err != nil {
+		if err := run(sh, cmd, args, indexed); err != nil {
 			if err == errQuit {
 				return
 			}
 			fmt.Println("error:", err)
 		}
 	}
+}
+
+// cypher prepares the statement (cached across repeats — see 'stats')
+// and either commits it as an update or streams the result row by row.
+func (sh *shell) cypher(src string) error {
+	stmt, err := sh.db.Prepare(src)
+	if err != nil {
+		return err
+	}
+	if stmt.Plan().HasUpdates() {
+		n, err := sh.sess.Exec(context.Background(), stmt, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(%d rows, committed)\n", n)
+		return nil
+	}
+	rows, err := sh.sess.Query(context.Background(), stmt, nil)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		vals, err := rows.Values()
+		if err != nil {
+			return err
+		}
+		fmt.Println(vals)
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("(%d rows)\n", n)
+	return nil
 }
 
 var errQuit = fmt.Errorf("quit")
@@ -119,8 +172,8 @@ func parseID(s string) (uint64, error) {
 	return n, nil
 }
 
-func run(dbp **poseidon.DB, cmd string, args []string, indexed map[[2]string]bool) error {
-	db := *dbp
+func run(sh *shell, cmd string, args []string, indexed map[[2]string]bool) error {
+	db := sh.db
 	switch cmd {
 	case "help":
 		fmt.Println("node rel get out in scan find set del stats crash quit")
@@ -220,14 +273,28 @@ func run(dbp **poseidon.DB, cmd string, args []string, indexed map[[2]string]boo
 		if len(args) != 1 {
 			return fmt.Errorf("usage: scan <label>")
 		}
-		rows, err := db.Query(&query.Plan{Root: &query.NodeScan{Label: args[0]}}, nil)
+		stmt, err := db.PreparePlan(&query.Plan{Root: &query.NodeScan{Label: args[0]}})
 		if err != nil {
 			return err
 		}
-		for _, r := range rows {
-			fmt.Printf("node %v\n", r[0])
+		rows, err := sh.sess.Query(context.Background(), stmt, nil)
+		if err != nil {
+			return err
 		}
-		fmt.Printf("(%d nodes)\n", len(rows))
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			vals, err := rows.Values()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("node %v\n", vals[0])
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("(%d nodes)\n", n)
 		return nil
 
 	case "find":
@@ -292,6 +359,9 @@ func run(dbp **poseidon.DB, cmd string, args []string, indexed map[[2]string]boo
 		fmt.Printf("nodes=%d rels=%d reads=%d writes=%d flushes=%d drains=%d cacheHit=%d cacheMiss=%d\n",
 			db.NodeCount(), db.RelCount(),
 			st.Reads, st.Writes, st.LineFlushes, st.Drains, st.CacheHits, st.CacheMisses)
+		cs := db.CacheStats()
+		fmt.Printf("stmt cache: %d cached, %d hits, %d misses, %d evictions\n",
+			cs.Size, cs.Hits, cs.Misses, cs.Evictions)
 		return nil
 
 	case "crash":
@@ -301,7 +371,7 @@ func run(dbp **poseidon.DB, cmd string, args []string, indexed map[[2]string]boo
 		if err != nil {
 			return err
 		}
-		*dbp = db2
+		sh.reset(db2)
 		fmt.Printf("recovered: %d nodes, %d rels\n", db2.NodeCount(), db2.RelCount())
 		return nil
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -71,7 +72,11 @@ func main() {
 	}
 	fmt.Printf("relink from persistent cache: %v (cache hit: %v)\n\n", c2.CompileTime, c2.FromCache)
 
-	// AOT vs JIT on the same transaction.
+	// AOT vs JIT on the same transaction. Every run carries a context:
+	// a 10s ceiling cancels mid-scan (and mid-compile) if something
+	// degenerates, rolling the transaction back.
+	ctx, cancelAll := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelAll()
 	params := query.Params{"id": int64(10)}
 	pr, _ := query.Prepare(e, plan)
 	tx := e.Begin()
@@ -81,13 +86,13 @@ func main() {
 	var aot, jitTime time.Duration
 	for i := 0; i < runs; i++ {
 		start := time.Now()
-		if err := pr.Run(tx, params, func(query.Row) bool { return true }); err != nil {
+		if err := pr.RunCtx(ctx, tx, params, func(query.Row) bool { return true }); err != nil {
 			log.Fatal(err)
 		}
 		aot += time.Since(start)
 
 		start = time.Now()
-		if _, err := j.Run(tx, plan, params, func(query.Row) bool { return true }); err != nil {
+		if _, err := j.RunCtx(ctx, tx, plan, params, func(query.Row) bool { return true }); err != nil {
 			log.Fatal(err)
 		}
 		jitTime += time.Since(start)
@@ -98,9 +103,11 @@ func main() {
 
 	// Adaptive execution: morsels start interpreted; once background
 	// compilation finishes, the task function is swapped (§6.2 Fig 3).
+	// Cancelling ctx would stop the workers between morsels and abandon
+	// the background compilation at its next stage boundary.
 	j2, _ := jit.New(e) // fresh engine: empty in-memory cache
 	j2.InvalidateSession()
-	st, err := j2.RunAdaptive(tx, plan, params, 4, func(query.Row) bool { return true })
+	st, err := j2.RunAdaptiveCtx(ctx, tx, plan, params, 4, func(query.Row) bool { return true })
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,7 +128,7 @@ func main() {
 	fmt.Printf("cypher plan compiled in %v; running under the JIT:\n", cc.CompileTime)
 	tx2 := e.Begin()
 	defer tx2.Abort()
-	if _, err := j.Run(tx2, cplan, query.Params{"id": int64(10)}, func(r query.Row) bool {
+	if _, err := j.RunCtx(ctx, tx2, cplan, query.Params{"id": int64(10)}, func(r query.Row) bool {
 		first, _ := e.Dict().Decode(r[0].Code())
 		last, _ := e.Dict().Decode(r[1].Code())
 		fmt.Printf("  post 10 author: %s %s\n", first, last)

@@ -1,10 +1,14 @@
 // Quickstart: open a PMem graph database, create a small social graph in
-// a transaction, build an index and run queries in every execution mode.
+// a transaction, build an index, and query it through the session API —
+// prepared statements, streaming rows and context deadlines — in every
+// execution mode.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"poseidon"
 	"poseidon/internal/query"
@@ -53,6 +57,13 @@ func main() {
 		},
 	}}
 
+	// Prepare once: the plan is parsed/planned a single time and cached
+	// in the DB, shared by every session (see db.CacheStats).
+	stmt, err := db.PreparePlan(friends)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	for _, mode := range []struct {
 		name string
 		m    poseidon.ExecMode
@@ -62,15 +73,35 @@ func main() {
 		{"JIT-compiled", poseidon.JIT},
 		{"adaptive", poseidon.Adaptive},
 	} {
-		rows, err := db.QueryMode(friends, query.Params{"who": "alice"}, mode.m)
+		// A session pins the execution mode and a default deadline; a
+		// statement exceeding it is cancelled mid-scan and rolled back.
+		sess := db.NewSession(poseidon.SessionConfig{Mode: mode.m, Timeout: 5 * time.Second})
+		rows, err := sess.Query(context.Background(), stmt, query.Params{"who": "alice"})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-26s -> alice knows %v\n", mode.name, rows)
+		// Stream the result: rows arrive while the scan still runs, and
+		// values decode on demand.
+		var friends []string
+		for rows.Next() {
+			var name string
+			var age int64
+			if err := rows.Scan(&name, &age); err != nil {
+				log.Fatal(err)
+			}
+			friends = append(friends, fmt.Sprintf("%s(%d)", name, age))
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		rows.Close()
+		sess.Close()
+		fmt.Printf("%-26s -> alice knows %v\n", mode.name, friends)
 	}
 
-	// Updates through the algebra too: bump bob's age.
-	n, err := db.Exec(&query.Plan{Root: &query.SetProps{
+	// Updates through the algebra too: bump bob's age. ExecCtx commits
+	// atomically — a cancelled context would roll everything back.
+	n, err := db.ExecCtx(context.Background(), &query.Plan{Root: &query.SetProps{
 		Input: &query.IndexScan{Label: "Person", Key: "name", Value: &query.Param{Name: "who"}},
 		Col:   0,
 		Props: []query.PropSpec{{Key: "age", Val: &query.Param{Name: "age"}}},
@@ -78,5 +109,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("updated %d node(s); device stats: %+v\n", n, db.Device().Stats.Snapshot())
+	cs := db.CacheStats()
+	fmt.Printf("updated %d node(s); stmt cache: %d cached / %d hits / %d misses\n",
+		n, cs.Size, cs.Hits, cs.Misses)
 }

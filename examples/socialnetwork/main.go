@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -81,11 +82,15 @@ func main() {
 			qs := ldbc.SRQueries()
 			for i := 0; i < totalReads/readers; i++ {
 				q := qs[rng.Intn(len(qs))]
+				// Per-statement deadline: a read stuck behind a pathological
+				// scan cancels itself rather than stalling the session.
+				rctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 				tx := e.Begin()
-				err := srPlans[q.Name()].Run(tx, pg.SRParams(q), func(query.Row) bool { return true })
+				err := srPlans[q.Name()].RunCtx(rctx, tx, pg.SRParams(q), func(query.Row) bool { return true })
 				tx.Abort()
-				if err != nil && errors.Is(err, core.ErrAborted) {
-					aborts.Add(1) // reader hit a write-locked record (§5.1)
+				cancel()
+				if err != nil && (errors.Is(err, core.ErrAborted) || errors.Is(err, context.DeadlineExceeded)) {
+					aborts.Add(1) // reader hit a write-locked record (§5.1) or its deadline
 					continue
 				}
 				if err != nil {
@@ -103,8 +108,10 @@ func main() {
 		for i := 0; i < totalUpdates; i++ {
 			q := ldbc.IUQueries()[rng.Intn(8)]
 			params := pg.IUParams(q)
+			uctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			tx := e.Begin()
-			_, err := j.Run(tx, iuPlans[q.Num], params, func(query.Row) bool { return true })
+			_, err := j.RunCtx(uctx, tx, iuPlans[q.Num], params, func(query.Row) bool { return true })
+			cancel()
 			if err != nil {
 				tx.Abort()
 				if errors.Is(err, core.ErrAborted) {

@@ -21,7 +21,13 @@ import (
 func (tx *Tx) Commit() error {
 	tx.endMu.Lock()
 	defer tx.endMu.Unlock()
-	if err := tx.check(); err != nil {
+	if tx.done.Load() {
+		return ErrTxDone
+	}
+	// A cancelled context turns Commit into a rollback: nothing of the
+	// transaction becomes visible.
+	if err := tx.ctxErr(); err != nil {
+		_ = tx.abortLocked()
 		return err
 	}
 	if len(tx.order) == 0 {

@@ -334,6 +334,15 @@ func (e *Engine) NodeCount() uint64 { return e.nodes.Count() }
 // RelCount returns the number of occupied relationship slots.
 func (e *Engine) RelCount() uint64 { return e.rels.Count() }
 
+// ActiveTxs returns the number of transactions that have begun but not
+// yet committed or aborted. Facade tests use it to assert that cancelled
+// executions do not leak transactions.
+func (e *Engine) ActiveTxs() int {
+	e.activeMu.Lock()
+	defer e.activeMu.Unlock()
+	return len(e.active)
+}
+
 // minActive returns the smallest active transaction timestamp, or the
 // current clock when no transaction is active.
 func (e *Engine) minActive() uint64 {

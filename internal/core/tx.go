@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,12 @@ type Tx struct {
 	// read workers sharing the transaction can trigger an abort safely.
 	done  atomic.Bool
 	endMu sync.Mutex
+
+	// ctx, when non-nil, is consulted by every operation: once it is
+	// cancelled the transaction aborts itself and all subsequent calls
+	// return the context's error. It is set via WithContext before any
+	// parallel workers start and never mutated while they run.
+	ctx context.Context
 
 	dirty map[objKey]*dirtyObj
 	order []objKey // deterministic commit order
@@ -69,9 +76,41 @@ func (tx *Tx) EngineDict() *dict.Dict { return tx.e.dict }
 // ReadOnly reports whether the transaction has written anything yet.
 func (tx *Tx) ReadOnly() bool { return len(tx.order) == 0 }
 
+// WithContext attaches a context to the transaction and returns the
+// previously attached one (nil if none). Every subsequent operation —
+// reads, scans, traversals, writes, Commit — first checks the context;
+// on cancellation the transaction aborts itself (discarding all dirty
+// versions and releasing its write locks, so no update is half-applied)
+// and the operation returns ctx.Err(). The query layers attach the
+// caller's context for the duration of one execution; parallel scan
+// workers inherit it through the shared transaction.
+//
+// WithContext must not be called while another goroutine is using the
+// transaction.
+func (tx *Tx) WithContext(ctx context.Context) context.Context {
+	prev := tx.ctx
+	tx.ctx = ctx
+	return prev
+}
+
+// Context returns the attached context (nil if none).
+func (tx *Tx) Context() context.Context { return tx.ctx }
+
+// ctxErr reports the attached context's error without side effects.
+func (tx *Tx) ctxErr() error {
+	if tx.ctx == nil {
+		return nil
+	}
+	return tx.ctx.Err()
+}
+
 func (tx *Tx) check() error {
 	if tx.done.Load() {
 		return ErrTxDone
+	}
+	if err := tx.ctxErr(); err != nil {
+		tx.mustAbort()
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,39 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns a normalized cache key for a Cypher statement: the
+// token stream re-joined with uniform whitespace and upper-cased
+// keywords, so formatting and casing differences do not defeat the
+// prepared-statement cache. Literals stay part of the key (they select
+// different plans), while parameters contribute only their names, so one
+// cached statement serves all bindings.
+func Fingerprint(src string) (string, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokString:
+			// Quote strings so 'a b' cannot collide with two idents.
+			fmt.Fprintf(&b, "%q", t.text)
+		case tokParam:
+			b.WriteByte('$')
+			b.WriteString(t.text)
+		default:
+			b.WriteString(t.text)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,6 +1,7 @@
 package jit
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -63,6 +64,18 @@ func (j *Engine) InvalidateSession() {
 // a hit, link the stored code; otherwise generate IR, run the
 // optimization cascade, lower, and persist.
 func (j *Engine) Compile(plan *query.Plan) (*Compiled, error) {
+	return j.CompileCtx(context.Background(), plan)
+}
+
+// CompileCtx is Compile with a cancellation context, checked at every
+// stage boundary (cache lookup, codegen, pass cascade, lowering). The
+// adaptive executor uses it so that cancelling a query also cancels its
+// background compilation instead of leaving a goroutine finishing work
+// nobody will use.
+func (j *Engine) CompileCtx(ctx context.Context, plan *query.Plan) (*Compiled, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sig := plan.Signature()
 	j.mu.Lock()
 	if c, ok := j.mem[sig]; ok {
@@ -74,6 +87,9 @@ func (j *Engine) Compile(plan *query.Plan) (*Compiled, error) {
 	mp, ok := query.SplitPipeline(plan)
 	if !ok {
 		return nil, fmt.Errorf("%w: plan contains a join", ErrUnsupported)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	start := time.Now()
@@ -102,8 +118,14 @@ func (j *Engine) Compile(plan *query.Plan) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	stats := Optimize(fullFn)
 	Optimize(morselFn)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	full, err := Lower(fullFn)
 	if err != nil {
 		return nil, err
@@ -180,8 +202,19 @@ type RunStats struct {
 // Run executes the plan in JIT mode within tx: compile (or fetch), run
 // the compiled pipeline single-threaded, then the breaker tail.
 func (j *Engine) Run(tx *core.Tx, plan *query.Plan, params query.Params, emit func(query.Row) bool) (RunStats, error) {
+	return j.RunCtx(context.Background(), tx, plan, params, emit)
+}
+
+// RunCtx is Run with a cancellation context. The compiled pipeline drives
+// the same transaction-level iterators as the interpreter, so a cancelled
+// context aborts mid-scan with per-record granularity and RunCtx returns
+// ctx.Err().
+func (j *Engine) RunCtx(cctx context.Context, tx *core.Tx, plan *query.Plan, params query.Params, emit func(query.Row) bool) (RunStats, error) {
 	var st RunStats
-	c, err := j.Compile(plan)
+	if cctx == nil {
+		cctx = context.Background()
+	}
+	c, err := j.CompileCtx(cctx, plan)
 	if err != nil {
 		return st, err
 	}
@@ -193,7 +226,9 @@ func (j *Engine) Run(tx *core.Tx, plan *query.Plan, params query.Params, emit fu
 	if err != nil {
 		return st, err
 	}
-	ctx := &query.Ctx{E: j.core, Tx: tx, Params: bound}
+	prev := tx.WithContext(cctx)
+	defer tx.WithContext(prev)
+	ctx := &query.Ctx{E: j.core, Tx: tx, Params: bound, Context: cctx}
 
 	start := time.Now()
 	err = j.runCompiled(c, ctx, emit)
@@ -225,10 +260,21 @@ func (j *Engine) runCompiled(c *Compiled, ctx *query.Ctx, emit func(query.Row) b
 // the task function is swapped and the remaining morsels run compiled.
 // Plans that cannot be parallelized fall back to Run (JIT).
 func (j *Engine) RunAdaptive(tx *core.Tx, plan *query.Plan, params query.Params, workers int, emit func(query.Row) bool) (RunStats, error) {
+	return j.RunAdaptiveCtx(context.Background(), tx, plan, params, workers, emit)
+}
+
+// RunAdaptiveCtx is RunAdaptive with a cancellation context: workers stop
+// claiming morsels, the background compilation is cancelled at its next
+// stage boundary, no goroutine is left behind, and the call returns
+// ctx.Err().
+func (j *Engine) RunAdaptiveCtx(cctx context.Context, tx *core.Tx, plan *query.Plan, params query.Params, workers int, emit func(query.Row) bool) (RunStats, error) {
 	var st RunStats
 	mp, ok := query.SplitForMorsels(plan)
 	if !ok {
-		return j.Run(tx, plan, params, emit)
+		return j.RunCtx(cctx, tx, plan, params, emit)
+	}
+	if cctx == nil {
+		cctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -237,7 +283,9 @@ func (j *Engine) RunAdaptive(tx *core.Tx, plan *query.Plan, params query.Params,
 	if err != nil {
 		return st, err
 	}
-	ctx := &query.Ctx{E: j.core, Tx: tx, Params: bound}
+	prev := tx.WithContext(cctx)
+	defer tx.WithContext(prev)
+	ctx := &query.Ctx{E: j.core, Tx: tx, Params: bound, Context: cctx}
 
 	var nchunks uint64
 	if _, isRel := mp.Leaf.(*query.RelScan); isRel {
@@ -259,7 +307,9 @@ func (j *Engine) RunAdaptive(tx *core.Tx, plan *query.Plan, params query.Params,
 		compileDone <- pre
 	} else {
 		go func() {
-			c, err := j.Compile(plan)
+			// The run's context cancels the compilation at its next stage
+			// boundary; compileDone is buffered so the send never blocks.
+			c, err := j.CompileCtx(cctx, plan)
 			if err != nil {
 				compileDone <- nil
 				return
@@ -308,7 +358,7 @@ func (j *Engine) RunAdaptive(tx *core.Tx, plan *query.Plan, params query.Params,
 			var exec *Exec
 			for {
 				c := next.Add(1) - 1
-				if c >= nchunks || firstErr.Load() != nil {
+				if c >= nchunks || firstErr.Load() != nil || cctx.Err() != nil {
 					return
 				}
 				mu.Lock()
@@ -338,14 +388,24 @@ func (j *Engine) RunAdaptive(tx *core.Tx, plan *query.Plan, params query.Params,
 		}()
 	}
 	wg.Wait()
-	if c := <-compileDone; c != nil {
-		st.CompileTime = c.CompileTime
-		st.FromCache = c.FromCache
-		st.Compiled = true
+	// Don't block on a compilation that is still running when the query
+	// was cancelled — it observes the same context and exits on its own;
+	// compileDone is buffered so its send never blocks either way.
+	select {
+	case c := <-compileDone:
+		if c != nil {
+			st.CompileTime = c.CompileTime
+			st.FromCache = c.FromCache
+			st.Compiled = true
+		}
+	case <-cctx.Done():
 	}
 	st.Adaptive.InterpretedMorsels = int(interpMorsels.Load())
 	st.Adaptive.CompiledMorsels = int(compiledMorsels.Load())
 
+	if err := cctx.Err(); err != nil {
+		return st, err
+	}
 	if err, _ := firstErr.Load().(error); err != nil {
 		return st, err
 	}

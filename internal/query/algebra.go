@@ -76,6 +76,31 @@ func (p *Plan) Signature() string {
 	return b.String()
 }
 
+// HasUpdates reports whether the plan contains operators that modify the
+// graph (CreateNode, CreateRel, SetProps, Delete) on any branch,
+// including the build side of joins. The facade uses it to reject update
+// plans on read-only entry points, whose transaction is always rolled
+// back.
+func (p *Plan) HasUpdates() bool {
+	if p == nil || p.Root == nil {
+		return false
+	}
+	return opHasUpdates(p.Root)
+}
+
+func opHasUpdates(op Op) bool {
+	switch o := op.(type) {
+	case *CreateNode, *CreateRel, *SetProps, *Delete:
+		return true
+	case *HashJoin:
+		return opHasUpdates(o.Left) || opHasUpdates(o.Right)
+	}
+	if c := op.child(); c != nil {
+		return opHasUpdates(c)
+	}
+	return false
+}
+
 // --- access paths ---
 
 // NodeScan scans the node table, optionally restricted to one label.

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -95,6 +96,18 @@ type Ctx struct {
 	E      *core.Engine
 	Tx     *core.Tx
 	Params map[string]storage.Value
+	// Context is the cancellation context of the run (nil on the legacy
+	// entry points). Scans observe it through the transaction; operators
+	// that replay materialized tuples check it directly.
+	Context context.Context
+}
+
+// err reports the run's cancellation state.
+func (c *Ctx) err() error {
+	if c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
 }
 
 // BindParams encodes parameter values (interning strings).
@@ -113,15 +126,31 @@ func BindParams(e *core.Engine, params Params) (map[string]storage.Value, error)
 // Run executes the plan in interpretation mode within tx, calling emit
 // for every result row until exhaustion or emit returns false.
 func (pr *Prepared) Run(tx *core.Tx, params Params, emit func(Row) bool) error {
+	return pr.RunCtx(context.Background(), tx, params, emit)
+}
+
+// RunCtx is Run with a cancellation context. The context is attached to
+// the transaction for the duration of the run, so a cancellation mid-scan
+// aborts the transaction (discarding any uncommitted writes) and RunCtx
+// returns ctx.Err().
+func (pr *Prepared) RunCtx(ctx context.Context, tx *core.Tx, params Params, emit func(Row) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	bound, err := BindParams(pr.E, params)
 	if err != nil {
 		return err
 	}
-	ctx := &Ctx{E: pr.E, Tx: tx, Params: bound}
+	prev := tx.WithContext(ctx)
+	defer tx.WithContext(prev)
+	qctx := &Ctx{E: pr.E, Tx: tx, Params: bound, Context: ctx}
 	terminal := func(t Tuple) (bool, error) {
+		if err := qctx.err(); err != nil {
+			return false, err
+		}
 		return emit(tupleToRow(t)), nil
 	}
-	run, err := buildOp(pr.Plan.Root, ctx, terminal)
+	run, err := buildOp(pr.Plan.Root, qctx, terminal)
 	if err != nil {
 		return err
 	}
@@ -200,7 +229,7 @@ func buildOp(op Op, ctx *Ctx, out Sink) (func() error, error) {
 	case *chunkScan:
 		return buildChunkScan(o, ctx, out)
 	case *tupleSource:
-		return buildTupleSource(o, out)
+		return buildTupleSource(o, ctx, out)
 	default:
 		return nil, fmt.Errorf("%w: unknown operator %T", ErrBadPlan, op)
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -202,9 +203,14 @@ func buildChunkScan(o *chunkScan, ctx *Ctx, out Sink) (func() error, error) {
 	}, nil
 }
 
-func buildTupleSource(o *tupleSource, out Sink) (func() error, error) {
+func buildTupleSource(o *tupleSource, ctx *Ctx, out Sink) (func() error, error) {
 	return func() error {
-		for _, t := range o.tuples {
+		for i, t := range o.tuples {
+			if i&1023 == 0 {
+				if err := ctx.err(); err != nil {
+					return err
+				}
+			}
 			cont, err := out(t)
 			if err != nil {
 				return err
@@ -313,7 +319,12 @@ func (mp *MorselPlan) PipelineRunner(ctx *Ctx, chunk *uint64, out Sink) (func() 
 
 // RunTail executes the tail operators over materialized tuples.
 func (mp *MorselPlan) RunTail(ctx *Ctx, tuples []Tuple, emit func(Row) bool) error {
-	terminal := func(t Tuple) (bool, error) { return emit(tupleToRow(t)), nil }
+	terminal := func(t Tuple) (bool, error) {
+		if err := ctx.err(); err != nil {
+			return false, err
+		}
+		return emit(tupleToRow(t)), nil
+	}
 	if len(mp.Tail) == 0 {
 		for _, t := range tuples {
 			if cont, err := terminal(t); err != nil || !cont {
@@ -344,9 +355,20 @@ func (mp *MorselPlan) RunTail(ctx *Ctx, tuples []Tuple, emit func(Row) bool) err
 // parallelized fall back to single-threaded interpretation. Result order
 // is nondeterministic across morsels.
 func (pr *Prepared) RunParallel(tx *core.Tx, params Params, workers int, emit func(Row) bool) error {
+	return pr.RunParallelCtx(context.Background(), tx, params, workers, emit)
+}
+
+// RunParallelCtx is RunParallel with a cancellation context: workers stop
+// claiming morsels once the context is cancelled, the in-flight morsels
+// drain (the shared transaction observes the context and aborts), every
+// worker goroutine exits, and the call returns ctx.Err().
+func (pr *Prepared) RunParallelCtx(cctx context.Context, tx *core.Tx, params Params, workers int, emit func(Row) bool) error {
 	mp, ok := SplitForMorsels(pr.Plan)
 	if !ok {
-		return pr.Run(tx, params, emit)
+		return pr.RunCtx(cctx, tx, params, emit)
+	}
+	if cctx == nil {
+		cctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -355,7 +377,9 @@ func (pr *Prepared) RunParallel(tx *core.Tx, params Params, workers int, emit fu
 	if err != nil {
 		return err
 	}
-	ctx := &Ctx{E: pr.E, Tx: tx, Params: bound}
+	prev := tx.WithContext(cctx)
+	defer tx.WithContext(prev)
+	ctx := &Ctx{E: pr.E, Tx: tx, Params: bound, Context: cctx}
 
 	var nchunks uint64
 	if _, isRel := mp.Leaf.(*RelScan); isRel {
@@ -400,7 +424,7 @@ func (pr *Prepared) RunParallel(tx *core.Tx, params Params, workers int, emit fu
 			}
 			for {
 				c := next.Add(1) - 1
-				if c >= nchunks || firstErr.Load() != nil {
+				if c >= nchunks || firstErr.Load() != nil || cctx.Err() != nil {
 					return
 				}
 				mu.Lock()
@@ -418,6 +442,11 @@ func (pr *Prepared) RunParallel(tx *core.Tx, params Params, workers int, emit fu
 		}()
 	}
 	wg.Wait()
+	// Cancellation wins over secondary errors (a worker racing the abort
+	// may surface ErrTxDone first).
+	if err := cctx.Err(); err != nil {
+		return err
+	}
 	if err, _ := firstErr.Load().(error); err != nil {
 		return err
 	}

@@ -6,6 +6,15 @@
 // Transactional Graph Processing in Persistent Memory meets Just-In-Time
 // Compilation" (EDBT 2021).
 //
+// The execution API is organized around three types. A Stmt is a
+// prepared statement — Cypher text or an algebra plan, parsed and
+// planned once and cached in the DB with an LRU bound, shared by every
+// session. A Session pins per-request defaults (execution mode,
+// statement deadline, worker budget) and owns the transactions it
+// starts; closing it rolls back whatever is still running. Rows streams
+// a result: the query executes in a producer goroutine while the
+// consumer pulls rows and decodes values on demand.
+//
 // Quick start:
 //
 //	db, err := poseidon.Open(poseidon.Config{})
@@ -15,8 +24,21 @@
 //	tx.CreateRel(alice, bob, "knows", nil)
 //	tx.Commit()
 //
-//	plan := &query.Plan{Root: &query.NodeScan{Label: "Person"}}
-//	rows, _ := db.Query(plan, nil)
+//	sess := db.NewSession(poseidon.SessionConfig{Mode: poseidon.Parallel, Timeout: time.Second})
+//	defer sess.Close()
+//	stmt, _ := db.Prepare(`MATCH (p:Person) RETURN p.name`)
+//	rows, _ := sess.Query(ctx, stmt, nil)
+//	defer rows.Close()
+//	for rows.Next() {
+//		var name string
+//		rows.Scan(&name)
+//	}
+//
+// Every entry point has a context-carrying variant (QueryCtx, ExecCtx,
+// CypherCtx, ...); cancelling the context — or exceeding a deadline —
+// aborts execution between records in all four execution modes,
+// including the morsel-parallel and JIT-compiled ones, and rolls the
+// transaction back.
 //
 // The heavy lifting lives in the internal packages: pmem (simulated
 // persistent memory), pmemobj (PMDK-like pools and failure-atomic
@@ -27,6 +49,7 @@
 package poseidon
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -86,13 +109,20 @@ type Config struct {
 	PoolSize int
 	// Workers bounds Parallel/Adaptive execution (0 = GOMAXPROCS).
 	Workers int
+	// StmtCacheSize bounds the shared prepared-statement LRU cache
+	// (0 = default 256, negative = unbounded).
+	StmtCacheSize int
 }
+
+// defaultStmtCacheSize bounds the statement cache when Config leaves it 0.
+const defaultStmtCacheSize = 256
 
 // DB is a Poseidon graph database.
 type DB struct {
 	engine  *core.Engine
 	jit     *jit.Engine
 	workers int
+	stmts   *stmtCache
 }
 
 // Tx is a snapshot-isolated MVTO transaction. See core.Tx for the full
@@ -100,6 +130,18 @@ type DB struct {
 // DeleteNode, DetachDeleteNode, DeleteRel, OutRels, InRels, ScanNodes,
 // Commit, Abort.
 type Tx = core.Tx
+
+// stmtCacheCap resolves the configured statement-cache bound.
+func stmtCacheCap(cfg Config) int {
+	switch {
+	case cfg.StmtCacheSize > 0:
+		return cfg.StmtCacheSize
+	case cfg.StmtCacheSize < 0:
+		return 0 // unbounded
+	default:
+		return defaultStmtCacheSize
+	}
+}
 
 // Open creates a new database.
 func Open(cfg Config) (*DB, error) {
@@ -112,7 +154,7 @@ func Open(cfg Config) (*DB, error) {
 		e.Close()
 		return nil, err
 	}
-	return &DB{engine: e, jit: j, workers: cfg.Workers}, nil
+	return &DB{engine: e, jit: j, workers: cfg.Workers, stmts: newStmtCache(stmtCacheCap(cfg))}, nil
 }
 
 // Reopen attaches to the device of a previously opened PMem database,
@@ -128,7 +170,7 @@ func Reopen(dev *pmem.Device, cfg Config) (*DB, error) {
 		e.Close()
 		return nil, err
 	}
-	return &DB{engine: e, jit: j, workers: cfg.Workers}, nil
+	return &DB{engine: e, jit: j, workers: cfg.Workers, stmts: newStmtCache(stmtCacheCap(cfg))}, nil
 }
 
 // Close releases the database. The underlying device stays usable for
@@ -146,50 +188,72 @@ func (db *DB) Device() *pmem.Device { return db.engine.Device() }
 func (db *DB) Begin() *Tx { return db.engine.Begin() }
 
 // CreateIndex builds a secondary index over the given node label and
-// property and keeps it maintained by every commit.
+// property and keeps it maintained by every commit. Cached statements
+// are invalidated: the planner's access-path choice depends on which
+// indexes exist, so plans prepared before the index would keep scanning.
 func (db *DB) CreateIndex(label, key string, kind IndexKind) error {
-	return db.engine.CreateIndex(label, key, kind)
+	if err := db.engine.CreateIndex(label, key, kind); err != nil {
+		return err
+	}
+	db.stmts.purge()
+	return nil
 }
 
 // Query runs a plan in a fresh read-only transaction with the default
-// (Interpret) mode and returns all rows decoded to Go values.
+// (Interpret) mode and returns all rows decoded to Go values. Plans
+// containing updates are rejected with ErrUpdatePlan — the transaction
+// is always rolled back, so the updates would silently vanish; use Exec
+// instead.
 func (db *DB) Query(plan *query.Plan, params query.Params) ([][]any, error) {
-	return db.QueryMode(plan, params, Interpret)
+	return db.QueryModeCtx(context.Background(), plan, params, Interpret)
 }
 
-// QueryMode runs a plan with an explicit execution mode.
+// QueryCtx is Query with a context: cancellation aborts execution
+// between records and rolls the transaction back.
+func (db *DB) QueryCtx(ctx context.Context, plan *query.Plan, params query.Params) ([][]any, error) {
+	return db.QueryModeCtx(ctx, plan, params, Interpret)
+}
+
+// QueryMode runs a plan with an explicit execution mode. Like Query it
+// rejects update plans with ErrUpdatePlan.
 func (db *DB) QueryMode(plan *query.Plan, params query.Params, mode ExecMode) ([][]any, error) {
+	return db.QueryModeCtx(context.Background(), plan, params, mode)
+}
+
+// QueryModeCtx is QueryMode with a context.
+func (db *DB) QueryModeCtx(ctx context.Context, plan *query.Plan, params query.Params, mode ExecMode) ([][]any, error) {
+	if plan.HasUpdates() {
+		return nil, ErrUpdatePlan
+	}
 	tx := db.engine.Begin()
 	defer tx.Abort()
-	rows, err := db.QueryTx(tx, plan, params, mode)
-	return rows, err
+	return db.QueryTxCtx(ctx, tx, plan, params, mode)
 }
 
 // QueryTx runs a plan inside an existing transaction, so updates observe
-// and join the transaction's effects.
+// and join the transaction's effects; committing remains the caller's
+// job.
 func (db *DB) QueryTx(tx *Tx, plan *query.Plan, params query.Params, mode ExecMode) ([][]any, error) {
-	var raw []query.Row
-	collect := func(r query.Row) bool { raw = append(raw, r); return true }
-	var err error
-	switch mode {
-	case Interpret:
-		var pr *query.Prepared
-		if pr, err = query.Prepare(db.engine, plan); err == nil {
-			err = pr.Run(tx, params, collect)
-		}
-	case Parallel:
-		var pr *query.Prepared
-		if pr, err = query.Prepare(db.engine, plan); err == nil {
-			err = pr.RunParallel(tx, params, db.workers, collect)
-		}
-	case JIT:
-		_, err = db.jit.Run(tx, plan, params, collect)
-	case Adaptive:
-		_, err = db.jit.RunAdaptive(tx, plan, params, db.workers, collect)
-	default:
-		err = fmt.Errorf("poseidon: unknown execution mode %d", mode)
-	}
+	return db.QueryTxCtx(context.Background(), tx, plan, params, mode)
+}
+
+// QueryTxCtx is QueryTx with a context. On cancellation the transaction
+// is aborted mid-scan and the context's error returned.
+func (db *DB) QueryTxCtx(ctx context.Context, tx *Tx, plan *query.Plan, params query.Params, mode ExecMode) ([][]any, error) {
+	stmt, err := db.PreparePlan(plan)
 	if err != nil {
+		return nil, err
+	}
+	return db.collect(ctx, tx, stmt, params, mode)
+}
+
+// collect runs stmt in tx and materializes the decoded result.
+func (db *DB) collect(ctx context.Context, tx *Tx, stmt *Stmt, params query.Params, mode ExecMode) ([][]any, error) {
+	var raw []query.Row
+	if err := stmt.run(ctx, tx, params, mode, db.workers, func(r query.Row) bool {
+		raw = append(raw, r)
+		return true
+	}); err != nil {
 		return nil, err
 	}
 	out := make([][]any, len(raw))
@@ -210,13 +274,19 @@ func (db *DB) QueryTx(tx *Tx, plan *query.Plan, params query.Params, mode ExecMo
 // Exec runs an update plan inside a fresh transaction and commits it,
 // returning the number of result rows.
 func (db *DB) Exec(plan *query.Plan, params query.Params) (int, error) {
-	pr, err := query.Prepare(db.engine, plan)
+	return db.ExecCtx(context.Background(), plan, params)
+}
+
+// ExecCtx is Exec with a context. A cancelled context rolls the
+// transaction back — partially applied updates never commit.
+func (db *DB) ExecCtx(ctx context.Context, plan *query.Plan, params query.Params) (int, error) {
+	stmt, err := db.PreparePlan(plan)
 	if err != nil {
 		return 0, err
 	}
 	tx := db.engine.Begin()
 	n := 0
-	if err := pr.Run(tx, params, func(query.Row) bool { n++; return true }); err != nil {
+	if err := stmt.run(ctx, tx, params, Interpret, db.workers, func(query.Row) bool { n++; return true }); err != nil {
 		tx.Abort()
 		return 0, err
 	}
@@ -228,24 +298,37 @@ func (db *DB) Exec(plan *query.Plan, params query.Params) (int, error) {
 
 // Cypher parses and runs a Cypher-like statement (the paper's §1 "we
 // support Cypher-like navigational queries") in its own transaction,
-// committing updates. Values are decoded to Go types.
+// committing updates. Values are decoded to Go types. Statements go
+// through the prepared-statement cache, so repeating one costs a single
+// parse/plan (see CacheStats).
 //
 //	rows, err := db.Cypher(`MATCH (p:Person {name: $n})-[:knows]->(f)
 //	                        RETURN f.name ORDER BY f.name`, query.Params{"n": "ada"})
 func (db *DB) Cypher(src string, params query.Params) ([][]any, error) {
-	return db.CypherMode(src, params, Interpret)
+	return db.CypherModeCtx(context.Background(), src, params, Interpret)
+}
+
+// CypherCtx is Cypher with a context.
+func (db *DB) CypherCtx(ctx context.Context, src string, params query.Params) ([][]any, error) {
+	return db.CypherModeCtx(ctx, src, params, Interpret)
 }
 
 // CypherMode runs a Cypher-like statement with an explicit execution
 // mode. Read-only statements may use any mode; updates run reliably under
 // Interpret and JIT.
 func (db *DB) CypherMode(src string, params query.Params, mode ExecMode) ([][]any, error) {
-	plan, err := cypher.Plan(db.engine, src)
+	return db.CypherModeCtx(context.Background(), src, params, mode)
+}
+
+// CypherModeCtx is CypherMode with a context: cancellation aborts the
+// statement's transaction, committing nothing.
+func (db *DB) CypherModeCtx(ctx context.Context, src string, params query.Params, mode ExecMode) ([][]any, error) {
+	stmt, err := db.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
 	tx := db.engine.Begin()
-	rows, err := db.QueryTx(tx, plan, params, mode)
+	rows, err := db.collect(ctx, tx, stmt, params, mode)
 	if err != nil {
 		tx.Abort()
 		return nil, err

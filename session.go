@@ -1,0 +1,208 @@
+package poseidon
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"poseidon/internal/core"
+	"poseidon/internal/query"
+)
+
+// ErrSessionClosed is returned by operations on a closed Session.
+var ErrSessionClosed = errors.New("poseidon: session is closed")
+
+// ErrUpdatePlan is returned when an update plan reaches a read-only
+// entry point (Query, QueryMode, Session.Query): their transaction is
+// always rolled back, so the updates would silently vanish. Use Exec,
+// Session.Exec, or QueryTx with an explicitly committed transaction.
+var ErrUpdatePlan = errors.New("poseidon: plan contains updates but this entry point always rolls back its transaction; use Exec (or QueryTx and commit yourself)")
+
+// SessionConfig pins per-session execution defaults.
+type SessionConfig struct {
+	// Mode is the execution mode for every statement the session runs
+	// (default Interpret).
+	Mode ExecMode
+	// Timeout, when non-zero, is the default deadline applied to each
+	// statement whose context carries no earlier deadline.
+	Timeout time.Duration
+	// Workers bounds Parallel/Adaptive execution (0 = the DB default).
+	Workers int
+}
+
+// Session is a lightweight execution scope over a DB: it pins an
+// execution mode, a default statement deadline and a worker budget, and
+// owns the transactions it starts. Closing the session rolls back every
+// transaction still live — including those driving unfinished Rows
+// cursors — so no work can leak past it. Sessions are cheap; open one
+// per request or unit of work. A session must not be used from multiple
+// goroutines concurrently, but any number of sessions can share a DB and
+// its prepared-statement cache.
+type Session struct {
+	db  *DB
+	cfg SessionConfig
+
+	mu     sync.Mutex
+	txs    map[*core.Tx]struct{}
+	closed bool
+}
+
+// NewSession opens a session with the given defaults.
+func (db *DB) NewSession(cfg SessionConfig) *Session {
+	if cfg.Workers == 0 {
+		cfg.Workers = db.workers
+	}
+	return &Session{db: db, cfg: cfg, txs: make(map[*core.Tx]struct{})}
+}
+
+// Begin starts a session-owned transaction. It behaves like DB.Begin,
+// but Session.Close will roll it back if the caller has not ended it.
+func (s *Session) Begin() (*Tx, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	tx := s.db.engine.Begin()
+	s.txs[tx] = struct{}{}
+	return tx, nil
+}
+
+// track registers a transaction the session should reap on Close.
+func (s *Session) track(tx *core.Tx) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.txs[tx] = struct{}{}
+	return nil
+}
+
+// release forgets a transaction that has ended.
+func (s *Session) release(tx *core.Tx) {
+	s.mu.Lock()
+	delete(s.txs, tx)
+	s.mu.Unlock()
+}
+
+// Close rolls back every transaction the session still owns. Queries
+// streaming from one of them observe ErrTxDone at their next record.
+// Close is idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	txs := make([]*core.Tx, 0, len(s.txs))
+	for tx := range s.txs {
+		txs = append(txs, tx)
+	}
+	s.txs = nil
+	s.mu.Unlock()
+	for _, tx := range txs {
+		_ = tx.Abort()
+	}
+	return nil
+}
+
+// context applies the session's default deadline when ctx has none of
+// its own. The returned cancel must be called when execution ends.
+func (s *Session) context(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.cfg.Timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			return context.WithTimeout(ctx, s.cfg.Timeout)
+		}
+	}
+	return ctx, func() {}
+}
+
+// Query runs a prepared statement in a fresh read-only snapshot and
+// streams the result. The statement must not contain updates
+// (ErrUpdatePlan otherwise): the snapshot is rolled back when the cursor
+// is closed or exhausted. Cancelling ctx — or hitting the session's
+// Timeout — aborts execution between records.
+func (s *Session) Query(ctx context.Context, stmt *Stmt, params query.Params) (*Rows, error) {
+	if stmt.plan.HasUpdates() {
+		return nil, ErrUpdatePlan
+	}
+	cctx, cancelTimeout := s.context(ctx)
+	tx := s.db.engine.Begin()
+	if err := s.track(tx); err != nil {
+		tx.Abort()
+		cancelTimeout()
+		return nil, err
+	}
+	end := func() {
+		tx.Abort()
+		s.release(tx)
+		cancelTimeout()
+	}
+	return newRows(cctx, s.db, end, func(rctx context.Context, emit func(query.Row) bool) error {
+		return stmt.run(rctx, tx, params, s.cfg.Mode, s.cfg.Workers, emit)
+	}), nil
+}
+
+// QueryAll runs a statement and materializes the decoded result: the
+// convenience wrapper over Query/Collect.
+func (s *Session) QueryAll(ctx context.Context, stmt *Stmt, params query.Params) ([][]any, error) {
+	rows, err := s.Query(ctx, stmt, params)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Collect()
+}
+
+// Exec runs a statement — typically containing updates — in a fresh
+// session-owned transaction and commits it, returning the number of
+// result rows. On any error, including ctx cancellation, the
+// transaction is rolled back and nothing becomes visible.
+func (s *Session) Exec(ctx context.Context, stmt *Stmt, params query.Params) (int, error) {
+	cctx, cancelTimeout := s.context(ctx)
+	defer cancelTimeout()
+	tx := s.db.engine.Begin()
+	if err := s.track(tx); err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	defer s.release(tx)
+	n := 0
+	mode := s.cfg.Mode
+	if mode == Parallel || mode == Adaptive {
+		// Morsel workers share one transaction; updates stay on the
+		// single-threaded interpreter for deterministic write ordering.
+		mode = Interpret
+	}
+	if err := stmt.run(cctx, tx, params, mode, s.cfg.Workers, func(query.Row) bool { n++; return true }); err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// QueryTx streams a statement inside an existing transaction, so the
+// query observes the transaction's uncommitted effects. The transaction
+// is NOT ended when the cursor closes; committing remains the caller's
+// job. The cursor must be exhausted or closed before the transaction is
+// used again (the producer goroutine shares it).
+func (s *Session) QueryTx(ctx context.Context, tx *Tx, stmt *Stmt, params query.Params) (*Rows, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrSessionClosed
+	}
+	cctx, cancelTimeout := s.context(ctx)
+	return newRows(cctx, s.db, cancelTimeout, func(rctx context.Context, emit func(query.Row) bool) error {
+		return stmt.run(rctx, tx, params, s.cfg.Mode, s.cfg.Workers, emit)
+	}), nil
+}

@@ -1,0 +1,95 @@
+package poseidon
+
+import (
+	"context"
+	"fmt"
+
+	"poseidon/internal/cypher"
+	"poseidon/internal/query"
+)
+
+// Stmt is a prepared statement: a query parsed and planned exactly once,
+// with the interpreter cascade pre-linked. Statements are cached in the
+// DB (see CacheStats) and are safe to share across sessions and
+// goroutines; per-execution state lives in the transaction and the
+// parameter bindings, never in the statement.
+type Stmt struct {
+	db       *DB
+	plan     *query.Plan
+	prepared *query.Prepared
+	text     string // Cypher source, empty for plan-built statements
+}
+
+// Plan exposes the statement's algebra plan.
+func (s *Stmt) Plan() *query.Plan { return s.plan }
+
+// Text returns the Cypher source the statement was prepared from, or ""
+// if it was built from a plan directly.
+func (s *Stmt) Text() string { return s.text }
+
+// Signature returns the plan signature, which doubles as the JIT
+// code-cache key.
+func (s *Stmt) Signature() string { return s.plan.Signature() }
+
+// Prepare parses, plans and caches a Cypher statement. The cache key is
+// a whitespace/keyword-case-normalized fingerprint of the source, so the
+// same statement formatted differently still hits. Parameters ($name)
+// are bound at execution time; preparing once and running many times
+// costs one parse/plan total.
+func (db *DB) Prepare(src string) (*Stmt, error) {
+	fp, err := cypher.Fingerprint(src)
+	if err != nil {
+		return nil, err
+	}
+	key := "cypher:" + fp
+	if st, ok := db.stmts.get(key); ok {
+		return st, nil
+	}
+	plan, err := cypher.Plan(db.engine, src)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := query.Prepare(db.engine, plan)
+	if err != nil {
+		return nil, err
+	}
+	return db.stmts.put(key, &Stmt{db: db, plan: plan, prepared: pr, text: src}), nil
+}
+
+// PreparePlan caches an algebra plan as a statement, keyed by its
+// signature. Plans with identical structure (parameters contribute names,
+// not values) share one prepared statement.
+func (db *DB) PreparePlan(plan *query.Plan) (*Stmt, error) {
+	key := "plan:" + plan.Signature()
+	if st, ok := db.stmts.get(key); ok {
+		return st, nil
+	}
+	pr, err := query.Prepare(db.engine, plan)
+	if err != nil {
+		return nil, err
+	}
+	return db.stmts.put(key, &Stmt{db: db, plan: plan, prepared: pr}), nil
+}
+
+// CacheStats returns hit/miss/eviction counters for the shared
+// prepared-statement cache.
+func (db *DB) CacheStats() CacheStats { return db.stmts.stats() }
+
+// run executes the statement in tx under the given mode, pushing raw
+// rows to emit. The context cancels execution between records.
+func (s *Stmt) run(ctx context.Context, tx *Tx, params query.Params, mode ExecMode, workers int, emit func(query.Row) bool) error {
+	switch mode {
+	case Interpret:
+		return s.prepared.RunCtx(ctx, tx, params, emit)
+	case Parallel:
+		return s.prepared.RunParallelCtx(ctx, tx, params, workers, emit)
+	case JIT:
+		_, err := s.db.jit.RunCtx(ctx, tx, s.plan, params, emit)
+		return err
+	case Adaptive:
+		_, err := s.db.jit.RunAdaptiveCtx(ctx, tx, s.plan, params, workers, emit)
+		return err
+	default:
+		return fmt.Errorf("poseidon: unknown execution mode %d", mode)
+	}
+}

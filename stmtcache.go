@@ -1,0 +1,99 @@
+package poseidon
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats reports prepared-statement cache effectiveness. Retrieve it
+// with DB.CacheStats.
+type CacheStats struct {
+	Hits      uint64 // lookups answered from the cache
+	Misses    uint64 // lookups that had to parse/plan/prepare
+	Evictions uint64 // entries dropped by the LRU bound
+	Size      int    // entries currently cached
+}
+
+// stmtCache is a mutex-guarded LRU of prepared statements, keyed by the
+// Cypher fingerprint or the plan signature. It is shared by every
+// session of a DB: preparing the same statement twice costs one
+// parse/plan, regardless of which session asks.
+type stmtCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	stmt *Stmt
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	return &stmtCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached statement for key, promoting it to most
+// recently used. The miss is counted here so that concurrent builders of
+// the same statement each register the work they are about to do.
+func (c *stmtCache) get(key string) (*Stmt, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).stmt, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts a statement, evicting from the LRU tail past capacity. If
+// another goroutine raced the same key in, its entry wins and is
+// returned, so all callers share one statement.
+func (c *stmtCache) put(key string, stmt *Stmt) *Stmt {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).stmt
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, stmt: stmt})
+	c.items[key] = el
+	for c.cap > 0 && c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	return stmt
+}
+
+// purge drops every entry (but keeps the counters): used when the set of
+// secondary indexes changes, since the planner's access-path choice
+// depends on it.
+func (c *stmtCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+func (c *stmtCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+	}
+}
