@@ -13,6 +13,7 @@
 //	set <id> key=value ...                update properties
 //	del <id>                              detach-delete a node
 //	stats                                 device statistics
+//	:metrics                              telemetry snapshot + slow queries
 //	crash                                 simulate power failure + recover
 //	help / quit
 package main
@@ -48,7 +49,7 @@ func (sh *shell) reset(db *poseidon.DB) {
 }
 
 func main() {
-	db, err := poseidon.Open(poseidon.Config{Mode: poseidon.PMem, PoolSize: 256 << 20})
+	db, err := poseidon.Open(poseidon.Config{Mode: poseidon.PMem, PoolSize: 256 << 20, Telemetry: shellTelemetry})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -88,7 +89,7 @@ func main() {
 		if len(fields) == 0 {
 			continue
 		}
-		cmd, args := fields[0], fields[1:]
+		cmd, args := strings.TrimPrefix(fields[0], ":"), fields[1:]
 		if err := run(sh, cmd, args, indexed); err != nil {
 			if err == errQuit {
 				return
@@ -136,6 +137,70 @@ func (sh *shell) cypher(src string) error {
 
 var errQuit = fmt.Errorf("quit")
 
+// shellTelemetry instruments the shell's DB so :metrics has data; the
+// 50ms threshold keeps the slow-query log to statements a human would
+// actually call slow at interactive scale.
+var shellTelemetry = poseidon.TelemetryConfig{
+	Enabled:            true,
+	SlowQueryThreshold: 50 * time.Millisecond,
+	SlowQueryLogSize:   32,
+}
+
+// printMetrics pretty-prints the DB.Metrics() snapshot and the most
+// recent slow-query traces.
+func printMetrics(db *poseidon.DB) error {
+	m := db.Metrics()
+	fmt.Printf("graph:      %d nodes, %d rels\n", m.Nodes, m.Rels)
+	fmt.Printf("pmem:       reads=%d writes=%d blockWrites=%d flushes=%d drains=%d cacheHit=%d cacheMiss=%d\n",
+		m.PMem.Reads, m.PMem.Writes, m.PMem.BlockWrites, m.PMem.LineFlushes, m.PMem.Drains,
+		m.PMem.CacheHits, m.PMem.CacheMisses)
+	fmt.Printf("tx:         begun=%d committed=%d active=%d\n", m.Tx.Begun, m.Tx.Commits, m.Tx.Active)
+	if len(m.Tx.Aborts) > 0 {
+		fmt.Print("aborts:    ")
+		for _, reason := range []string{"explicit", "write_conflict", "validation", "cancelled", "commit_failed"} {
+			if n := m.Tx.Aborts[reason]; n > 0 {
+				fmt.Printf(" %s=%d", reason, n)
+			}
+		}
+		fmt.Println()
+	}
+	if w := m.Tx.ChainWalk; w.Count > 0 {
+		fmt.Printf("mvto:       %d chain walks, p50=%.1f p95=%.1f versions\n",
+			w.Count, w.Quantile(0.50), w.Quantile(0.95))
+	}
+	fmt.Printf("queries:    %d total, %d errors, %d rows streamed, %d slow\n",
+		m.Query.Count, m.Query.Errors, m.Query.Rows, m.Query.Slow)
+	if len(m.Query.ByMode) > 0 {
+		fmt.Printf("  by mode:  %v\n", m.Query.ByMode)
+	}
+	if l := m.Query.Latency; l.Count > 0 {
+		fmt.Printf("  latency:  p50=%.3fms p95=%.3fms\n", l.Quantile(0.50)*1e3, l.Quantile(0.95)*1e3)
+	}
+	fmt.Printf("jit:        %d compiles, cache hits mem=%d persist=%d, morsels interp=%d compiled=%d, switchovers=%d\n",
+		m.JIT.Compiles, m.JIT.CodeCacheMemHits, m.JIT.CodeCachePersistHits,
+		m.JIT.MorselsInterpreted, m.JIT.MorselsCompiled, m.JIT.Switchovers)
+	fmt.Printf("stmt cache: %d cached, %d hits, %d misses, %d evictions\n",
+		m.StmtCache.Size, m.StmtCache.Hits, m.StmtCache.Misses, m.StmtCache.Evictions)
+
+	slow := db.SlowQueries()
+	if len(slow) == 0 {
+		fmt.Printf("slow log:   empty (threshold %v)\n", db.SlowQueryThreshold())
+		return nil
+	}
+	fmt.Printf("slow log:   %d most recent (threshold %v):\n", len(slow), db.SlowQueryThreshold())
+	for i, q := range slow {
+		if i == 5 {
+			fmt.Printf("  ... %d more\n", len(slow)-5)
+			break
+		}
+		fmt.Printf("  [%s] %v total (compile %v, exec %v) rows=%d mode=%s  %s\n",
+			q.Start.Format("15:04:05"), q.Total.Round(time.Microsecond),
+			q.Compile.Round(time.Microsecond), q.Execute.Round(time.Microsecond),
+			q.Rows, q.Mode, q.Query)
+	}
+	return nil
+}
+
 // cutPrefixFold strips a case-insensitive prefix.
 func cutPrefixFold(s, prefix string) (string, bool) {
 	if len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix) {
@@ -179,6 +244,7 @@ func run(sh *shell, cmd string, args []string, indexed map[[2]string]bool) error
 		fmt.Println("node rel get out in scan find set del stats crash quit")
 		fmt.Println("cypher <statement>   e.g. cypher MATCH (p:Person) RETURN p.name LIMIT 5")
 		fmt.Println("explain <statement>  show plan signature, JIT and parallelism info")
+		fmt.Println(":metrics             engine telemetry snapshot and recent slow queries")
 		return nil
 	case "quit", "exit":
 		return errQuit
@@ -364,10 +430,13 @@ func run(sh *shell, cmd string, args []string, indexed map[[2]string]bool) error
 			cs.Size, cs.Hits, cs.Misses, cs.Evictions)
 		return nil
 
+	case "metrics":
+		return printMetrics(db)
+
 	case "crash":
 		fmt.Println("simulating power failure...")
 		dev := db.Crash()
-		db2, err := poseidon.Reopen(dev, poseidon.Config{Mode: poseidon.PMem})
+		db2, err := poseidon.Reopen(dev, poseidon.Config{Mode: poseidon.PMem, Telemetry: shellTelemetry})
 		if err != nil {
 			return err
 		}

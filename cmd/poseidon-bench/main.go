@@ -4,9 +4,16 @@
 // Usage:
 //
 //	poseidon-bench [-persons N] [-runs N] [-workers N] [-fig 5|6|7|8|9|10|stream|all]
+//	               [-json out.json] [-checkjson out.json]
 //
 // The extra "stream" figure compares materialized vs streamed result
 // delivery through the public session API (not part of the paper).
+//
+// -json writes a machine-readable result (schema poseidon-bench/v1):
+// the configuration, every regenerated figure with mean/p50/p95/min/max
+// per cell, and a final telemetry snapshot from a probe workload on an
+// instrumented DB. -checkjson validates such a file and exits — CI uses
+// the pair as its smoke contract.
 //
 // Absolute times depend on the simulated device latencies; the shapes
 // (who wins, by roughly what factor) are the reproduction target. See
@@ -15,6 +22,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +32,7 @@ import (
 
 	"poseidon"
 	"poseidon/internal/bench"
+	"poseidon/internal/core"
 	"poseidon/internal/query"
 )
 
@@ -32,7 +42,24 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel/adaptive workers (0 = GOMAXPROCS)")
 	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, 10, ablations or all")
 	seed := flag.Int64("seed", 42, "dataset and parameter seed")
+	jsonPath := flag.String("json", "", "also write a machine-readable result to this path")
+	checkPath := flag.String("checkjson", "", "validate a previously written -json file and exit")
 	flag.Parse()
+
+	if *checkPath != "" {
+		data, err := os.ReadFile(*checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkjson:", err)
+			os.Exit(1)
+		}
+		r, err := bench.ValidateJSON(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkjson: %s ok (%d figures, metrics present)\n", *checkPath, len(r.Figures))
+		return
+	}
 
 	fmt.Printf("poseidon-bench: persons=%d runs=%d workers=%d GOMAXPROCS=%d\n",
 		*persons, *runs, *workers, runtime.GOMAXPROCS(0))
@@ -55,6 +82,7 @@ func main() {
 	}
 	order := []string{"5", "6", "7", "8", "9", "10", "ablations", "stream"}
 
+	var collected []*bench.Table
 	run := func(name string) {
 		f, ok := figures[name]
 		if !ok {
@@ -67,6 +95,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fig %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		collected = append(collected, tbl)
 		fmt.Print(tbl.Format())
 		fmt.Printf("(regenerated in %v)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
@@ -75,9 +104,105 @@ func main() {
 		for _, name := range order {
 			run(name)
 		}
-		return
+	} else {
+		run(*fig)
 	}
-	run(*fig)
+
+	if *jsonPath != "" {
+		if err := writeResult(*jsonPath, s.Opts, collected); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// writeResult assembles the machine-readable result: the collected
+// figures plus a telemetry snapshot from the probe workload, validated
+// before it touches disk so a wiring regression fails the run itself.
+func writeResult(path string, opts bench.Options, figures []*bench.Table) error {
+	metrics, err := telemetryProbe()
+	if err != nil {
+		return fmt.Errorf("telemetry probe: %w", err)
+	}
+	rawMetrics, err := json.Marshal(metrics)
+	if err != nil {
+		return err
+	}
+	r := &bench.Result{
+		Schema:      bench.ResultSchema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Config:      opts,
+		Figures:     figures,
+		Metrics:     rawMetrics,
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// telemetryProbe runs a small deterministic mixed workload on a fresh
+// instrumented PMem DB and returns its metrics snapshot. The workload
+// guarantees every counter the validator requires is nonzero: committed
+// writes, a forced write-write conflict, queries in all four execution
+// modes (so the JIT compiles) and a statement-cache miss.
+func telemetryProbe() (*poseidon.Metrics, error) {
+	db, err := poseidon.Open(poseidon.Config{
+		Mode:     poseidon.PMem,
+		PoolSize: 128 << 20,
+		Telemetry: poseidon.TelemetryConfig{
+			Enabled:            true,
+			SlowQueryThreshold: time.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	tx := db.Begin()
+	ids := make([]uint64, 32)
+	for i := range ids {
+		if ids[i], err = tx.CreateNode("Person", map[string]any{"name": fmt.Sprintf("p%02d", i), "age": int64(20 + i)}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		if _, err := tx.CreateRel(ids[i-1], ids[i], "knows", nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+
+	// Forced write-write conflict: the abort counters must move.
+	t1, t2 := db.Begin(), db.Begin()
+	if err := t1.SetNodeProps(ids[0], map[string]any{"age": int64(99)}); err != nil {
+		return nil, err
+	}
+	if err := t2.SetNodeProps(ids[0], map[string]any{"age": int64(98)}); !errors.Is(err, core.ErrAborted) {
+		return nil, fmt.Errorf("expected write-write conflict, got %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	src := `MATCH (p:Person) RETURN p.name`
+	for _, mode := range []poseidon.ExecMode{poseidon.Interpret, poseidon.Parallel, poseidon.JIT, poseidon.Adaptive} {
+		if _, err := db.CypherModeCtx(ctx, src, nil, mode); err != nil {
+			return nil, fmt.Errorf("mode %v: %w", mode, err)
+		}
+	}
+	m := db.Metrics()
+	return &m, nil
 }
 
 // streamFigure compares materialized ([][]any via DB.Query) against

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"time"
 
 	"poseidon/internal/pmem"
 	"poseidon/internal/pmemobj"
@@ -27,13 +26,12 @@ func (s *Setup) Ablations() (*Table, error) {
 	}
 	runs := s.Opts.Runs * 10
 
-	add := func(name string, chosen, alt time.Duration) {
-		row := TableRow{Query: name, Cells: map[string]float64{
-			"chosen":      us(chosen),
-			"alternative": us(alt),
-		}}
-		if chosen > 0 {
-			row.Cells["factor"] = float64(alt) / float64(chosen)
+	add := func(name string, chosen, alt Dist) {
+		row := TableRow{Query: name}
+		row.set("chosen", chosen)
+		row.set("alternative", alt)
+		if chosen.Mean > 0 {
+			row.Cells["factor"] = alt.Mean / chosen.Mean
 		}
 		t.Rows = append(t.Rows, row)
 	}

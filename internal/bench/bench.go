@@ -9,6 +9,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -23,16 +24,16 @@ import (
 // Options scales the experiments.
 type Options struct {
 	// Persons scales the LDBC-SNB-like dataset (default 500).
-	Persons int
+	Persons int `json:"persons"`
 	// Runs is the number of measured repetitions per query (the paper
 	// uses 50). Default 20.
-	Runs int
+	Runs int `json:"runs"`
 	// Workers bounds parallel/adaptive execution (0 = GOMAXPROCS).
-	Workers int
+	Workers int `json:"workers"`
 	// Seed fixes dataset and parameter generation.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// PoolSize for each engine (default 1 GiB).
-	PoolSize int
+	PoolSize int `json:"pool_size"`
 }
 
 func (o *Options) fill() {
@@ -104,16 +105,66 @@ func (s *Setup) Close() {
 // Table is one experiment's result: rows per query, one cell per system
 // variant, in microseconds unless a column says otherwise.
 type Table struct {
-	Name    string
-	Columns []string
-	Rows    []TableRow
-	Notes   []string
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    []TableRow `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
-// TableRow is one query's measurements.
+// TableRow is one query's measurements. Cells holds the headline number
+// per column (the mean, except where a column says otherwise); Dists
+// holds the full distribution for columns produced by repeated runs.
 type TableRow struct {
-	Query string
-	Cells map[string]float64
+	Query string             `json:"query"`
+	Cells map[string]float64 `json:"cells"`
+	Dists map[string]Dist    `json:"dists,omitempty"`
+}
+
+// set records a measured distribution under col: the mean becomes the
+// table cell, the distribution is kept for machine consumers.
+func (r *TableRow) set(col string, d Dist) {
+	if r.Cells == nil {
+		r.Cells = map[string]float64{}
+	}
+	if r.Dists == nil {
+		r.Dists = map[string]Dist{}
+	}
+	r.Cells[col] = d.Mean
+	r.Dists[col] = d
+}
+
+// Dist summarizes repeated measurements of one variant, in microseconds.
+type Dist struct {
+	Mean float64 `json:"mean_us"`
+	P50  float64 `json:"p50_us"`
+	P95  float64 `json:"p95_us"`
+	Min  float64 `json:"min_us"`
+	Max  float64 `json:"max_us"`
+}
+
+// distOf summarizes a sample of run durations.
+func distOf(samples []time.Duration) Dist {
+	if len(samples) == 0 {
+		return Dist{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, s := range sorted {
+		total += s
+	}
+	pct := func(q float64) time.Duration {
+		idx := int(q * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return Dist{
+		Mean: us(total / time.Duration(len(sorted))),
+		P50:  us(pct(0.50)),
+		P95:  us(pct(0.95)),
+		Min:  us(sorted[0]),
+		Max:  us(sorted[len(sorted)-1]),
+	}
 }
 
 // Format renders the table as aligned text, mirroring the figure's rows.
@@ -145,17 +196,17 @@ func (t *Table) Format() string {
 // us converts a duration to microseconds.
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 
-// measure runs f runs times and returns the average duration.
-func measure(runs int, f func(i int) error) (time.Duration, error) {
-	var total time.Duration
+// measure runs f runs times and returns the timing distribution.
+func measure(runs int, f func(i int) error) (Dist, error) {
+	samples := make([]time.Duration, 0, runs)
 	for i := 0; i < runs; i++ {
 		start := time.Now()
 		if err := f(i); err != nil {
-			return 0, err
+			return Dist{}, err
 		}
-		total += time.Since(start)
+		samples = append(samples, time.Since(start))
 	}
-	return total / time.Duration(runs), nil
+	return distOf(samples), nil
 }
 
 // runSRInterp executes a prepared SR plan once, single-threaded.

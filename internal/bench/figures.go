@@ -56,7 +56,7 @@ func (s *Setup) Fig5() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row.Cells["disk-i"] = us(d)
+		row.set("disk-i", d)
 
 		for _, sys := range []struct {
 			name string
@@ -78,19 +78,19 @@ func (s *Setup) Fig5() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Cells[sys.name+"-s"] = us(d)
+			row.set(sys.name+"-s", d)
 			d, err = measure(runs, func(i int) error {
 				return runSRParallel(sys.e, prScan, params[i], s.Opts.Workers)
 			})
 			if err != nil {
 				return nil, err
 			}
-			row.Cells[sys.name+"-p"] = us(d)
+			row.set(sys.name+"-p", d)
 			d, err = measure(runs, func(i int) error { return runSRInterp(sys.e, prIdx, params[i]) })
 			if err != nil {
 				return nil, err
 			}
-			row.Cells[sys.name+"-i"] = us(d)
+			row.set(sys.name+"-i", d)
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -219,7 +219,7 @@ func (s *Setup) Fig7() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Cells[sys.name+"-aot"] = us(d)
+			row.set(sys.name+"-aot", d)
 
 			c, err := sys.j.Compile(plan)
 			if err != nil {
@@ -237,7 +237,7 @@ func (s *Setup) Fig7() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Cells[sys.name+"-jit"] = us(d)
+			row.set(sys.name+"-jit", d)
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -304,7 +304,8 @@ func (s *Setup) Fig8() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := TableRow{Query: kind.String(), Cells: map[string]float64{"lookup-us": us(d)}}
+		row := TableRow{Query: kind.String()}
+		row.set("lookup-us", d)
 		switch kind {
 		case index.Hybrid:
 			// Recovery: rebuild the DRAM inner levels from the leaf chain.
@@ -366,7 +367,7 @@ func (s *Setup) Fig9() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row.Cells["aot"] = us(d)
+		row.set("aot", d)
 
 		// Cold code: a fresh compilation including codegen+passes+lowering.
 		// The paper's cold case pays full LLVM compilation the same way.
@@ -404,7 +405,7 @@ func (s *Setup) Fig9() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row.Cells["jit-hot"] = us(d)
+		row.set("jit-hot", d)
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
@@ -448,7 +449,7 @@ func (s *Setup) Fig10() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Cells[sys.name+"-aot-mt"] = us(d)
+			row.set(sys.name+"-aot-mt", d)
 
 			d, err = measure(runs, func(i int) error {
 				tx := sys.e.Begin()
@@ -459,7 +460,7 @@ func (s *Setup) Fig10() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Cells[sys.name+"-adaptive"] = us(d)
+			row.set(sys.name+"-adaptive", d)
 		}
 		t.Rows = append(t.Rows, row)
 	}

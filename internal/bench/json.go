@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// ResultSchema versions the machine-readable output of poseidon-bench;
+// bump on any incompatible change to Result/Table/TableRow.
+const ResultSchema = "poseidon-bench/v1"
+
+// Result is the machine-readable form of a bench run: the configuration,
+// every regenerated figure with full timing distributions, and the final
+// DB.Metrics() telemetry snapshot of the probe workload. Metrics stays a
+// raw message here so this package does not import the root poseidon
+// package (the repository-root benchmarks import bench in turn).
+type Result struct {
+	Schema      string          `json:"schema"`
+	GeneratedAt string          `json:"generated_at"` // RFC 3339
+	GoVersion   string          `json:"go_version"`
+	Config      Options         `json:"config"`
+	Figures     []*Table        `json:"figures"`
+	Metrics     json.RawMessage `json:"metrics,omitempty"`
+}
+
+// requiredCounters are the metrics-snapshot fields a healthy bench run
+// can never leave at zero: the telemetry probe commits transactions,
+// forces an abort, JIT-compiles, misses the statement cache once and
+// runs queries, so a zero here means the wiring regressed, not that the
+// workload was small. Paths use the snapshot's JSON field names.
+var requiredCounters = [][]string{
+	{"pmem", "Reads"},
+	{"pmem", "Writes"},
+	{"tx", "begun"},
+	{"tx", "commits"},
+	{"jit", "compiles"},
+	{"stmt_cache", "Misses"},
+	{"query", "count"},
+	{"query", "rows"},
+	{"query", "latency", "count"},
+}
+
+// Validate checks structural sanity and, when a metrics snapshot is
+// attached, that every required counter is nonzero.
+func (r *Result) Validate() error {
+	if r.Schema != ResultSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, ResultSchema)
+	}
+	if r.GeneratedAt == "" || r.GoVersion == "" {
+		return fmt.Errorf("bench: missing generated_at/go_version")
+	}
+	if len(r.Figures) == 0 {
+		return fmt.Errorf("bench: no figures")
+	}
+	for _, fig := range r.Figures {
+		if fig == nil || fig.Name == "" {
+			return fmt.Errorf("bench: unnamed figure")
+		}
+		if len(fig.Rows) == 0 {
+			return fmt.Errorf("bench: figure %q has no rows", fig.Name)
+		}
+		for _, row := range fig.Rows {
+			if len(row.Cells) == 0 {
+				return fmt.Errorf("bench: figure %q row %q has no cells", fig.Name, row.Query)
+			}
+			for col, v := range row.Cells {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					return fmt.Errorf("bench: figure %q row %q cell %q = %v", fig.Name, row.Query, col, v)
+				}
+			}
+		}
+	}
+	if len(r.Metrics) > 0 {
+		if err := validateMetrics(r.Metrics); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateJSON parses a serialized Result and validates it, requiring
+// the metrics snapshot to be present (the CI smoke contract).
+func ValidateJSON(data []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: malformed result JSON: %w", err)
+	}
+	if len(r.Metrics) == 0 {
+		return nil, fmt.Errorf("bench: result has no metrics snapshot")
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func validateMetrics(raw json.RawMessage) error {
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("bench: malformed metrics snapshot: %w", err)
+	}
+	if enabled, _ := m["enabled"].(bool); !enabled {
+		return fmt.Errorf("bench: metrics snapshot taken with telemetry disabled")
+	}
+	for _, path := range requiredCounters {
+		v, err := lookupNumber(m, path)
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return fmt.Errorf("bench: required counter %v is zero", path)
+		}
+	}
+	// At least one abort must have been recorded: the probe forces a
+	// write-write conflict.
+	tx, _ := m["tx"].(map[string]any)
+	aborts, ok := tx["aborts"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("bench: metrics snapshot missing tx.aborts")
+	}
+	var total float64
+	for _, v := range aborts {
+		if n, ok := v.(float64); ok {
+			total += n
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("bench: no aborts recorded despite forced conflict")
+	}
+	return nil
+}
+
+// lookupNumber walks nested JSON objects along path.
+func lookupNumber(m map[string]any, path []string) (float64, error) {
+	var cur any = m
+	for _, key := range path {
+		obj, ok := cur.(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("bench: metrics path %v: not an object at %q", path, key)
+		}
+		if cur, ok = obj[key]; !ok {
+			return 0, fmt.Errorf("bench: metrics path %v: missing %q", path, key)
+		}
+	}
+	n, ok := cur.(float64)
+	if !ok {
+		return 0, fmt.Errorf("bench: metrics path %v: not a number", path)
+	}
+	return n, nil
+}

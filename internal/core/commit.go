@@ -27,10 +27,12 @@ func (tx *Tx) Commit() error {
 	// A cancelled context turns Commit into a rollback: nothing of the
 	// transaction becomes visible.
 	if err := tx.ctxErr(); err != nil {
+		tx.setAbortReason(AbortCancelled)
 		_ = tx.abortLocked()
 		return err
 	}
 	if len(tx.order) == 0 {
+		tx.e.tel.TxCommits.Inc()
 		tx.finish()
 		return nil
 	}
@@ -82,6 +84,7 @@ func (tx *Tx) Commit() error {
 		e.nodes.ResyncVolatile()
 		e.rels.ResyncVolatile()
 		e.props.ResyncVolatile()
+		tx.setAbortReason(AbortCommitFailed)
 		_ = tx.abortLocked()
 		return fmt.Errorf("core: commit failed: %w", err)
 	}
@@ -107,6 +110,7 @@ func (tx *Tx) Commit() error {
 	// Step 4: secondary index maintenance and GC.
 	tx.updateIndexes()
 	tx.enqueueGC()
+	e.tel.TxCommits.Inc()
 	tx.finish()
 	return nil
 }
@@ -221,6 +225,14 @@ func (tx *Tx) abortLocked() error {
 		return ErrTxDone
 	}
 	e := tx.e
+	// Count the abort once, with its first-recorded classification. A
+	// reasonless rollback of a read-only transaction is normal query
+	// cleanup, not an abort.
+	if r := tx.abortReason.Load(); r != 0 {
+		e.tel.TxAborts[AbortReason(r-1)].Inc()
+	} else if len(tx.order) > 0 {
+		e.tel.TxAborts[AbortExplicit].Inc()
+	}
 	for i := len(tx.order) - 1; i >= 0; i-- {
 		d := tx.dirty[tx.order[i]]
 		tx.chainsFor(d.key.kind).getOrCreate(d.key.id).remove(d.ver)

@@ -96,6 +96,10 @@ type Engine struct {
 	// observe commits in timestamp order.
 	commitMu sync.Mutex
 
+	// tel holds the metric handles; the zero value (all nil) is the
+	// disabled no-op path.
+	tel Telemetry
+
 	closed atomic.Bool
 }
 

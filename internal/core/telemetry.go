@@ -1,0 +1,25 @@
+package core
+
+import "poseidon/internal/telemetry"
+
+// Telemetry holds the metric handles the engine reports into. The zero
+// value — all-nil handles — is the disabled state: every operation on a
+// nil handle is a no-op branch, so the MVTO hot path pays nothing when
+// telemetry is off.
+type Telemetry struct {
+	// TxBegun counts Begin calls.
+	TxBegun *telemetry.Counter
+	// TxCommits counts successful commits (including read-only ones).
+	TxCommits *telemetry.Counter
+	// TxAborts counts aborts by classified reason, indexed by AbortReason.
+	// Read-only rollbacks with no failure reason (normal query cleanup)
+	// are not counted.
+	TxAborts [NumAbortReasons]*telemetry.Counter
+	// ChainWalk observes the number of versions inspected whenever a read
+	// falls off the PMem record into the DRAM version chain (§5.2).
+	ChainWalk *telemetry.Histogram
+}
+
+// SetTelemetry installs the engine's metric handles. Call before the
+// engine serves transactions; handles are read without synchronization.
+func (e *Engine) SetTelemetry(t Telemetry) { e.tel = t }

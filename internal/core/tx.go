@@ -33,6 +33,11 @@ type Tx struct {
 	// parallel workers start and never mutated while they run.
 	ctx context.Context
 
+	// abortReason holds AbortReason+1 (0 = unset). Atomic with a CAS so
+	// that when parallel morsel workers sharing the transaction race to
+	// abort it, the first failure's classification wins.
+	abortReason atomic.Uint32
+
 	dirty map[objKey]*dirtyObj
 	order []objKey // deterministic commit order
 }
@@ -63,6 +68,7 @@ func (e *Engine) Begin() *Tx {
 	e.activeMu.Lock()
 	e.active[id] = struct{}{}
 	e.activeMu.Unlock()
+	e.tel.TxBegun.Inc()
 	return &Tx{e: e, id: id, dirty: make(map[objKey]*dirtyObj)}
 }
 
@@ -109,10 +115,25 @@ func (tx *Tx) check() error {
 		return ErrTxDone
 	}
 	if err := tx.ctxErr(); err != nil {
+		tx.setAbortReason(AbortCancelled)
 		tx.mustAbort()
 		return err
 	}
 	return nil
+}
+
+// setAbortReason records why the transaction is aborting; the first
+// recorded reason wins (parallel workers may race here).
+func (tx *Tx) setAbortReason(r AbortReason) {
+	tx.abortReason.CompareAndSwap(0, uint32(r)+1)
+}
+
+// fail classifies the failure, aborts the transaction and returns the
+// abort error — the single exit for every MVTO protocol violation.
+func (tx *Tx) fail(reason AbortReason, format string, args ...any) error {
+	tx.setAbortReason(reason)
+	tx.mustAbort()
+	return abortf(reason, format, args...)
 }
 
 func (tx *Tx) finish() {
@@ -211,14 +232,12 @@ func (tx *Tx) readNode(id uint64) (NodeSnap, error) {
 	}
 	rec := storage.ReadNodeRec(e.dev, off)
 	if rec.TxnID != 0 {
-		tx.mustAbort()
-		return NodeSnap{}, abortf("node %d is write-locked by txn %d", id, rec.TxnID)
+		return NodeSnap{}, tx.fail(AbortValidation, "node %d is write-locked by txn %d", id, rec.TxnID)
 	}
 	// Re-validate the lock word after the multi-word read: a committer may
 	// have locked and started rewriting the record underneath us.
 	if e.dev.ReadU64(off+storage.NTxnID) != 0 {
-		tx.mustAbort()
-		return NodeSnap{}, abortf("node %d was locked during read", id)
+		return NodeSnap{}, tx.fail(AbortValidation, "node %d was locked during read", id)
 	}
 	if rec.Bts == 0 {
 		return NodeSnap{}, ErrNotFound
@@ -228,7 +247,9 @@ func (tx *Tx) readNode(id uint64) (NodeSnap, error) {
 		return NodeSnap{ID: id, Rec: rec, e: e}, nil
 	}
 	if c := e.nodeChains.get(id); c != nil {
-		if v := c.findVisible(tx.id); v != nil && !v.tombstone {
+		v, steps := c.findVisible(tx.id)
+		e.tel.ChainWalk.Observe(steps)
+		if v != nil && !v.tombstone {
 			return NodeSnap{ID: id, Rec: *v.node, ver: v, e: e}, nil
 		}
 	}
@@ -257,12 +278,10 @@ func (tx *Tx) readRel(id uint64) (RelSnap, error) {
 	}
 	rec := storage.ReadRelRec(e.dev, off)
 	if rec.TxnID != 0 {
-		tx.mustAbort()
-		return RelSnap{}, abortf("relationship %d is write-locked by txn %d", id, rec.TxnID)
+		return RelSnap{}, tx.fail(AbortValidation, "relationship %d is write-locked by txn %d", id, rec.TxnID)
 	}
 	if e.dev.ReadU64(off+storage.RTxnID) != 0 {
-		tx.mustAbort()
-		return RelSnap{}, abortf("relationship %d was locked during read", id)
+		return RelSnap{}, tx.fail(AbortValidation, "relationship %d was locked during read", id)
 	}
 	if rec.Bts == 0 {
 		return RelSnap{}, ErrNotFound
@@ -272,7 +291,9 @@ func (tx *Tx) readRel(id uint64) (RelSnap, error) {
 		return RelSnap{ID: id, Rec: rec, e: e}, nil
 	}
 	if c := e.relChains.get(id); c != nil {
-		if v := c.findVisible(tx.id); v != nil && !v.tombstone {
+		v, steps := c.findVisible(tx.id)
+		e.tel.ChainWalk.Observe(steps)
+		if v != nil && !v.tombstone {
 			return RelSnap{ID: id, Rec: *v.rel, ver: v, e: e}, nil
 		}
 	}
@@ -458,8 +479,7 @@ func (tx *Tx) lockNode(id uint64) (*dirtyObj, error) {
 		return nil, ErrNotFound
 	}
 	if !e.dev.CompareAndSwapU64(off+storage.NTxnID, 0, tx.id) {
-		tx.mustAbort()
-		return nil, abortf("node %d is locked by txn %d", id, e.dev.ReadU64(off+storage.NTxnID))
+		return nil, tx.fail(AbortWriteConflict, "node %d is locked by txn %d", id, e.dev.ReadU64(off+storage.NTxnID))
 	}
 	rec := storage.ReadNodeRec(e.dev, off)
 	rec.TxnID = 0 // the lock word is protocol state, not version content
@@ -500,18 +520,15 @@ func (tx *Tx) writeChecksNode(off, id uint64, rec storage.NodeRec) error {
 		if rec.Ets <= tx.id {
 			return ErrNotFound // deleted before us
 		}
-		tx.mustAbort()
-		return abortf("node %d deleted by a newer transaction", id)
+		return tx.fail(AbortWriteConflict, "node %d deleted by a newer transaction", id)
 	}
 	if rec.Bts > tx.id {
 		unlock()
-		tx.mustAbort()
-		return abortf("node %d has a newer version (bts %d > txn %d)", id, rec.Bts, tx.id)
+		return tx.fail(AbortWriteConflict, "node %d has a newer version (bts %d > txn %d)", id, rec.Bts, tx.id)
 	}
 	if rts := e.nodeRTS.get(id); rts > tx.id {
 		unlock()
-		tx.mustAbort()
-		return abortf("node %d was read by txn %d > %d", id, rts, tx.id)
+		return tx.fail(AbortValidation, "node %d was read by txn %d > %d", id, rts, tx.id)
 	}
 	return nil
 }
@@ -531,8 +548,7 @@ func (tx *Tx) lockRel(id uint64) (*dirtyObj, error) {
 		return nil, ErrNotFound
 	}
 	if !e.dev.CompareAndSwapU64(off+storage.RTxnID, 0, tx.id) {
-		tx.mustAbort()
-		return nil, abortf("relationship %d is locked by txn %d", id, e.dev.ReadU64(off+storage.RTxnID))
+		return nil, tx.fail(AbortWriteConflict, "relationship %d is locked by txn %d", id, e.dev.ReadU64(off+storage.RTxnID))
 	}
 	rec := storage.ReadRelRec(e.dev, off)
 	rec.TxnID = 0
@@ -549,18 +565,15 @@ func (tx *Tx) lockRel(id uint64) (*dirtyObj, error) {
 		if rec.Ets <= tx.id {
 			return nil, ErrNotFound
 		}
-		tx.mustAbort()
-		return nil, abortf("relationship %d deleted by a newer transaction", id)
+		return nil, tx.fail(AbortWriteConflict, "relationship %d deleted by a newer transaction", id)
 	}
 	if rec.Bts > tx.id {
 		unlock()
-		tx.mustAbort()
-		return nil, abortf("relationship %d has a newer version", id)
+		return nil, tx.fail(AbortWriteConflict, "relationship %d has a newer version", id)
 	}
 	if rts := e.relRTS.get(id); rts > tx.id {
 		unlock()
-		tx.mustAbort()
-		return nil, abortf("relationship %d was read by txn %d > %d", id, rts, tx.id)
+		return nil, tx.fail(AbortValidation, "relationship %d was read by txn %d > %d", id, rts, tx.id)
 	}
 	oldProps := storage.ReadPropChain(e.props, rec.Props)
 	newRec := rec

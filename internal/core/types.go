@@ -49,9 +49,76 @@ var (
 	ErrBadConfig = errors.New("core: invalid configuration")
 )
 
-// abortf builds an abort error with a reason.
-func abortf(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", ErrAborted, fmt.Sprintf(format, args...))
+// AbortReason classifies why an MVTO transaction aborted, mirroring the
+// protocol's distinct failure modes (§5.1).
+type AbortReason uint8
+
+// Abort reasons, in telemetry label order.
+const (
+	// AbortExplicit: the caller rolled back a transaction that had
+	// performed writes, with no protocol failure. (Rolling back a
+	// read-only transaction is normal query cleanup, not an abort.)
+	AbortExplicit AbortReason = iota
+	// AbortWriteConflict: a write-write conflict — the record was locked
+	// by another writer, deleted by, or rewritten by a newer transaction.
+	AbortWriteConflict
+	// AbortValidation: MVTO read-path validation failed — the record was
+	// locked while being read, or its rts shows a newer reader that
+	// forbids this writer (§5.1 write rule).
+	AbortValidation
+	// AbortCancelled: the attached context was cancelled mid-transaction.
+	AbortCancelled
+	// AbortCommitFailed: the persistent commit transaction itself failed
+	// (undo log overflow, allocation failure) and rolled back.
+	AbortCommitFailed
+
+	// NumAbortReasons is the number of distinct reasons (for per-reason
+	// counter arrays).
+	NumAbortReasons = int(AbortCommitFailed) + 1
+)
+
+func (r AbortReason) String() string {
+	switch r {
+	case AbortExplicit:
+		return "explicit"
+	case AbortWriteConflict:
+		return "write_conflict"
+	case AbortValidation:
+		return "validation"
+	case AbortCancelled:
+		return "cancelled"
+	case AbortCommitFailed:
+		return "commit_failed"
+	}
+	return "unknown"
+}
+
+// AbortError is the error returned when the MVTO protocol aborts a
+// transaction. It wraps ErrAborted, so errors.Is(err, ErrAborted)
+// continues to hold, and carries the machine-readable reason.
+type AbortError struct {
+	Reason AbortReason
+	msg    string
+}
+
+func (e *AbortError) Error() string { return ErrAborted.Error() + ": " + e.msg }
+
+// Unwrap makes errors.Is(err, ErrAborted) true for abort errors.
+func (e *AbortError) Unwrap() error { return ErrAborted }
+
+// ReasonOf extracts the abort reason from an error chain. ok is false
+// when err is not a classified abort.
+func ReasonOf(err error) (AbortReason, bool) {
+	var ae *AbortError
+	if errors.As(err, &ae) {
+		return ae.Reason, true
+	}
+	return 0, false
+}
+
+// abortf builds an abort error with a classified reason.
+func abortf(reason AbortReason, format string, args ...any) error {
+	return &AbortError{Reason: reason, msg: fmt.Sprintf(format, args...)}
 }
 
 type objKind uint8

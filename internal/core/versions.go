@@ -124,16 +124,18 @@ func (c *chain) remove(v *version) {
 	c.mu.Unlock()
 }
 
-// findVisible returns the version visible at ts, if any.
-func (c *chain) findVisible(ts uint64) *version {
+// findVisible returns the version visible at ts, if any. It also reports
+// how many versions were inspected — the chain-walk length MVTO read
+// performance depends on (telemetry feeds it into a histogram).
+func (c *chain) findVisible(ts uint64) (*version, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, v := range c.versions {
+	for i, v := range c.versions {
 		if v.visibleAt(ts) {
-			return v
+			return v, uint64(i + 1)
 		}
 	}
-	return nil
+	return nil, uint64(len(c.versions))
 }
 
 // prune drops committed versions invisible to every transaction at or

@@ -22,6 +22,10 @@ type Engine struct {
 
 	mu  sync.Mutex
 	mem map[string]*Compiled
+
+	// tel holds the metric handles; the zero value (all nil) is the
+	// disabled no-op path.
+	tel Telemetry
 }
 
 // Compiled is a ready-to-run compilation result.
@@ -80,6 +84,7 @@ func (j *Engine) CompileCtx(ctx context.Context, plan *query.Plan) (*Compiled, e
 	j.mu.Lock()
 	if c, ok := j.mem[sig]; ok {
 		j.mu.Unlock()
+		j.tel.MemHits.Inc()
 		return c, nil
 	}
 	j.mu.Unlock()
@@ -104,6 +109,7 @@ func (j *Engine) CompileCtx(ctx context.Context, plan *query.Plan) (*Compiled, e
 					CompileTime: time.Since(start), FromCache: true,
 				}
 				j.remember(c)
+				j.tel.PersistHits.Inc()
 				return c, nil
 			}
 		}
@@ -142,6 +148,8 @@ func (j *Engine) CompileCtx(ctx context.Context, plan *query.Plan) (*Compiled, e
 		_ = j.cache.store(sig, blob) // cache-full is non-fatal
 	}
 	j.remember(c)
+	j.tel.Compiles.Inc()
+	j.tel.CompileTime.ObserveDuration(c.CompileTime)
 	return c, nil
 }
 
@@ -178,6 +186,8 @@ func (j *Engine) CompileUncached(plan *query.Plan) (*Compiled, error) {
 		CompileTime: time.Since(start), Stats: stats,
 	}
 	j.remember(c)
+	j.tel.Compiles.Inc()
+	j.tel.CompileTime.ObserveDuration(c.CompileTime)
 	return c, nil
 }
 
@@ -402,6 +412,11 @@ func (j *Engine) RunAdaptiveCtx(cctx context.Context, tx *core.Tx, plan *query.P
 	}
 	st.Adaptive.InterpretedMorsels = int(interpMorsels.Load())
 	st.Adaptive.CompiledMorsels = int(compiledMorsels.Load())
+	j.tel.MorselsInterpreted.Add(uint64(st.Adaptive.InterpretedMorsels))
+	j.tel.MorselsCompiled.Add(uint64(st.Adaptive.CompiledMorsels))
+	if st.Adaptive.InterpretedMorsels > 0 && st.Adaptive.CompiledMorsels > 0 {
+		j.tel.Switchovers.Inc()
+	}
 
 	if err := cctx.Err(); err != nil {
 		return st, err

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterShards spreads a hot counter over several cache lines so that
+// morsel workers on different cores don't serialize on one word. Must be
+// a power of two.
+const counterShards = 16
+
+// paddedUint64 occupies a full cache line, preventing false sharing
+// between adjacent shards.
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a sharded, monotonically increasing counter. The zero value
+// is ready to use; a nil *Counter is the no-op handle a disabled engine
+// holds (Add/Inc on nil return immediately: no allocation, no atomic).
+type Counter struct {
+	shards [counterShards]paddedUint64
+}
+
+// shardIndex picks a shard from the address of a stack variable. Stacks
+// of concurrently running goroutines live at distinct addresses, so
+// contending writers spread across shards, while a single goroutine in a
+// loop keeps hitting the same (cached) shard. This is the classic
+// "scalable statistics counter" trick without runtime internals.
+func shardIndex() uint64 {
+	var b byte
+	return (uint64(uintptr(unsafe.Pointer(&b))) >> 9) & (counterShards - 1)
+}
+
+// Add increments the counter by n. Safe for concurrent use; no-op on nil.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the counter's current total. It sums the shards without
+// a barrier: the result is "consistent enough" the way any concurrently
+// updated statistic is.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a value that can move both ways (active sessions, in-flight
+// queries). A nil *Gauge no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

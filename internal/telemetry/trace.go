@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// QueryTrace is the per-query stage breakdown the slow-query log stores:
+// where the time went (parse/plan, compile, execute), how much data moved
+// (rows, PMem accesses) and which execution mode served it.
+type QueryTrace struct {
+	Query      string        `json:"query,omitempty"`      // Cypher text or plan signature
+	Mode       string        `json:"mode"`                 // interpret | parallel | jit | adaptive
+	Start      time.Time     `json:"start"`                // wall-clock start of execution
+	Total      time.Duration `json:"total"`                // end-to-end latency
+	Parse      time.Duration `json:"parse,omitempty"`      // parse + plan (0 when served from stmt cache)
+	Compile    time.Duration `json:"compile,omitempty"`    // JIT compile time (0 on code-cache hit)
+	Execute    time.Duration `json:"execute"`              // operator execution
+	FromCache  bool          `json:"from_cache,omitempty"` // compiled task came from the code cache
+	Rows       int64         `json:"rows"`                 // rows emitted to the client
+	PMemReads  uint64        `json:"pmem_reads"`           // device reads attributed to this query
+	PMemWrites uint64        `json:"pmem_writes"`          // device writes attributed to this query
+	Err        string        `json:"err,omitempty"`        // non-nil execution error
+}
+
+// SlowQueryLog is a fixed-size ring of the most recent queries whose
+// total latency crossed the threshold. A nil *SlowQueryLog no-ops, which
+// is the disabled-telemetry path.
+type SlowQueryLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	ring      []QueryTrace
+	next      int
+	filled    bool
+	recorded  uint64
+}
+
+// NewSlowQueryLog creates a log keeping the last size entries over
+// threshold. size <= 0 defaults to 64; threshold <= 0 records nothing.
+func NewSlowQueryLog(threshold time.Duration, size int) *SlowQueryLog {
+	if size <= 0 {
+		size = 64
+	}
+	return &SlowQueryLog{threshold: threshold, ring: make([]QueryTrace, size)}
+}
+
+// Threshold returns the configured slow-query threshold.
+func (l *SlowQueryLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// MaybeRecord stores the trace if it crosses the threshold. Returns true
+// when the trace was recorded so the caller can bump its slow-query
+// counter without re-checking the threshold.
+func (l *SlowQueryLog) MaybeRecord(t QueryTrace) bool {
+	if l == nil || l.threshold <= 0 || t.Total < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	l.ring[l.next] = t
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.filled = true
+	}
+	l.recorded++
+	l.mu.Unlock()
+	return true
+}
+
+// Recorded returns the total number of traces ever recorded (not capped
+// by the ring size).
+func (l *SlowQueryLog) Recorded() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recorded
+}
+
+// Entries returns the retained traces, newest first.
+func (l *SlowQueryLog) Entries() []QueryTrace {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.filled {
+		n = len(l.ring)
+	}
+	out := make([]QueryTrace, 0, n)
+	// Walk backwards from the most recently written slot.
+	for i := 0; i < n; i++ {
+		idx := (l.next - 1 - i + len(l.ring)) % len(l.ring)
+		out = append(out, l.ring[idx])
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package poseidon
+
+import (
+	"net/http"
+	"time"
+
+	"poseidon/internal/core"
+	"poseidon/internal/jit"
+	"poseidon/internal/pmem"
+	"poseidon/internal/telemetry"
+)
+
+// TelemetryConfig enables and tunes the engine-wide measurement
+// substrate: metrics (exposed through DB.Metrics and the Prometheus
+// endpoint), per-query stage traces, and the slow-query log. When
+// Enabled is false (the default), the engine holds nil metric handles
+// everywhere and the hot paths pay a single branch — no allocation, no
+// atomic write.
+type TelemetryConfig struct {
+	// Enabled turns telemetry on.
+	Enabled bool
+	// SlowQueryThreshold is the total-latency threshold above which a
+	// query's full stage trace is retained (default 100ms; negative
+	// disables the slow-query log while keeping metrics).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize bounds the slow-query ring buffer (default 64).
+	SlowQueryLogSize int
+}
+
+// defaultSlowQueryThreshold applies when TelemetryConfig leaves it 0.
+const defaultSlowQueryThreshold = 100 * time.Millisecond
+
+// dbTelemetry bundles the registry, the facade-level metric handles and
+// the slow-query log. A nil *dbTelemetry is the disabled state.
+type dbTelemetry struct {
+	reg  *telemetry.Registry
+	slow *telemetry.SlowQueryLog
+
+	// Facade (query/session) handles.
+	queriesTotal   [4]*telemetry.Counter // indexed by ExecMode
+	queryErrors    *telemetry.Counter
+	rowsStreamed   *telemetry.Counter
+	slowQueries    *telemetry.Counter
+	queryLatency   *telemetry.Histogram
+	sessionsActive *telemetry.Gauge
+
+	// Lower-layer handles are kept here too so Metrics() can snapshot
+	// them without reaching into the subsystems.
+	coreTel core.Telemetry
+	jitTel  jit.Telemetry
+}
+
+// newDBTelemetry builds the registry, registers every metric family in
+// exposition order, and installs the handles into the core and JIT
+// engines. Returns nil when telemetry is disabled.
+func newDBTelemetry(db *DB, cfg TelemetryConfig) *dbTelemetry {
+	if !cfg.Enabled {
+		return nil
+	}
+	threshold := cfg.SlowQueryThreshold
+	if threshold == 0 {
+		threshold = defaultSlowQueryThreshold
+	}
+	reg := telemetry.NewRegistry()
+	t := &dbTelemetry{
+		reg:  reg,
+		slow: telemetry.NewSlowQueryLog(threshold, cfg.SlowQueryLogSize),
+	}
+
+	// PMem device counters are sampled from the device's own atomics at
+	// scrape time — re-exporting them costs the hot path nothing.
+	stats := &db.engine.Device().Stats
+	reg.CounterFunc("poseidon_pmem_reads_total", "8-byte loads from the (P)Mem device.", stats.Reads.Load)
+	reg.CounterFunc("poseidon_pmem_writes_total", "8-byte stores to the (P)Mem device.", stats.Writes.Load)
+	reg.CounterFunc("poseidon_pmem_cache_hits_total", "Device loads served by the simulated CPU cache.", stats.CacheHits.Load)
+	reg.CounterFunc("poseidon_pmem_cache_misses_total", "Device loads that paid the media read latency.", stats.CacheMisses.Load)
+	reg.CounterFunc("poseidon_pmem_line_flushes_total", "clwb-equivalent cache-line flushes.", stats.LineFlushes.Load)
+	reg.CounterFunc("poseidon_pmem_block_writes_total", "256-byte internal media block writes (write amplification, C3).", stats.BlockWrites.Load)
+	reg.CounterFunc("poseidon_pmem_drains_total", "sfence-equivalent persistence barriers.", stats.Drains.Load)
+	reg.CounterFunc("poseidon_pmem_crashes_total", "Simulated power failures.", stats.Crashes.Load)
+
+	// MVTO transaction counters.
+	t.coreTel.TxBegun = reg.Counter("poseidon_tx_begun_total", "Transactions started.")
+	t.coreTel.TxCommits = reg.Counter("poseidon_tx_commits_total", "Transactions committed (including read-only).")
+	for r := 0; r < core.NumAbortReasons; r++ {
+		reason := core.AbortReason(r)
+		t.coreTel.TxAborts[r] = reg.Counter("poseidon_tx_aborts_total",
+			"Transactions aborted, by MVTO reason.",
+			telemetry.Label{Key: "reason", Value: reason.String()})
+	}
+	reg.GaugeFunc("poseidon_txs_active", "Transactions currently in flight.",
+		func() float64 { return float64(db.engine.ActiveTxs()) })
+	t.coreTel.ChainWalk = reg.Histogram("poseidon_mvto_chain_walk_length",
+		"Versions inspected per DRAM version-chain lookup.",
+		telemetry.LengthBuckets(64), 1)
+
+	// JIT compiler counters.
+	t.jitTel.Compiles = reg.Counter("poseidon_jit_compiles_total", "Full plan compilations (both cache tiers missed).")
+	t.jitTel.CompileTime = reg.Histogram("poseidon_jit_compile_seconds",
+		"Full-compilation wall time.", telemetry.LatencyBuckets(), 1e9)
+	t.jitTel.MemHits = reg.Counter("poseidon_jit_code_cache_hits_total",
+		"Code-cache hits, by tier.", telemetry.Label{Key: "tier", Value: "memory"})
+	t.jitTel.PersistHits = reg.Counter("poseidon_jit_code_cache_hits_total",
+		"Code-cache hits, by tier.", telemetry.Label{Key: "tier", Value: "persistent"})
+	t.jitTel.MorselsInterpreted = reg.Counter("poseidon_jit_morsels_total",
+		"Morsels processed by the adaptive executor, by path.",
+		telemetry.Label{Key: "path", Value: "interpreted"})
+	t.jitTel.MorselsCompiled = reg.Counter("poseidon_jit_morsels_total",
+		"Morsels processed by the adaptive executor, by path.",
+		telemetry.Label{Key: "path", Value: "compiled"})
+	t.jitTel.Switchovers = reg.Counter("poseidon_jit_adaptive_switchovers_total",
+		"Adaptive runs that flipped from interpretation to compiled code mid-query.")
+
+	// Statement cache, sampled at scrape time from its own counters.
+	stmts := db.stmts
+	reg.CounterFunc("poseidon_stmt_cache_hits_total", "Prepared-statement cache hits.",
+		func() uint64 { return stmts.stats().Hits })
+	reg.CounterFunc("poseidon_stmt_cache_misses_total", "Prepared-statement cache misses (parse/plan/prepare).",
+		func() uint64 { return stmts.stats().Misses })
+	reg.CounterFunc("poseidon_stmt_cache_evictions_total", "Prepared statements evicted by the LRU bound.",
+		func() uint64 { return stmts.stats().Evictions })
+	reg.GaugeFunc("poseidon_stmt_cache_size", "Prepared statements currently cached.",
+		func() float64 { return float64(stmts.stats().Size) })
+
+	// Query/session layer.
+	for m := Interpret; m <= Adaptive; m++ {
+		t.queriesTotal[m] = reg.Counter("poseidon_queries_total",
+			"Statement executions, by execution mode.",
+			telemetry.Label{Key: "mode", Value: m.String()})
+	}
+	t.queryErrors = reg.Counter("poseidon_query_errors_total", "Statement executions that returned an error.")
+	t.rowsStreamed = reg.Counter("poseidon_query_rows_total", "Rows emitted to clients.")
+	t.queryLatency = reg.Histogram("poseidon_query_duration_seconds",
+		"End-to-end statement latency.", telemetry.LatencyBuckets(), 1e9)
+	t.slowQueries = reg.Counter("poseidon_slow_queries_total",
+		"Queries whose latency crossed the slow-query threshold.")
+	t.sessionsActive = reg.Gauge("poseidon_sessions_active", "Sessions currently open.")
+
+	// Graph size, for dashboards.
+	reg.GaugeFunc("poseidon_nodes", "Occupied node slots (all versions).",
+		func() float64 { return float64(db.engine.NodeCount()) })
+	reg.GaugeFunc("poseidon_rels", "Occupied relationship slots (all versions).",
+		func() float64 { return float64(db.engine.RelCount()) })
+
+	db.engine.SetTelemetry(t.coreTel)
+	db.jit.SetTelemetry(t.jitTel)
+	return t
+}
+
+// observeQuery records one statement execution: mode and latency
+// counters, row/error accounting, and — over the threshold — the full
+// stage trace in the slow-query log.
+func (t *dbTelemetry) observeQuery(queryText string, mode ExecMode, start time.Time,
+	total, prep time.Duration, st jit.RunStats, rows int64, delta pmem.StatsSnapshot, err error) {
+	if t == nil {
+		return
+	}
+	if mode >= 0 && int(mode) < len(t.queriesTotal) {
+		t.queriesTotal[mode].Inc()
+	}
+	t.queryLatency.ObserveDuration(total)
+	t.rowsStreamed.Add(uint64(rows))
+	if err != nil {
+		t.queryErrors.Inc()
+	}
+	execTime := st.ExecTime
+	if execTime == 0 {
+		execTime = total
+	}
+	trace := telemetry.QueryTrace{
+		Query:      queryText,
+		Mode:       mode.String(),
+		Start:      start,
+		Total:      total,
+		Parse:      prep,
+		Compile:    st.CompileTime,
+		Execute:    execTime,
+		FromCache:  st.FromCache,
+		Rows:       rows,
+		PMemReads:  delta.Reads,
+		PMemWrites: delta.Writes,
+	}
+	if err != nil {
+		trace.Err = err.Error()
+	}
+	if t.slow.MaybeRecord(trace) {
+		t.slowQueries.Inc()
+	}
+}
+
+// TxMetrics is the MVTO transaction slice of a Metrics snapshot.
+type TxMetrics struct {
+	Begun   uint64            `json:"begun"`
+	Commits uint64            `json:"commits"`
+	Aborts  map[string]uint64 `json:"aborts"` // by reason
+	Active  int               `json:"active"`
+	// ChainWalk is the distribution of versions inspected per DRAM
+	// version-chain lookup (§5.2).
+	ChainWalk telemetry.HistogramSnapshot `json:"chain_walk"`
+}
+
+// QueryMetrics is the statement-execution slice of a Metrics snapshot.
+type QueryMetrics struct {
+	Count   uint64                      `json:"count"`
+	ByMode  map[string]uint64           `json:"by_mode"`
+	Errors  uint64                      `json:"errors"`
+	Rows    uint64                      `json:"rows"`
+	Slow    uint64                      `json:"slow"`
+	Latency telemetry.HistogramSnapshot `json:"latency"`
+}
+
+// JITMetrics is the compiler slice of a Metrics snapshot.
+type JITMetrics struct {
+	Compiles             uint64                      `json:"compiles"`
+	CompileTime          telemetry.HistogramSnapshot `json:"compile_time"`
+	CodeCacheMemHits     uint64                      `json:"code_cache_mem_hits"`
+	CodeCachePersistHits uint64                      `json:"code_cache_persist_hits"`
+	MorselsInterpreted   uint64                      `json:"morsels_interpreted"`
+	MorselsCompiled      uint64                      `json:"morsels_compiled"`
+	Switchovers          uint64                      `json:"switchovers"`
+}
+
+// Metrics is a structured snapshot of every engine counter. PMem device
+// stats, statement-cache stats and graph sizes are live regardless of
+// TelemetryConfig.Enabled; the rest require telemetry (Enabled reports
+// which case this snapshot is).
+type Metrics struct {
+	Enabled        bool               `json:"enabled"`
+	PMem           pmem.StatsSnapshot `json:"pmem"`
+	Tx             TxMetrics          `json:"tx"`
+	Query          QueryMetrics       `json:"query"`
+	JIT            JITMetrics         `json:"jit"`
+	StmtCache      CacheStats         `json:"stmt_cache"`
+	SessionsActive int64              `json:"sessions_active"`
+	Nodes          uint64             `json:"nodes"`
+	Rels           uint64             `json:"rels"`
+}
+
+// Metrics returns a structured snapshot of the engine's counters. It is
+// valid on a telemetry-disabled DB too: the always-on subsystem stats
+// (pmem device, statement cache, graph sizes) are filled and Enabled is
+// false.
+func (db *DB) Metrics() Metrics {
+	m := Metrics{
+		PMem:      db.engine.Device().Stats.Snapshot(),
+		StmtCache: db.stmts.stats(),
+		Nodes:     db.engine.NodeCount(),
+		Rels:      db.engine.RelCount(),
+	}
+	m.Tx.Active = db.engine.ActiveTxs()
+	t := db.tel
+	if t == nil {
+		return m
+	}
+	m.Enabled = true
+	m.SessionsActive = t.sessionsActive.Value()
+	m.Tx.Begun = t.coreTel.TxBegun.Value()
+	m.Tx.Commits = t.coreTel.TxCommits.Value()
+	m.Tx.Aborts = make(map[string]uint64, core.NumAbortReasons)
+	for r := 0; r < core.NumAbortReasons; r++ {
+		m.Tx.Aborts[core.AbortReason(r).String()] = t.coreTel.TxAborts[r].Value()
+	}
+	m.Tx.ChainWalk = t.coreTel.ChainWalk.Snapshot()
+	m.Query.ByMode = make(map[string]uint64, len(t.queriesTotal))
+	for mode := Interpret; mode <= Adaptive; mode++ {
+		v := t.queriesTotal[mode].Value()
+		m.Query.ByMode[mode.String()] = v
+		m.Query.Count += v
+	}
+	m.Query.Errors = t.queryErrors.Value()
+	m.Query.Rows = t.rowsStreamed.Value()
+	m.Query.Slow = t.slowQueries.Value()
+	m.Query.Latency = t.queryLatency.Snapshot()
+	m.JIT.Compiles = t.jitTel.Compiles.Value()
+	m.JIT.CompileTime = t.jitTel.CompileTime.Snapshot()
+	m.JIT.CodeCacheMemHits = t.jitTel.MemHits.Value()
+	m.JIT.CodeCachePersistHits = t.jitTel.PersistHits.Value()
+	m.JIT.MorselsInterpreted = t.jitTel.MorselsInterpreted.Value()
+	m.JIT.MorselsCompiled = t.jitTel.MorselsCompiled.Value()
+	m.JIT.Switchovers = t.jitTel.Switchovers.Value()
+	return m
+}
+
+// MetricsHandler returns an http.Handler serving the Prometheus text
+// exposition of every registered metric. On a telemetry-disabled DB it
+// answers 503, so probes can distinguish "off" from "empty".
+func (db *DB) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if db.tel == nil {
+			http.Error(w, "telemetry disabled (set Config.Telemetry.Enabled)", http.StatusServiceUnavailable)
+			return
+		}
+		db.tel.reg.Handler().ServeHTTP(w, r)
+	})
+}
+
+// DebugMux returns a mux with /metrics (see MetricsHandler) and the
+// standard pprof handlers under /debug/pprof/. Mount it on an opt-in
+// listener:
+//
+//	go http.ListenAndServe("localhost:6060", db.DebugMux())
+func (db *DB) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", db.MetricsHandler())
+	telemetry.MountPprof(mux)
+	return mux
+}
+
+// SlowQueries returns the retained slow-query traces, newest first, or
+// nil when telemetry is disabled.
+func (db *DB) SlowQueries() []telemetry.QueryTrace {
+	if db.tel == nil {
+		return nil
+	}
+	return db.tel.slow.Entries()
+}
+
+// SlowQueryThreshold reports the active slow-query threshold (0 when
+// telemetry is disabled).
+func (db *DB) SlowQueryThreshold() time.Duration {
+	if db.tel == nil {
+		return 0
+	}
+	return db.tel.slow.Threshold()
+}

@@ -101,6 +101,20 @@ const (
 	Adaptive
 )
 
+func (m ExecMode) String() string {
+	switch m {
+	case Interpret:
+		return "interpret"
+	case Parallel:
+		return "parallel"
+	case JIT:
+		return "jit"
+	case Adaptive:
+		return "adaptive"
+	}
+	return "unknown"
+}
+
 // Config configures a database.
 type Config struct {
 	// Mode selects PMem (default) or DRAM.
@@ -112,6 +126,10 @@ type Config struct {
 	// StmtCacheSize bounds the shared prepared-statement LRU cache
 	// (0 = default 256, negative = unbounded).
 	StmtCacheSize int
+	// Telemetry enables engine-wide metrics, query-stage tracing and the
+	// slow-query log (see TelemetryConfig). Off by default: the hot paths
+	// then pay a single nil-check branch.
+	Telemetry TelemetryConfig
 }
 
 // defaultStmtCacheSize bounds the statement cache when Config leaves it 0.
@@ -123,6 +141,7 @@ type DB struct {
 	jit     *jit.Engine
 	workers int
 	stmts   *stmtCache
+	tel     *dbTelemetry // nil when telemetry is disabled
 }
 
 // Tx is a snapshot-isolated MVTO transaction. See core.Tx for the full
@@ -154,7 +173,9 @@ func Open(cfg Config) (*DB, error) {
 		e.Close()
 		return nil, err
 	}
-	return &DB{engine: e, jit: j, workers: cfg.Workers, stmts: newStmtCache(stmtCacheCap(cfg))}, nil
+	db := &DB{engine: e, jit: j, workers: cfg.Workers, stmts: newStmtCache(stmtCacheCap(cfg))}
+	db.tel = newDBTelemetry(db, cfg.Telemetry)
+	return db, nil
 }
 
 // Reopen attaches to the device of a previously opened PMem database,
@@ -170,7 +191,9 @@ func Reopen(dev *pmem.Device, cfg Config) (*DB, error) {
 		e.Close()
 		return nil, err
 	}
-	return &DB{engine: e, jit: j, workers: cfg.Workers, stmts: newStmtCache(stmtCacheCap(cfg))}, nil
+	db := &DB{engine: e, jit: j, workers: cfg.Workers, stmts: newStmtCache(stmtCacheCap(cfg))}
+	db.tel = newDBTelemetry(db, cfg.Telemetry)
+	return db, nil
 }
 
 // Close releases the database. The underlying device stays usable for

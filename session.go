@@ -53,6 +53,9 @@ func (db *DB) NewSession(cfg SessionConfig) *Session {
 	if cfg.Workers == 0 {
 		cfg.Workers = db.workers
 	}
+	if db.tel != nil {
+		db.tel.sessionsActive.Add(1)
+	}
 	return &Session{db: db, cfg: cfg, txs: make(map[*core.Tx]struct{})}
 }
 
@@ -103,6 +106,10 @@ func (s *Session) Close() error {
 	}
 	s.txs = nil
 	s.mu.Unlock()
+	if s.db.tel != nil {
+		// Balanced with NewSession; the closed flag makes Close idempotent.
+		s.db.tel.sessionsActive.Add(-1)
+	}
 	for _, tx := range txs {
 		_ = tx.Abort()
 	}

@@ -3,8 +3,11 @@ package poseidon
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"poseidon/internal/cypher"
+	"poseidon/internal/jit"
 	"poseidon/internal/query"
 )
 
@@ -17,7 +20,8 @@ type Stmt struct {
 	db       *DB
 	plan     *query.Plan
 	prepared *query.Prepared
-	text     string // Cypher source, empty for plan-built statements
+	text     string        // Cypher source, empty for plan-built statements
+	prepTime time.Duration // parse + plan + prepare cost, paid once
 }
 
 // Plan exposes the statement's algebra plan.
@@ -45,6 +49,7 @@ func (db *DB) Prepare(src string) (*Stmt, error) {
 	if st, ok := db.stmts.get(key); ok {
 		return st, nil
 	}
+	start := time.Now()
 	plan, err := cypher.Plan(db.engine, src)
 	if err != nil {
 		return nil, err
@@ -53,7 +58,8 @@ func (db *DB) Prepare(src string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.stmts.put(key, &Stmt{db: db, plan: plan, prepared: pr, text: src}), nil
+	st := &Stmt{db: db, plan: plan, prepared: pr, text: src, prepTime: time.Since(start)}
+	return db.stmts.put(key, st), nil
 }
 
 // PreparePlan caches an algebra plan as a statement, keyed by its
@@ -64,11 +70,13 @@ func (db *DB) PreparePlan(plan *query.Plan) (*Stmt, error) {
 	if st, ok := db.stmts.get(key); ok {
 		return st, nil
 	}
+	start := time.Now()
 	pr, err := query.Prepare(db.engine, plan)
 	if err != nil {
 		return nil, err
 	}
-	return db.stmts.put(key, &Stmt{db: db, plan: plan, prepared: pr}), nil
+	st := &Stmt{db: db, plan: plan, prepared: pr, prepTime: time.Since(start)}
+	return db.stmts.put(key, st), nil
 }
 
 // CacheStats returns hit/miss/eviction counters for the shared
@@ -77,19 +85,52 @@ func (db *DB) CacheStats() CacheStats { return db.stmts.stats() }
 
 // run executes the statement in tx under the given mode, pushing raw
 // rows to emit. The context cancels execution between records.
+//
+// This is the single funnel every execution path goes through —
+// facade shims, sessions and streaming cursors alike — which makes it
+// the one place query telemetry is observed. With telemetry disabled
+// (db.tel == nil) the statement runs with zero instrumentation.
 func (s *Stmt) run(ctx context.Context, tx *Tx, params query.Params, mode ExecMode, workers int, emit func(query.Row) bool) error {
+	tel := s.db.tel
+	if tel == nil {
+		_, err := s.runInner(ctx, tx, params, mode, workers, emit)
+		return err
+	}
+	stats := &s.db.engine.Device().Stats
+	pre := stats.Snapshot()
+	var rows atomic.Int64 // parallel workers may race on emit's wrapper
+	counted := func(r query.Row) bool {
+		rows.Add(1)
+		return emit(r)
+	}
+	start := time.Now()
+	st, err := s.runInner(ctx, tx, params, mode, workers, counted)
+	total := time.Since(start)
+	queryText := s.text
+	if queryText == "" {
+		queryText = s.plan.Signature()
+	}
+	// The device delta over-attributes under concurrency (other queries
+	// share the device); it is a locality signal, not an exact charge.
+	tel.observeQuery(queryText, mode, start, total, s.prepTime, st,
+		rows.Load(), stats.Snapshot().Sub(pre), err)
+	return err
+}
+
+// runInner dispatches to the mode's executor, returning the JIT cost
+// breakdown when one exists (zero for the interpreted modes).
+func (s *Stmt) runInner(ctx context.Context, tx *Tx, params query.Params, mode ExecMode, workers int, emit func(query.Row) bool) (jit.RunStats, error) {
+	var st jit.RunStats
 	switch mode {
 	case Interpret:
-		return s.prepared.RunCtx(ctx, tx, params, emit)
+		return st, s.prepared.RunCtx(ctx, tx, params, emit)
 	case Parallel:
-		return s.prepared.RunParallelCtx(ctx, tx, params, workers, emit)
+		return st, s.prepared.RunParallelCtx(ctx, tx, params, workers, emit)
 	case JIT:
-		_, err := s.db.jit.RunCtx(ctx, tx, s.plan, params, emit)
-		return err
+		return s.db.jit.RunCtx(ctx, tx, s.plan, params, emit)
 	case Adaptive:
-		_, err := s.db.jit.RunAdaptiveCtx(ctx, tx, s.plan, params, workers, emit)
-		return err
+		return s.db.jit.RunAdaptiveCtx(ctx, tx, s.plan, params, workers, emit)
 	default:
-		return fmt.Errorf("poseidon: unknown execution mode %d", mode)
+		return st, fmt.Errorf("poseidon: unknown execution mode %d", mode)
 	}
 }
