@@ -71,6 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "setup:", err)
 		os.Exit(1)
 	}
+	s.Ctx = context.Background()
 	defer s.Close()
 	fmt.Printf("loaded %d nodes, %d edges into pmem, dram and disk engines in %v\n\n",
 		len(s.DS.Nodes), len(s.DS.Edges), time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,165 @@
+// Command poseidonlint runs the poseidon static analyzer (internal/lint)
+// over the module: crash-consistency discipline (flush ordering,
+// undo-log coverage, torn multi-word stores — paper C4), context
+// threading, and telemetry handle safety.
+//
+// Usage:
+//
+//	go run ./cmd/poseidonlint ./...
+//	go run ./cmd/poseidonlint -list
+//	go run ./cmd/poseidonlint -disable ctx-threading ./internal/index
+//	go run ./cmd/poseidonlint -baseline .poseidonlint-baseline ./...
+//	go run ./cmd/poseidonlint -write-baseline .poseidonlint-baseline ./...
+//
+// Findings print as "file:line:col: [pass] message"; the exit status is
+// non-zero when any unbaselined finding remains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"poseidon/internal/lint"
+)
+
+func main() {
+	var (
+		enable    = flag.String("enable", "", "comma-separated passes to run (default: all)")
+		disable   = flag.String("disable", "", "comma-separated passes to skip")
+		baseline  = flag.String("baseline", "", "baseline file of grandfathered findings")
+		writeBase = flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+		list      = flag.Bool("list", false, "list available passes and exit")
+		verbose   = flag.Bool("v", false, "also print baselined (suppressed) findings")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range lint.Passes() {
+			fmt.Printf("%-22s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	m, err := lint.Load(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := lint.Options{Enable: splitList(*enable), Disable: splitList(*disable)}
+	findings, err := lint.Run(m, opts)
+	if err != nil {
+		fatal(err)
+	}
+	findings = filterByPatterns(root, findings, flag.Args())
+
+	if *writeBase != "" {
+		if err := lint.WriteBaseline(*writeBase, root, findings); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "poseidonlint: wrote %d finding(s) to %s\n", len(findings), *writeBase)
+		return
+	}
+
+	var baselined map[string]bool
+	if *baseline != "" {
+		baselined, err = lint.ReadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fresh, old := lint.ApplyBaseline(root, findings, baselined)
+	for _, f := range fresh {
+		fmt.Println(rel(root, f))
+	}
+	if *verbose {
+		for _, f := range old {
+			fmt.Printf("%s (baselined)\n", rel(root, f))
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "poseidonlint: %d finding(s)\n", len(fresh))
+		os.Exit(1)
+	}
+}
+
+func rel(root string, f lint.Finding) string {
+	s := f.String()
+	if r, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		s = fmt.Sprintf("%s:%d:%d: [%s] %s", filepath.ToSlash(r), f.Pos.Line, f.Pos.Column, f.Pass, f.Msg)
+	}
+	return s
+}
+
+// filterByPatterns narrows findings to the requested package patterns.
+// "./..." (or no args) keeps everything; "./internal/index" keeps that
+// directory; a trailing "/..." keeps the subtree.
+func filterByPatterns(root string, findings []lint.Finding, patterns []string) []lint.Finding {
+	if len(patterns) == 0 {
+		return findings
+	}
+	var prefixes []string
+	for _, p := range patterns {
+		if p == "./..." || p == "..." || p == "all" {
+			return findings
+		}
+		sub := strings.TrimSuffix(p, "/...")
+		abs := sub
+		if !filepath.IsAbs(sub) {
+			abs = filepath.Join(root, sub)
+		}
+		prefixes = append(prefixes, filepath.Clean(abs))
+	}
+	var out []lint.Finding
+	for _, f := range findings {
+		dir := filepath.Dir(f.Pos.Filename)
+		for _, p := range prefixes {
+			if dir == p || strings.HasPrefix(dir, p+string(filepath.Separator)) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("poseidonlint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "poseidonlint:", err)
+	os.Exit(2)
+}

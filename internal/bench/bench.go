@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,6 +56,11 @@ func (o *Options) fill() {
 type Setup struct {
 	Opts Options
 	DS   *ldbc.Dataset
+
+	// Ctx, when set by the caller, is threaded through every measured
+	// execution so a cancelled benchmark run aborts mid-query. A nil Ctx
+	// is tolerated by the *Ctx entry points.
+	Ctx context.Context
 
 	PMem    *core.Engine
 	PMemJIT *jit.Engine
@@ -210,17 +216,17 @@ func measure(runs int, f func(i int) error) (Dist, error) {
 }
 
 // runSRInterp executes a prepared SR plan once, single-threaded.
-func runSRInterp(e *core.Engine, pr *query.Prepared, params query.Params) error {
+func runSRInterp(ctx context.Context, e *core.Engine, pr *query.Prepared, params query.Params) error {
 	tx := e.Begin()
 	defer tx.Abort()
-	return pr.Run(tx, params, func(query.Row) bool { return true })
+	return pr.RunCtx(ctx, tx, params, func(query.Row) bool { return true })
 }
 
 // runSRParallel executes with morsel-driven parallelism.
-func runSRParallel(e *core.Engine, pr *query.Prepared, params query.Params, workers int) error {
+func runSRParallel(ctx context.Context, e *core.Engine, pr *query.Prepared, params query.Params, workers int) error {
 	tx := e.Begin()
 	defer tx.Abort()
-	return pr.RunParallel(tx, params, workers, func(query.Row) bool { return true })
+	return pr.RunParallelCtx(ctx, tx, params, workers, func(query.Row) bool { return true })
 }
 
 // srParams pre-draws one parameter set per run so every system variant

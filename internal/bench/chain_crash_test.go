@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+
+	"poseidon/internal/pmem"
+	"poseidon/internal/pmemobj"
+)
+
+// Regression test for a bug the pmem strict-flush checker caught in the
+// DG6 ablation: the linked chain used to be persisted with
+// Persist(offs[0], 64*hops), but allocated blocks carry a header and
+// line-alignment padding, so consecutive blocks sit 128 bytes apart and
+// the chain spans roughly twice that range — its tail never reached the
+// media view, and a crash silently truncated the chain.
+// buildLinkedChain now persists the true extent; this test crashes the
+// device and re-walks the chain from the durable image.
+func TestLinkedChainSurvivesCrash(t *testing.T) {
+	dev := pmem.New(pmem.Config{Name: "chain", Size: 16 << 20, Persistent: true, StrictFlush: true})
+	pool, err := pmemobj.Create(dev, pmemobj.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const hops = 256
+	offs, err := buildLinkedChain(dev, pool, hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Walking under StrictFlush also asserts that no hop reads a line
+	// that was stored but not flushed before the setup's persist barrier
+	// (the strict checker panics on such reads).
+	walkOffsets := func() int {
+		n := 0
+		for cur := offs[0]; cur != 0; cur = dev.ReadU64(cur) {
+			n++
+		}
+		return n
+	}
+	walkPPtrs := func() int {
+		n := 0
+		for cur := offs[0]; cur != 0; cur = pool.ReadPPtr(cur + 8).Off {
+			n++
+		}
+		return n
+	}
+	if got := walkOffsets(); got != hops {
+		t.Fatalf("offset chain has %d hops before crash, want %d", got, hops)
+	}
+	if got := walkPPtrs(); got != hops {
+		t.Fatalf("pptr chain has %d hops before crash, want %d", got, hops)
+	}
+
+	dev.Crash()
+
+	if got := walkOffsets(); got != hops {
+		t.Errorf("offset chain truncated to %d hops after crash, want %d (tail not persisted)", got, hops)
+	}
+	if got := walkPPtrs(); got != hops {
+		t.Errorf("pptr chain truncated to %d hops after crash, want %d (tail not persisted)", got, hops)
+	}
+}

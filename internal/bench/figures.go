@@ -71,22 +71,22 @@ func (s *Setup) Fig5() (*Table, error) {
 				return nil, err
 			}
 			// Warm the CPU cache simulation.
-			if err := runSRInterp(sys.e, prScan, params[0]); err != nil {
+			if err := runSRInterp(s.Ctx, sys.e, prScan, params[0]); err != nil {
 				return nil, err
 			}
-			d, err := measure(runs, func(i int) error { return runSRInterp(sys.e, prScan, params[i]) })
+			d, err := measure(runs, func(i int) error { return runSRInterp(s.Ctx, sys.e, prScan, params[i]) })
 			if err != nil {
 				return nil, err
 			}
 			row.set(sys.name+"-s", d)
 			d, err = measure(runs, func(i int) error {
-				return runSRParallel(sys.e, prScan, params[i], s.Opts.Workers)
+				return runSRParallel(s.Ctx, sys.e, prScan, params[i], s.Opts.Workers)
 			})
 			if err != nil {
 				return nil, err
 			}
 			row.set(sys.name+"-p", d)
-			d, err = measure(runs, func(i int) error { return runSRInterp(sys.e, prIdx, params[i]) })
+			d, err = measure(runs, func(i int) error { return runSRInterp(s.Ctx, sys.e, prIdx, params[i]) })
 			if err != nil {
 				return nil, err
 			}
@@ -160,7 +160,7 @@ func (s *Setup) Fig6() (*Table, error) {
 				}
 				tx := sys.e.Begin()
 				start := time.Now()
-				if _, err := pr.Collect(tx, params); err != nil {
+				if _, err := pr.CollectCtx(s.Ctx, tx, params); err != nil {
 					tx.Abort()
 					return nil, err
 				}
@@ -212,16 +212,16 @@ func (s *Setup) Fig7() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := runSRInterp(sys.e, pr, params[0]); err != nil { // warm
+			if err := runSRInterp(s.Ctx, sys.e, pr, params[0]); err != nil { // warm
 				return nil, err
 			}
-			d, err := measure(runs, func(i int) error { return runSRInterp(sys.e, pr, params[i]) })
+			d, err := measure(runs, func(i int) error { return runSRInterp(s.Ctx, sys.e, pr, params[i]) })
 			if err != nil {
 				return nil, err
 			}
 			row.set(sys.name+"-aot", d)
 
-			c, err := sys.j.Compile(plan)
+			c, err := sys.j.CompileCtx(s.Ctx, plan)
 			if err != nil {
 				return nil, err
 			}
@@ -231,7 +231,7 @@ func (s *Setup) Fig7() (*Table, error) {
 			d, err = measure(runs, func(i int) error {
 				tx := sys.e.Begin()
 				defer tx.Abort()
-				_, err := sys.j.Run(tx, plan, params[i], func(query.Row) bool { return true })
+				_, err := sys.j.RunCtx(s.Ctx, tx, plan, params[i], func(query.Row) bool { return true })
 				return err
 			})
 			if err != nil {
@@ -358,7 +358,7 @@ func (s *Setup) Fig9() (*Table, error) {
 		d, err := measure(runs, func(int) error {
 			params := pg.IUParams(q)
 			tx := e.Begin()
-			if _, err := pr.Collect(tx, params); err != nil {
+			if _, err := pr.CollectCtx(s.Ctx, tx, params); err != nil {
 				tx.Abort()
 				return err
 			}
@@ -382,7 +382,7 @@ func (s *Setup) Fig9() (*Table, error) {
 			return nil, err
 		}
 		tx := e.Begin()
-		if _, err := coldJit.Run(tx, plan, params, func(query.Row) bool { return true }); err != nil {
+		if _, err := coldJit.RunCtx(s.Ctx, tx, plan, params, func(query.Row) bool { return true }); err != nil {
 			tx.Abort()
 			return nil, err
 		}
@@ -396,7 +396,7 @@ func (s *Setup) Fig9() (*Table, error) {
 		d, err = measure(runs, func(int) error {
 			params := pg.IUParams(q)
 			tx := e.Begin()
-			if _, err := coldJit.Run(tx, plan, params, func(query.Row) bool { return true }); err != nil {
+			if _, err := coldJit.RunCtx(s.Ctx, tx, plan, params, func(query.Row) bool { return true }); err != nil {
 				tx.Abort()
 				return err
 			}
@@ -440,11 +440,11 @@ func (s *Setup) Fig10() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := runSRParallel(sys.e, pr, params[0], s.Opts.Workers); err != nil {
+			if err := runSRParallel(s.Ctx, sys.e, pr, params[0], s.Opts.Workers); err != nil {
 				return nil, err
 			}
 			d, err := measure(runs, func(i int) error {
-				return runSRParallel(sys.e, pr, params[i], s.Opts.Workers)
+				return runSRParallel(s.Ctx, sys.e, pr, params[i], s.Opts.Workers)
 			})
 			if err != nil {
 				return nil, err
@@ -454,7 +454,7 @@ func (s *Setup) Fig10() (*Table, error) {
 			d, err = measure(runs, func(i int) error {
 				tx := sys.e.Begin()
 				defer tx.Abort()
-				_, err := sys.j.RunAdaptive(tx, plan, params[i], s.Opts.Workers, func(query.Row) bool { return true })
+				_, err := sys.j.RunAdaptiveCtx(s.Ctx, tx, plan, params[i], s.Opts.Workers, func(query.Row) bool { return true })
 				return err
 			})
 			if err != nil {

@@ -274,6 +274,7 @@ func (t *Tree) leafEntry(leaf uint64, i int) entry {
 	}
 }
 
+//pmem:deferred-flush callers persist the whole node via persistLeaf before it becomes reachable/unlocked
 func (t *Tree) setLeafEntry(leaf uint64, i int, e entry) {
 	base := leaf + lfEntries + uint64(i)*entrySize
 	t.leafDev.WriteU64(base, uint64(e.key.Type))
@@ -294,6 +295,7 @@ func (t *Tree) sep(node uint64, i int) entry {
 	}
 }
 
+//pmem:deferred-flush callers persist the whole node via persistInner; for Hybrid trees innerDev is DRAM
 func (t *Tree) setSep(node uint64, i int, e entry) {
 	base := node + inSeps + uint64(i)*sepSize
 	t.innerDev.WriteU64(base, uint64(e.key.Type))
@@ -307,6 +309,7 @@ func (t *Tree) child(node uint64, i int) uint64 {
 	return t.innerDev.ReadU64(node + inChildren + uint64(i)*8)
 }
 
+//pmem:deferred-flush callers persist the whole node via persistInner; for Hybrid trees innerDev is DRAM
 func (t *Tree) setChild(node uint64, i int, off uint64) {
 	t.innerDev.WriteU64(node+inChildren+uint64(i)*8, off)
 }
@@ -658,6 +661,8 @@ func (t *Tree) countLeafChain() uint64 {
 // rebuildInner reconstructs the DRAM inner levels of a Hybrid tree from
 // the persistent leaf chain — the §7.4 recovery path. Complexity is one
 // sequential pass over the leaves plus O(#leaves) DRAM work.
+//
+//pmem:deferred-flush Hybrid-only recovery path: innerDev is the volatile DRAM pool, so flushing is meaningless
 func (t *Tree) rebuildInner() error {
 	type item struct {
 		first entry

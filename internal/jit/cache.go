@@ -104,6 +104,7 @@ func (c *pcache) store(sig string, body []byte) error {
 	if err != nil {
 		return err
 	}
+	//poseidonlint:ignore torn-store the blob is unreachable until the 8-byte entry-count bump persists below; a torn blob after crash is garbage-but-invisible
 	dev.WriteBytes(off, blob)
 	dev.Flush(off, uint64(len(blob)))
 	ent := c.entryOff(n)

@@ -67,6 +67,7 @@ func (j *Engine) InvalidateSession() {
 // flow: derive the query identifier, look up the persistent hash map; on
 // a hit, link the stored code; otherwise generate IR, run the
 // optimization cascade, lower, and persist.
+//poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (j *Engine) Compile(plan *query.Plan) (*Compiled, error) {
 	return j.CompileCtx(context.Background(), plan)
 }
@@ -78,6 +79,7 @@ func (j *Engine) Compile(plan *query.Plan) (*Compiled, error) {
 // nobody will use.
 func (j *Engine) CompileCtx(ctx context.Context, plan *query.Plan) (*Compiled, error) {
 	if ctx == nil {
+		//poseidonlint:ignore ctx-threading nil-ctx compatibility guard for legacy callers
 		ctx = context.Background()
 	}
 	sig := plan.Signature()
@@ -211,6 +213,7 @@ type RunStats struct {
 
 // Run executes the plan in JIT mode within tx: compile (or fetch), run
 // the compiled pipeline single-threaded, then the breaker tail.
+//poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (j *Engine) Run(tx *core.Tx, plan *query.Plan, params query.Params, emit func(query.Row) bool) (RunStats, error) {
 	return j.RunCtx(context.Background(), tx, plan, params, emit)
 }
@@ -222,6 +225,7 @@ func (j *Engine) Run(tx *core.Tx, plan *query.Plan, params query.Params, emit fu
 func (j *Engine) RunCtx(cctx context.Context, tx *core.Tx, plan *query.Plan, params query.Params, emit func(query.Row) bool) (RunStats, error) {
 	var st RunStats
 	if cctx == nil {
+		//poseidonlint:ignore ctx-threading nil-ctx compatibility guard for legacy callers
 		cctx = context.Background()
 	}
 	c, err := j.CompileCtx(cctx, plan)
@@ -269,6 +273,7 @@ func (j *Engine) runCompiled(c *Compiled, ctx *query.Ctx, emit func(query.Row) b
 // background goroutine compiles the pipeline; once compilation finishes,
 // the task function is swapped and the remaining morsels run compiled.
 // Plans that cannot be parallelized fall back to Run (JIT).
+//poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (j *Engine) RunAdaptive(tx *core.Tx, plan *query.Plan, params query.Params, workers int, emit func(query.Row) bool) (RunStats, error) {
 	return j.RunAdaptiveCtx(context.Background(), tx, plan, params, workers, emit)
 }
@@ -284,6 +289,7 @@ func (j *Engine) RunAdaptiveCtx(cctx context.Context, tx *core.Tx, plan *query.P
 		return j.RunCtx(cctx, tx, plan, params, emit)
 	}
 	if cctx == nil {
+		//poseidonlint:ignore ctx-threading nil-ctx compatibility guard for legacy callers
 		cctx = context.Background()
 	}
 	if workers <= 0 {

@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Finding is one analyzer diagnostic, formatted as
+// "file:line:col: [pass] message".
+type Finding struct {
+	Pos  token.Position
+	Pass string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Pass, f.Msg)
+}
+
+// Key is the position-independent identity used for baseline matching:
+// "file: [pass] message" with the file path relative to the module root.
+// Omitting line/col keeps grandfathered findings stable across edits
+// elsewhere in the file.
+func (f Finding) Key(root string) string {
+	file := f.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s: [%s] %s", file, f.Pass, f.Msg)
+}
+
+// A Pass inspects one package at a time and reports findings through
+// the Reporter. Passes must tolerate partially-broken type info (stdlib
+// imports are stubs — see the package comment in load.go).
+type Pass struct {
+	Name    string
+	Doc     string
+	Run     func(c *Context)
+	Default bool // enabled unless -disable'd
+}
+
+// Context is what a pass sees for one package.
+type Context struct {
+	Module *Module
+	Pkg    *Package
+	Kit    *Kit // shared type/call classification helpers
+	pass   *Pass
+	out    *[]Finding
+}
+
+// Reportf records a finding at pos unless an ignore directive covers it.
+func (c *Context) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p := c.Module.Fset.Position(pos)
+	if c.Kit.ignored(c.pass.Name, p) {
+		return
+	}
+	*c.out = append(*c.out, Finding{Pos: p, Pass: c.pass.Name, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Passes returns every registered pass in a stable order.
+func Passes() []*Pass {
+	return []*Pass{
+		passFlushDiscipline,
+		passTxUndoLog,
+		passTornStore,
+		passCtxThreading,
+		passTelemetryNilSafety,
+	}
+}
+
+// Options select which passes run and over which packages.
+type Options struct {
+	Enable  []string // if non-empty, only these passes run
+	Disable []string // these passes are skipped
+}
+
+func selected(opts Options) ([]*Pass, error) {
+	known := map[string]*Pass{}
+	for _, p := range Passes() {
+		known[p.Name] = p
+	}
+	for _, n := range append(append([]string{}, opts.Enable...), opts.Disable...) {
+		if known[n] == nil {
+			return nil, fmt.Errorf("lint: unknown pass %q", n)
+		}
+	}
+	var out []*Pass
+	for _, p := range Passes() {
+		if len(opts.Enable) > 0 {
+			for _, n := range opts.Enable {
+				if n == p.Name {
+					out = append(out, p)
+				}
+			}
+			continue
+		}
+		skip := false
+		for _, n := range opts.Disable {
+			if n == p.Name {
+				skip = true
+			}
+		}
+		if !skip && p.Default {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Run executes the selected passes over every package in the module
+// (plus any extra packages, e.g. test fixtures) and returns the
+// findings sorted by position.
+func Run(m *Module, opts Options, extra ...*Package) ([]Finding, error) {
+	passes, err := selected(opts)
+	if err != nil {
+		return nil, err
+	}
+	kit := newKit(m)
+	pkgs := append(append([]*Package{}, m.Pkgs...), extra...)
+	for _, p := range extra {
+		kit.addPackage(p)
+	}
+	var findings []Finding
+	for _, pass := range passes {
+		for _, pkg := range pkgs {
+			pass.Run(&Context{Module: m, Pkg: pkg, Kit: kit, pass: pass, out: &findings})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Pass < findings[j].Pass
+	})
+	return findings, nil
+}
+
+// ---- annotations -------------------------------------------------------
+
+// Two directive forms are honoured:
+//
+//	//pmem:deferred-flush <reason>
+//	    on a function's doc comment (or any line inside it): the
+//	    flush-discipline and torn-store passes skip the function — the
+//	    caller owns flushing, and the reason says why that is safe.
+//
+//	//poseidonlint:ignore <pass> [reason]
+//	    on a function's doc comment or on/above the offending line:
+//	    the named pass skips that function or line.
+const (
+	dirDeferredFlush = "//pmem:deferred-flush"
+	dirIgnore        = "//poseidonlint:ignore"
+)
+
+// funcDirectives returns the deferred-flush flag and the set of passes
+// ignored for the whole function, scanning the doc comment and any
+// comment inside the function body.
+func funcDirectives(pkg *Package, fn ast.Node, doc *ast.CommentGroup) (deferred bool, ignored map[string]bool) {
+	ignored = map[string]bool{}
+	scan := func(cg *ast.CommentGroup) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if strings.HasPrefix(text, dirDeferredFlush) {
+				deferred = true
+			}
+			if strings.HasPrefix(text, dirIgnore) {
+				rest := strings.Fields(strings.TrimPrefix(text, dirIgnore))
+				if len(rest) > 0 {
+					ignored[rest[0]] = true
+				}
+			}
+		}
+	}
+	scan(doc)
+	return deferred, ignored
+}
+
+// lineDirectives maps file -> line -> set of ignored passes, from
+// //poseidonlint:ignore comments anywhere in the package. A directive
+// suppresses findings on its own line and on the line below (so it can
+// sit on the preceding line).
+func lineDirectives(m *Module, pkg *Package) map[string]map[int]map[string]bool {
+	out := map[string]map[int]map[string]bool{}
+	add := func(file string, line int, pass string) {
+		if out[file] == nil {
+			out[file] = map[int]map[string]bool{}
+		}
+		if out[file][line] == nil {
+			out[file][line] = map[string]bool{}
+		}
+		out[file][line][pass] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, dirIgnore) {
+					continue
+				}
+				rest := strings.Fields(strings.TrimPrefix(text, dirIgnore))
+				if len(rest) == 0 {
+					continue
+				}
+				p := m.Fset.Position(c.Pos())
+				add(p.Filename, p.Line, rest[0])
+				add(p.Filename, p.Line+1, rest[0])
+			}
+		}
+	}
+	return out
+}
+
+// ---- baseline ----------------------------------------------------------
+
+// ReadBaseline loads a baseline file of grandfathered findings: one
+// Finding.Key per line, '#' comments and blank lines skipped.
+func ReadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out[line] = true
+	}
+	return out, nil
+}
+
+// ApplyBaseline splits findings into new ones and baselined ones.
+func ApplyBaseline(root string, findings []Finding, baseline map[string]bool) (fresh, old []Finding) {
+	for _, f := range findings {
+		if baseline[f.Key(root)] {
+			old = append(old, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, old
+}
+
+// WriteBaseline writes all findings as a baseline file.
+func WriteBaseline(path, root string, findings []Finding) error {
+	var b strings.Builder
+	b.WriteString("# poseidonlint baseline — grandfathered findings, one per line.\n")
+	b.WriteString("# Format: path: [pass] message (line numbers omitted so edits elsewhere\n")
+	b.WriteString("# in a file do not invalidate entries). Regenerate with -write-baseline.\n")
+	seen := map[string]bool{}
+	for _, f := range findings {
+		k := f.Key(root)
+		if !seen[k] {
+			seen[k] = true
+			b.WriteString(k + "\n")
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var fixtureCases = []struct {
+	dir  string
+	pass string
+}{
+	{"flushdiscipline", "flush-discipline"},
+	{"txundolog", "tx-undo-log"},
+	{"tornstore", "torn-store"},
+	{"ctxthreading", "ctx-threading"},
+	{"telemetrysafety", "telemetry-nil-safety"},
+}
+
+func loadModule(t *testing.T) *Module {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", root, err)
+	}
+	return m
+}
+
+// wantLines parses "// want <pass>" markers from a fixture directory:
+// each marked line must produce at least one finding of that pass, and
+// no unmarked line may produce any.
+func wantLines(t *testing.T, dir, pass string) map[int]bool {
+	t.Helper()
+	re := regexp.MustCompile(`// want (\S+)`)
+	out := map[int]bool{}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := re.FindStringSubmatch(line); m != nil {
+				if m[1] != pass {
+					t.Fatalf("%s line %d wants pass %q, fixture is for %q", e.Name(), i+1, m[1], pass)
+				}
+				out[i+1] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestFixtures(t *testing.T) {
+	m := loadModule(t)
+	for _, tc := range fixtureCases {
+		t.Run(tc.pass, func(t *testing.T) {
+			dir := filepath.Join(m.Root, "internal/lint/testdata/src", tc.dir)
+			pkg, err := m.LoadDir(dir, "poseidon/internal/lint/testdata/"+tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings, err := Run(m, Options{Enable: []string{tc.pass}}, pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The module itself must be clean, so every finding lands in
+			// the fixture.
+			got := map[int]bool{}
+			for _, f := range findings {
+				if filepath.Dir(f.Pos.Filename) != dir {
+					t.Errorf("finding outside fixture: %s", f)
+					continue
+				}
+				if f.Pass != tc.pass {
+					t.Errorf("finding from unexpected pass: %s", f)
+					continue
+				}
+				got[f.Pos.Line] = true
+			}
+			want := wantLines(t, dir, tc.pass)
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no want markers", tc.dir)
+			}
+			for line := range want {
+				if !got[line] {
+					t.Errorf("expected a %s finding at %s line %d, got none", tc.pass, tc.dir, line)
+				}
+			}
+			for line := range got {
+				if !want[line] {
+					t.Errorf("unexpected %s finding at %s line %d", tc.pass, tc.dir, line)
+				}
+			}
+		})
+	}
+}
+
+// TestModuleClean is the acceptance gate the CI lint job enforces: the
+// tree itself carries zero unbaselined findings.
+func TestModuleClean(t *testing.T) {
+	m := loadModule(t)
+	findings, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("module not lint-clean: %s", f)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	m := loadModule(t)
+	dir := filepath.Join(m.Root, "internal/lint/testdata/src/flushdiscipline")
+	pkg, err := m.LoadDir(dir, "poseidon/internal/lint/testdata/flushdiscipline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(m, Options{Enable: []string{"flush-discipline"}}, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings to baseline")
+	}
+	path := filepath.Join(t.TempDir(), "baseline")
+	if err := WriteBaseline(path, m.Root, findings); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, old := ApplyBaseline(m.Root, findings, base)
+	if len(fresh) != 0 {
+		t.Errorf("baselined findings still fresh: %v", fresh)
+	}
+	if len(old) != len(findings) {
+		t.Errorf("baselined %d of %d findings", len(old), len(findings))
+	}
+	// A finding not in the baseline stays fresh.
+	fresh, _ = ApplyBaseline(m.Root, append(findings, Finding{Pass: "flush-discipline", Msg: "new"}), base)
+	if len(fresh) != 1 {
+		t.Errorf("new finding suppressed by unrelated baseline (fresh=%d)", len(fresh))
+	}
+}
+
+func TestPassSelection(t *testing.T) {
+	m := loadModule(t)
+	if _, err := Run(m, Options{Enable: []string{"no-such-pass"}}); err == nil {
+		t.Error("unknown -enable pass not rejected")
+	}
+	if _, err := Run(m, Options{Disable: []string{"no-such-pass"}}); err == nil {
+		t.Error("unknown -disable pass not rejected")
+	}
+	dir := filepath.Join(m.Root, "internal/lint/testdata/src/tornstore")
+	pkg, err := m.LoadDir(dir, "poseidon/internal/lint/testdata/tornstore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(m, Options{Disable: []string{"torn-store"}}, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Pass == "torn-store" {
+			t.Errorf("disabled pass still reported: %s", f)
+		}
+	}
+}
+
+func TestPassesAreRegistered(t *testing.T) {
+	var names []string
+	for _, p := range Passes() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	want := []string{"ctx-threading", "flush-discipline", "telemetry-nil-safety", "torn-store", "tx-undo-log"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("registered passes = %v, want %v", names, want)
+	}
+}

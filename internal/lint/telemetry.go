@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// telemetry handle types whose nil value is the "telemetry disabled"
+// path. They must only ever travel as pointers and be used through
+// their nil-safe methods.
+var telemetryHandles = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "SlowQueryLog": true,
+}
+
+// telemetry-nil-safety: internal/telemetry handles are nil when
+// telemetry is disabled, and every method is nil-safe. Dereferencing a
+// handle or holding one by value defeats that (panics on the disabled
+// path, copies the atomics/mutex) — flag both outside the telemetry
+// package itself.
+var passTelemetryNilSafety = &Pass{
+	Name:    "telemetry-nil-safety",
+	Doc:     "telemetry handles must stay pointers and be used via their nil-safe methods",
+	Default: true,
+	Run: func(c *Context) {
+		if c.Pkg.Path == c.Kit.telePath {
+			return
+		}
+		for _, fi := range c.Kit.Funcs(c.Pkg) {
+			if fi.Ignored["telemetry-nil-safety"] {
+				continue
+			}
+			checkTelemetryUse(c, fi)
+		}
+		checkTelemetryDecls(c)
+	},
+}
+
+func (k *Kit) teleHandle(t types.Type) (string, bool) {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", false
+	}
+	if n.Obj().Pkg().Path() != k.telePath || !telemetryHandles[n.Obj().Name()] {
+		return "", false
+	}
+	return n.Obj().Name(), true
+}
+
+func checkTelemetryUse(c *Context, fi FuncInfo) {
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != fi.Lit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.StarExpr:
+			// `*h` on a handle pointer — a value deref. Type positions
+			// (`*telemetry.Counter` in declarations) resolve to the
+			// pointer type and are not flagged here.
+			tv, ok := info.Types[n.X]
+			if !ok || !tv.IsValue() {
+				return true
+			}
+			if ptr, ok := tv.Type.(*types.Pointer); ok {
+				if name, hit := c.Kit.teleHandle(ptr.Elem()); hit {
+					c.Reportf(n.Pos(), "dereferencing *telemetry.%s panics when telemetry is disabled (nil handle) and copies its atomics; call the nil-safe methods instead", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				if name, hit := c.Kit.teleHandle(tv.Type); hit {
+					c.Reportf(n.Pos(), "telemetry.%s composite literal bypasses the Registry and creates a by-value handle; use telemetry.Registry constructors", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkTelemetryDecls flags by-value handle types in declarations:
+// struct fields, vars, params, and results typed telemetry.X instead
+// of *telemetry.X.
+func checkTelemetryDecls(c *Context) {
+	report := func(typeExpr ast.Expr) {
+		if typeExpr == nil {
+			return
+		}
+		// A pointer type (`*telemetry.Counter`) is the correct shape;
+		// only a bare named handle type is a by-value copy.
+		if _, isPtr := typeExpr.(*ast.StarExpr); isPtr {
+			return
+		}
+		tv, ok := c.Pkg.Info.Types[typeExpr]
+		if !ok {
+			return
+		}
+		if name, hit := c.Kit.teleHandle(tv.Type); hit {
+			c.Reportf(typeExpr.Pos(), "telemetry.%s held by value breaks the nil-when-disabled pattern and copies atomics; declare it *telemetry.%s", name, name)
+		}
+	}
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				report(n.Type)
+			case *ast.ValueSpec:
+				report(n.Type)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,62 @@
+// Golden fixture for the flush-discipline pass: stores that never reach
+// a Flush/Persist on some path are flagged; flushed, deferred, annotated
+// and transactional stores are not.
+package fixture
+
+import (
+	"poseidon/internal/pmem"
+	"poseidon/internal/pmemobj"
+)
+
+func leak(dev *pmem.Device, off uint64) {
+	dev.WriteU64(off, 1) // want flush-discipline
+}
+
+func branchLeak(dev *pmem.Device, off uint64, cond bool) {
+	dev.WriteU64(off, 1) // want flush-discipline
+	if cond {
+		dev.Persist(off, 8)
+		return
+	}
+	// The else path returns with the store unflushed.
+}
+
+func flushed(dev *pmem.Device, off uint64) {
+	dev.WriteU64(off, 1)
+	dev.Persist(off, 8)
+}
+
+func flushedBothArms(dev *pmem.Device, off uint64, cond bool) {
+	dev.WriteU64(off, 1)
+	if cond {
+		dev.Persist(off, 8)
+	} else {
+		dev.Flush(off, 8)
+		dev.Drain()
+	}
+}
+
+func deferredFlush(dev *pmem.Device, off uint64) {
+	defer dev.Persist(off, 8)
+	dev.WriteU64(off, 1)
+}
+
+//pmem:deferred-flush the caller persists the whole block after linking it
+func annotated(dev *pmem.Device, off uint64) {
+	dev.WriteU64(off, 1)
+}
+
+func txCovered(p *pmemobj.Pool, off uint64) error {
+	return p.RunTx(func(tx *pmemobj.Tx) error {
+		if err := tx.Snapshot(off, 8); err != nil {
+			return err
+		}
+		p.Device().WriteU64(off, 1) // commit flushes every touched range
+		return nil
+	})
+}
+
+func volatileStore(off uint64) {
+	ddev := pmem.NewDRAM(1 << 20)
+	ddev.WriteU64(off, 1) // DRAM device: no flush needed
+}

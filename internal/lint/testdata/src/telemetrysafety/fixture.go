@@ -1,0 +1,34 @@
+// Golden fixture for the telemetry-nil-safety pass: handles are nil
+// when telemetry is disabled, so they must stay pointers and be used
+// through their nil-safe methods.
+package fixture
+
+import "poseidon/internal/telemetry"
+
+type badHolder struct {
+	c telemetry.Counter // want telemetry-nil-safety
+}
+
+func badDeref(c *telemetry.Counter) telemetry.Counter { // want telemetry-nil-safety
+	return *c // want telemetry-nil-safety
+}
+
+func badLiteral() {
+	c := telemetry.Counter{} // want telemetry-nil-safety
+	_ = c
+}
+
+type goodHolder struct {
+	c *telemetry.Counter
+	h *telemetry.Histogram
+}
+
+func goodUse(g goodHolder) {
+	g.c.Inc() // nil-safe even when telemetry is disabled
+	g.h.Observe(1)
+}
+
+//poseidonlint:ignore telemetry-nil-safety fixture for the annotated-exception path
+func annotatedDeref(c *telemetry.Counter) {
+	_ = *c
+}

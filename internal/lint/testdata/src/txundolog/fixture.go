@@ -1,0 +1,41 @@
+// Golden fixture for the tx-undo-log pass: direct device writes inside
+// a pmemobj transaction must be preceded by undo-log coverage.
+package fixture
+
+import (
+	"poseidon/internal/pmem"
+	"poseidon/internal/pmemobj"
+)
+
+func bad(tx *pmemobj.Tx, dev *pmem.Device, off uint64) {
+	dev.WriteU64(off, 1) // want tx-undo-log
+}
+
+func badCallback(p *pmemobj.Pool, off uint64) error {
+	return p.RunTx(func(tx *pmemobj.Tx) error {
+		p.Device().WriteU64(off, 1) // want tx-undo-log
+		return nil
+	})
+}
+
+func good(tx *pmemobj.Tx, dev *pmem.Device, off uint64) error {
+	if err := tx.Snapshot(off, 8); err != nil {
+		return err
+	}
+	dev.WriteU64(off, 1)
+	return nil
+}
+
+func goodFresh(tx *pmemobj.Tx, dev *pmem.Device) error {
+	off, err := tx.Alloc(64)
+	if err != nil {
+		return err
+	}
+	dev.WriteU64(off, 1) // fresh block: Alloc noted the range
+	return nil
+}
+
+//poseidonlint:ignore tx-undo-log scratch word outside the pool's reachable object graph; rollback cannot observe it
+func annotated(tx *pmemobj.Tx, dev *pmem.Device, off uint64) {
+	dev.WriteU64(off, 1)
+}

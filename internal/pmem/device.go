@@ -47,6 +47,11 @@ type Config struct {
 	// Persistent selects whether the device tracks a durable media view.
 	// A volatile (DRAM) device loses everything on Crash.
 	Persistent bool
+	// StrictFlush enables the runtime flush checker on a persistent
+	// device: a CPU-visible read of a line that was stored but never
+	// flushed before a Drain barrier panics (see strict.go). Also
+	// enabled by setting POSEIDON_PMEM_STRICT=1 in the environment.
+	StrictFlush bool
 }
 
 // Device is a simulated memory device. All 8-byte accesses are atomic and
@@ -61,6 +66,7 @@ type Device struct {
 	hasLatency bool
 	cache      *cacheSim
 	persistent bool
+	strict     *strictState // non-nil only in strict flush-checking mode
 
 	epochMu     sync.Mutex
 	epochBlocks map[uint64]struct{} // 256B blocks charged since last Drain
@@ -86,6 +92,9 @@ func New(cfg Config) *Device {
 	if cfg.Persistent {
 		d.media = make([]uint64, size/8)
 		d.epochBlocks = make(map[uint64]struct{})
+		if cfg.StrictFlush || strictEnvEnabled() {
+			d.strict = newStrictState()
+		}
 	}
 	if cfg.CacheBytes > 0 {
 		d.cache = newCacheSim(cfg.CacheBytes)
@@ -146,6 +155,7 @@ func (d *Device) ReadU64(off uint64) uint64 {
 	d.checkRange(off, 8)
 	d.Stats.Reads.Add(1)
 	d.chargeRead(off)
+	d.strictRead(off, 8)
 	return atomic.LoadUint64(&d.words[off/8])
 }
 
@@ -157,6 +167,7 @@ func (d *Device) WriteU64(off uint64, v uint64) {
 	if d.cache != nil {
 		d.cache.touch(off / LineSize) // write-allocate
 	}
+	d.strictStore(off, 8)
 	atomic.StoreUint64(&d.words[off/8], v)
 }
 
@@ -167,6 +178,7 @@ func (d *Device) CompareAndSwapU64(off, old, new uint64) bool {
 	d.Stats.Reads.Add(1)
 	d.Stats.Writes.Add(1)
 	d.chargeRead(off)
+	d.strictCAS(off, 8)
 	return atomic.CompareAndSwapUint64(&d.words[off/8], old, new)
 }
 
@@ -176,6 +188,7 @@ func (d *Device) ReadU32(off uint64) uint32 {
 	d.checkRange(off, 4)
 	d.Stats.Reads.Add(1)
 	d.chargeRead(off)
+	d.strictRead(off, 4)
 	w := atomic.LoadUint64(&d.words[off/8])
 	if off%8 == 0 {
 		return uint32(w)
@@ -193,6 +206,7 @@ func (d *Device) WriteU32(off uint64, v uint32) {
 	if d.cache != nil {
 		d.cache.touch(off / LineSize)
 	}
+	d.strictStore(off, 4)
 	idx := off / 8
 	w := atomic.LoadUint64(&d.words[idx])
 	if off%8 == 0 {
@@ -207,6 +221,7 @@ func (d *Device) WriteU32(off uint64, v uint32) {
 func (d *Device) ReadWords(off uint64, dst []uint64) {
 	d.checkRange(off, uint64(len(dst))*8)
 	d.Stats.Reads.Add(uint64(len(dst)))
+	d.strictRead(off, uint64(len(dst))*8)
 	for i := range dst {
 		if i%wordsPerLine == 0 || i == 0 {
 			d.chargeRead(off + uint64(i)*8)
@@ -219,6 +234,7 @@ func (d *Device) ReadWords(off uint64, dst []uint64) {
 func (d *Device) WriteWords(off uint64, src []uint64) {
 	d.checkRange(off, uint64(len(src))*8)
 	d.Stats.Writes.Add(uint64(len(src)))
+	d.strictStore(off, uint64(len(src))*8)
 	for i, v := range src {
 		if d.cache != nil && (i%wordsPerLine == 0 || i == 0) {
 			d.cache.touch((off + uint64(i)*8) / LineSize)
@@ -234,6 +250,7 @@ func (d *Device) ReadBytes(off uint64, dst []byte) {
 	if off%8 != 0 {
 		panic("pmem: ReadBytes offset must be 8-byte aligned")
 	}
+	d.strictRead(off, uint64(len(dst)))
 	var buf [8]byte
 	for i := 0; i < len(dst); i += 8 {
 		if uint64(i)%LineSize == 0 {
@@ -253,6 +270,7 @@ func (d *Device) WriteBytes(off uint64, src []byte) {
 	if off%8 != 0 {
 		panic("pmem: WriteBytes offset must be 8-byte aligned")
 	}
+	d.strictStore(off, uint64(len(src)))
 	var buf [8]byte
 	for i := 0; i < len(src); i += 8 {
 		idx := off/8 + uint64(i/8)
@@ -274,6 +292,7 @@ func (d *Device) WriteBytes(off uint64, src []byte) {
 // Zero clears n bytes starting at off (both 8-byte aligned).
 func (d *Device) Zero(off, n uint64) {
 	d.checkRange(off, n)
+	d.strictStore(off, n)
 	for i := uint64(0); i < n; i += 8 {
 		atomic.StoreUint64(&d.words[(off+i)/8], 0)
 	}
@@ -290,6 +309,7 @@ func (d *Device) Flush(off, n uint64) {
 		return
 	}
 	d.checkRange(off, n)
+	d.strictFlush(off, n)
 	first := off / LineSize
 	last := (off + n - 1) / LineSize
 	d.Stats.LineFlushes.Add(last - first + 1)
@@ -328,6 +348,7 @@ func (d *Device) chargeFlush(line uint64) {
 // bugs surface through the crash tests of package pmemobj instead.
 func (d *Device) Drain() {
 	d.Stats.Drains.Add(1)
+	d.strictDrain()
 	if d.hasLatency {
 		d.epochMu.Lock()
 		// Re-make instead of clear() once the map has grown: clearing a
@@ -354,6 +375,7 @@ func (d *Device) Persist(off, n uint64) {
 // lost. On a volatile device the entire contents are zeroed.
 func (d *Device) Crash() {
 	d.Stats.Crashes.Add(1)
+	d.strictReset()
 	if d.media == nil {
 		for i := range d.words {
 			atomic.StoreUint64(&d.words[i], 0)
@@ -455,5 +477,6 @@ func (d *Device) Load(r io.Reader) error {
 			i++
 		}
 	}
+	d.strictReset()
 	return nil
 }

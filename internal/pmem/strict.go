@@ -1,0 +1,173 @@
+package pmem
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// StrictEnv is the environment variable that force-enables strict flush
+// checking for every persistent device, equivalent to Config.StrictFlush.
+const StrictEnv = "POSEIDON_PMEM_STRICT"
+
+// strictState implements the runtime counterpart of the poseidonlint
+// flush-discipline pass (a pmemcheck-style dynamic checker). It tracks
+// the flush state of every cache line of a persistent device:
+//
+//   - a store marks its lines dirty;
+//   - Flush makes the lines durable and clears all tracking for them;
+//   - Drain (the sfence point where code asserts "everything I flushed
+//     is now persistent") promotes dirty lines that carry no exemption
+//     to leaked: the program believes a persist point has passed, but
+//     the line never reached media;
+//   - a CPU-visible read of a leaked line panics, because the reader
+//     may now act on data that a crash would silently roll back.
+//
+// Two exemptions keep the checker honest about deliberate volatility:
+// lines covered by a transaction's undo log (NoteUndoCovered, called
+// from pmemobj's Snapshot/NoteWrite paths) are recoverable even while
+// unflushed, and lines touched by CompareAndSwapU64 are treated as
+// volatile synchronization words (MVTO write locks, §5.1) whose loss on
+// crash is part of the protocol. CAS exemptions are sticky until the
+// line is flushed AND a crash/reload resets the device.
+type strictState struct {
+	mu     sync.Mutex
+	dirty  map[uint64]struct{} // stored, not yet flushed
+	leaked map[uint64]struct{} // dirty across a Drain with no exemption
+	exempt map[uint64]struct{} // undo-covered; cleared by Flush
+	volat  map[uint64]struct{} // CAS-touched sync words; cleared by reset only
+}
+
+func newStrictState() *strictState {
+	return &strictState{
+		dirty:  make(map[uint64]struct{}),
+		leaked: make(map[uint64]struct{}),
+		exempt: make(map[uint64]struct{}),
+		volat:  make(map[uint64]struct{}),
+	}
+}
+
+func strictEnvEnabled() bool { return os.Getenv(StrictEnv) == "1" }
+
+// StrictFlush reports whether strict flush checking is active on this
+// device.
+func (d *Device) StrictFlush() bool { return d.strict != nil }
+
+func (d *Device) strictStore(off, n uint64) {
+	s := d.strict
+	if s == nil || n == 0 {
+		return
+	}
+	first, last := off/LineSize, (off+n-1)/LineSize
+	s.mu.Lock()
+	for line := first; line <= last; line++ {
+		s.dirty[line] = struct{}{}
+	}
+	s.mu.Unlock()
+}
+
+func (d *Device) strictRead(off, n uint64) {
+	s := d.strict
+	if s == nil || n == 0 {
+		return
+	}
+	first, last := off/LineSize, (off+n-1)/LineSize
+	s.mu.Lock()
+	for line := first; line <= last; line++ {
+		if _, bad := s.leaked[line]; bad {
+			s.mu.Unlock()
+			panic(fmt.Sprintf(
+				"pmem: %s: strict: read of offset %#x observes line %#x that was "+
+					"stored but never flushed before a Drain barrier; a crash here "+
+					"would silently revert it (missing Flush/Persist, or missing "+
+					"undo-log coverage)", d.name, off, line))
+		}
+	}
+	s.mu.Unlock()
+}
+
+// strictCAS marks the lines touched by CompareAndSwapU64 as volatile
+// synchronization words: they are exempt from leak promotion until the
+// device state is reset.
+func (d *Device) strictCAS(off, n uint64) {
+	s := d.strict
+	if s == nil {
+		return
+	}
+	first, last := off/LineSize, (off+n-1)/LineSize
+	s.mu.Lock()
+	for line := first; line <= last; line++ {
+		s.volat[line] = struct{}{}
+		delete(s.leaked, line)
+	}
+	s.mu.Unlock()
+}
+
+func (d *Device) strictFlush(off, n uint64) {
+	s := d.strict
+	if s == nil || n == 0 {
+		return
+	}
+	first, last := off/LineSize, (off+n-1)/LineSize
+	s.mu.Lock()
+	for line := first; line <= last; line++ {
+		delete(s.dirty, line)
+		delete(s.leaked, line)
+		delete(s.exempt, line)
+	}
+	s.mu.Unlock()
+}
+
+func (d *Device) strictDrain() {
+	s := d.strict
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for line := range s.dirty {
+		if _, ok := s.exempt[line]; ok {
+			continue
+		}
+		if _, ok := s.volat[line]; ok {
+			continue
+		}
+		s.leaked[line] = struct{}{}
+	}
+	s.mu.Unlock()
+}
+
+// strictReset clears all tracking. Called on Crash and Load: both
+// replace the CPU view with a consistent media image, so every line is
+// clean by definition afterwards.
+func (d *Device) strictReset() {
+	s := d.strict
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	clear(s.dirty)
+	clear(s.leaked)
+	clear(s.exempt)
+	clear(s.volat)
+	s.mu.Unlock()
+}
+
+// NoteUndoCovered records that [off, off+n) is covered by a
+// transaction's undo log: even if a crash hits before the lines are
+// flushed, recovery rolls them back to a consistent state, so strict
+// mode must not treat them as leaked. The exemption ends when the lines
+// are flushed (the transaction's commit persists them). No-op unless
+// strict checking is active.
+func (d *Device) NoteUndoCovered(off, n uint64) {
+	s := d.strict
+	if s == nil || n == 0 {
+		return
+	}
+	first, last := off/LineSize, (off+n-1)/LineSize
+	s.mu.Lock()
+	for line := first; line <= last; line++ {
+		s.exempt[line] = struct{}{}
+		delete(s.leaked, line)
+	}
+	s.mu.Unlock()
+}

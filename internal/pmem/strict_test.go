@@ -1,0 +1,122 @@
+package pmem
+
+import (
+	"strings"
+	"testing"
+)
+
+func newStrictDev(t *testing.T) *Device {
+	t.Helper()
+	return New(Config{Name: "strict-test", Size: 1 << 16, Persistent: true, StrictFlush: true})
+}
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic = %v, want substring %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestStrictLeakedReadPanics(t *testing.T) {
+	d := newStrictDev(t)
+	d.WriteU64(0, 42)
+	d.Drain() // store crossed a drain barrier without a flush
+	mustPanic(t, "strict", func() { d.ReadU64(0) })
+}
+
+func TestStrictFlushedReadOK(t *testing.T) {
+	d := newStrictDev(t)
+	d.WriteU64(0, 42)
+	d.Persist(0, 8)
+	if got := d.ReadU64(0); got != 42 {
+		t.Fatalf("ReadU64 = %d, want 42", got)
+	}
+}
+
+func TestStrictDirtyReadOK(t *testing.T) {
+	// Reading your own unflushed store is fine until a drain claims a
+	// persist point has passed.
+	d := newStrictDev(t)
+	d.WriteU64(0, 42)
+	if got := d.ReadU64(0); got != 42 {
+		t.Fatalf("ReadU64 = %d, want 42", got)
+	}
+}
+
+func TestStrictUnrelatedPersistLeaks(t *testing.T) {
+	// The classic missing-flush bug: store A, persist only B, read A.
+	d := newStrictDev(t)
+	d.WriteU64(0, 1)
+	d.WriteU64(4096, 2)
+	d.Persist(4096, 8)
+	mustPanic(t, "strict", func() { d.ReadU64(0) })
+}
+
+func TestStrictUndoCoveredReadOK(t *testing.T) {
+	d := newStrictDev(t)
+	d.NoteUndoCovered(0, 64)
+	d.WriteWords(0, []uint64{1, 2, 3})
+	d.Drain()
+	var dst [3]uint64
+	d.ReadWords(0, dst[:]) // recoverable via the undo log: no panic
+	// Flushing ends the exemption; a fresh store leaks again.
+	d.Persist(0, 64)
+	d.WriteU64(0, 9)
+	d.Drain()
+	mustPanic(t, "strict", func() { d.ReadU64(0) })
+}
+
+func TestStrictCASExempt(t *testing.T) {
+	// CAS words are volatile synchronization state (MVTO write locks);
+	// their lines never leak, even for plain follow-up stores (unlock).
+	d := newStrictDev(t)
+	if !d.CompareAndSwapU64(0, 0, 7) {
+		t.Fatal("CAS failed")
+	}
+	d.WriteU64(0, 0)
+	d.Drain()
+	if got := d.ReadU64(0); got != 0 {
+		t.Fatalf("ReadU64 = %d, want 0", got)
+	}
+}
+
+func TestStrictCrashResets(t *testing.T) {
+	d := newStrictDev(t)
+	d.WriteU64(0, 42)
+	d.Drain()
+	d.Crash() // CPU view reloaded from media: consistent by definition
+	if got := d.ReadU64(0); got != 0 {
+		t.Fatalf("ReadU64 after crash = %d, want 0", got)
+	}
+}
+
+func TestStrictDisabledByDefault(t *testing.T) {
+	t.Setenv(StrictEnv, "") // hermetic even under POSEIDON_PMEM_STRICT=1 runs
+	d := New(Config{Name: "lax", Size: 1 << 16, Persistent: true})
+	if d.StrictFlush() {
+		t.Fatal("strict mode on without opt-in")
+	}
+	d.WriteU64(0, 42)
+	d.Drain()
+	if got := d.ReadU64(0); got != 42 {
+		t.Fatalf("ReadU64 = %d, want 42", got)
+	}
+}
+
+func TestStrictEnvEnable(t *testing.T) {
+	t.Setenv(StrictEnv, "1")
+	if d := NewPMem(1 << 16); !d.StrictFlush() {
+		t.Fatalf("%s=1 did not enable strict mode", StrictEnv)
+	}
+	// Volatile devices never track flush state.
+	if d := NewDRAM(1 << 16); d.StrictFlush() {
+		t.Fatal("strict mode enabled on a volatile device")
+	}
+}

@@ -203,6 +203,8 @@ func Resolve(pp PPtr) (*Pool, uint64, error) {
 // off. Note the 16-byte store is not failure-atomic; callers needing
 // atomicity must snapshot it in a transaction (this is exactly the paper's
 // argument for 8-byte offsets in DD2).
+//
+//pmem:deferred-flush primitive store helper; callers cover the 16 bytes with their undo log or an explicit Persist
 func (p *Pool) WritePPtr(off uint64, pp PPtr) {
 	p.dev.WriteU64(off, pp.Pool)
 	p.dev.WriteU64(off+8, pp.Off)

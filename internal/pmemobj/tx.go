@@ -116,6 +116,9 @@ func (tx *Tx) Snapshot(off, n uint64) error {
 	dev.Persist(p.logOff, 8)
 	tx.logEnd += need
 	tx.touched = append(tx.touched, txRange{off, n})
+	// The range is now recoverable even while its stores sit unflushed
+	// in the CPU cache; tell the strict flush checker (no-op otherwise).
+	dev.NoteUndoCovered(off, n)
 	return nil
 }
 
@@ -125,6 +128,7 @@ func (tx *Tx) Snapshot(off, n uint64) error {
 // transaction, which the allocator rolls back wholesale on abort.
 func (tx *Tx) NoteWrite(off, n uint64) {
 	tx.touched = append(tx.touched, txRange{off, n})
+	tx.p.dev.NoteUndoCovered(off, n)
 }
 
 func (tx *Tx) noteWrite(off, n uint64) { tx.NoteWrite(off, n) }

@@ -125,6 +125,7 @@ func BindParams(e *core.Engine, params Params) (map[string]storage.Value, error)
 
 // Run executes the plan in interpretation mode within tx, calling emit
 // for every result row until exhaustion or emit returns false.
+//poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (pr *Prepared) Run(tx *core.Tx, params Params, emit func(Row) bool) error {
 	return pr.RunCtx(context.Background(), tx, params, emit)
 }
@@ -135,6 +136,7 @@ func (pr *Prepared) Run(tx *core.Tx, params Params, emit func(Row) bool) error {
 // returns ctx.Err().
 func (pr *Prepared) RunCtx(ctx context.Context, tx *core.Tx, params Params, emit func(Row) bool) error {
 	if ctx == nil {
+		//poseidonlint:ignore ctx-threading nil-ctx compatibility guard for legacy callers
 		ctx = context.Background()
 	}
 	bound, err := BindParams(pr.E, params)
@@ -158,9 +160,16 @@ func (pr *Prepared) RunCtx(ctx context.Context, tx *core.Tx, params Params, emit
 }
 
 // Collect executes the plan and gathers all rows.
+//
+//poseidonlint:ignore ctx-threading legacy convenience shim over CollectCtx, kept for pre-session callers (CHANGES.md migration table)
 func (pr *Prepared) Collect(tx *core.Tx, params Params) ([]Row, error) {
+	return pr.CollectCtx(context.Background(), tx, params)
+}
+
+// CollectCtx executes the plan under ctx and gathers all rows.
+func (pr *Prepared) CollectCtx(ctx context.Context, tx *core.Tx, params Params) ([]Row, error) {
 	var rows []Row
-	err := pr.Run(tx, params, func(r Row) bool {
+	err := pr.RunCtx(ctx, tx, params, func(r Row) bool {
 		rows = append(rows, r)
 		return true
 	})

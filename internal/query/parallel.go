@@ -354,6 +354,7 @@ func (mp *MorselPlan) RunTail(ctx *Ctx, tuples []Tuple, emit func(Row) bool) err
 // given number of workers (0 = GOMAXPROCS). Plans that cannot be
 // parallelized fall back to single-threaded interpretation. Result order
 // is nondeterministic across morsels.
+//poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (pr *Prepared) RunParallel(tx *core.Tx, params Params, workers int, emit func(Row) bool) error {
 	return pr.RunParallelCtx(context.Background(), tx, params, workers, emit)
 }
@@ -368,6 +369,7 @@ func (pr *Prepared) RunParallelCtx(cctx context.Context, tx *core.Tx, params Par
 		return pr.RunCtx(cctx, tx, params, emit)
 	}
 	if cctx == nil {
+		//poseidonlint:ignore ctx-threading nil-ctx compatibility guard for legacy callers
 		cctx = context.Background()
 	}
 	if workers <= 0 {

@@ -25,6 +25,9 @@ func ReadNodeRec(dev *pmem.Device, off uint64) NodeRec {
 
 // WriteNodeRec stores a full node record. The caller is responsible for
 // flushing (directly or through a transaction).
+//
+//pmem:deferred-flush callers flush via their transaction commit (or an explicit Persist) after linking the record
+//poseidonlint:ignore torn-store the record range is undo-log covered (Snapshot/NoteWrite) by every caller, making the multi-word write failure-atomic
 func WriteNodeRec(dev *pmem.Device, off uint64, r *NodeRec) {
 	words := [NodeRecordSize / 8]uint64{
 		r.TxnID,
@@ -58,6 +61,9 @@ func ReadRelRec(dev *pmem.Device, off uint64) RelRec {
 
 // WriteRelRec stores a full relationship record. The caller is responsible
 // for flushing.
+//
+//pmem:deferred-flush callers flush via their transaction commit (or an explicit Persist) after linking the record
+//poseidonlint:ignore torn-store the record range is undo-log covered (Snapshot/NoteWrite) by every caller, making the multi-word write failure-atomic
 func WriteRelRec(dev *pmem.Device, off uint64, r *RelRec) {
 	words := [RelRecordSize / 8]uint64{
 		r.TxnID,

@@ -16,6 +16,9 @@ import (
 )
 
 func TestDeviceImageSaveLoadReopen(t *testing.T) {
+	// Run the whole engine stack under the strict flush checker: a read
+	// of any line that missed its Flush before a Drain barrier panics.
+	t.Setenv(pmem.StrictEnv, "1")
 	db, err := Open(Config{Mode: PMem, PoolSize: 64 << 20})
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +64,7 @@ func TestDeviceImageSaveLoadReopen(t *testing.T) {
 }
 
 func TestDeviceImageFileRoundTrip(t *testing.T) {
+	t.Setenv(pmem.StrictEnv, "1")
 	db, err := Open(Config{Mode: PMem, PoolSize: 64 << 20})
 	if err != nil {
 		t.Fatal(err)

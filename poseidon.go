@@ -227,6 +227,7 @@ func (db *DB) CreateIndex(label, key string, kind IndexKind) error {
 // containing updates are rejected with ErrUpdatePlan — the transaction
 // is always rolled back, so the updates would silently vanish; use Exec
 // instead.
+//poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) Query(plan *query.Plan, params query.Params) ([][]any, error) {
 	return db.QueryModeCtx(context.Background(), plan, params, Interpret)
 }
@@ -239,6 +240,7 @@ func (db *DB) QueryCtx(ctx context.Context, plan *query.Plan, params query.Param
 
 // QueryMode runs a plan with an explicit execution mode. Like Query it
 // rejects update plans with ErrUpdatePlan.
+//poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) QueryMode(plan *query.Plan, params query.Params, mode ExecMode) ([][]any, error) {
 	return db.QueryModeCtx(context.Background(), plan, params, mode)
 }
@@ -256,6 +258,7 @@ func (db *DB) QueryModeCtx(ctx context.Context, plan *query.Plan, params query.P
 // QueryTx runs a plan inside an existing transaction, so updates observe
 // and join the transaction's effects; committing remains the caller's
 // job.
+//poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) QueryTx(tx *Tx, plan *query.Plan, params query.Params, mode ExecMode) ([][]any, error) {
 	return db.QueryTxCtx(context.Background(), tx, plan, params, mode)
 }
@@ -296,6 +299,7 @@ func (db *DB) collect(ctx context.Context, tx *Tx, stmt *Stmt, params query.Para
 
 // Exec runs an update plan inside a fresh transaction and commits it,
 // returning the number of result rows.
+//poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) Exec(plan *query.Plan, params query.Params) (int, error) {
 	return db.ExecCtx(context.Background(), plan, params)
 }
@@ -327,6 +331,7 @@ func (db *DB) ExecCtx(ctx context.Context, plan *query.Plan, params query.Params
 //
 //	rows, err := db.Cypher(`MATCH (p:Person {name: $n})-[:knows]->(f)
 //	                        RETURN f.name ORDER BY f.name`, query.Params{"n": "ada"})
+//poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) Cypher(src string, params query.Params) ([][]any, error) {
 	return db.CypherModeCtx(context.Background(), src, params, Interpret)
 }
@@ -339,6 +344,7 @@ func (db *DB) CypherCtx(ctx context.Context, src string, params query.Params) ([
 // CypherMode runs a Cypher-like statement with an explicit execution
 // mode. Read-only statements may use any mode; updates run reliably under
 // Interpret and JIT.
+//poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) CypherMode(src string, params query.Params, mode ExecMode) ([][]any, error) {
 	return db.CypherModeCtx(context.Background(), src, params, mode)
 }
@@ -365,6 +371,8 @@ func (db *DB) CypherModeCtx(ctx context.Context, src string, params query.Params
 // Explain describes how a plan would execute: its signature (the
 // compiled-code cache key), whether the JIT can compile it, and how the
 // morsel-driven executor would split it.
+//
+//poseidonlint:ignore ctx-threading synchronous diagnostic helper; the compile probe is bounded and usually a code-cache hit
 func (db *DB) Explain(plan *query.Plan) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "signature: %s\n", plan.Signature())

@@ -120,6 +120,7 @@ func (s *Session) Close() error {
 // its own. The returned cancel must be called when execution ends.
 func (s *Session) context(ctx context.Context) (context.Context, context.CancelFunc) {
 	if ctx == nil {
+		//poseidonlint:ignore ctx-threading nil-ctx compatibility guard for legacy callers
 		ctx = context.Background()
 	}
 	if s.cfg.Timeout > 0 {
