@@ -222,6 +222,9 @@ func Reopen(dev *pmem.Device, cfg Config) (*Engine, error) {
 	if err := e.reopenIndexes(); err != nil {
 		return nil, err
 	}
+	if err := e.reconcileIndexes(); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -290,6 +293,11 @@ func (e *Engine) reopenIndexes() error {
 	}
 	return nil
 }
+
+// Watermark returns the highest committed timestamp the engine knows of.
+// After Reopen it is the recovered commit watermark: no durable version
+// may carry a timestamp beyond it (the fsck records pass checks this).
+func (e *Engine) Watermark() uint64 { return e.clock.Load() }
 
 // AuxRoot returns the auxiliary root offset (used by the JIT compiler for
 // its persistent code cache), or 0 if unset.

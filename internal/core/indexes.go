@@ -150,3 +150,134 @@ func (tx *Tx) IndexedLookup(tree *index.Tree, v storage.Value) ([]NodeSnap, erro
 	}
 	return out, nil
 }
+
+// IndexInfo describes one secondary index for introspection (fsck and the
+// crash explorer).
+type IndexInfo struct {
+	Label uint32
+	Key   uint32
+	Kind  index.Kind
+	Tree  *index.Tree
+}
+
+// Indexes returns a snapshot of the engine's secondary indexes.
+func (e *Engine) Indexes() []IndexInfo {
+	e.idxMu.RLock()
+	defer e.idxMu.RUnlock()
+	out := make([]IndexInfo, 0, len(e.indexes))
+	for ik, t := range e.indexes {
+		out = append(out, IndexInfo{Label: ik.label, Key: ik.key, Kind: t.Kind(), Tree: t})
+	}
+	return out
+}
+
+// entState marks whether a justified index entry must be present (live
+// node) or is merely tolerated (tombstoned node awaiting GC).
+type entState struct{ required bool }
+
+// reconcileIndexes repairs persistent indexes against the recovered
+// primary tables. Index maintenance runs after the commit point (step 4 of
+// Commit), so a crash between the two can leave the last commit's entries
+// missing and its superseded entries still present — and commitMu
+// serializes commits, so at most one commit can be torn this way. Damaged
+// trees are rebuilt outright; otherwise the tree is patched entry by
+// entry, preserving the §7.4 recovery asymptotics (one table scan plus
+// work proportional to the damage).
+func (e *Engine) reconcileIndexes() error {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if len(e.indexes) == 0 {
+		return nil
+	}
+
+	// One raw scan over the recovered node table builds, per index, the
+	// set of entries the primary data justifies. Tombstoned nodes keep
+	// their entries until GC (updateIndexes), so they are allowed but not
+	// required; live nodes are required.
+	allowed := make(map[indexKey]map[index.Entry]entState, len(e.indexes))
+	for ik := range e.indexes {
+		allowed[ik] = make(map[index.Entry]entState)
+	}
+	e.nodes.Scan(func(id, off uint64) bool {
+		rec := storage.ReadNodeRec(e.dev, off)
+		live := rec.Ets == Infinity
+		for _, p := range storage.ReadPropChain(e.props, rec.Props) {
+			ik := indexKey{rec.Label, p.Key}
+			set, indexed := allowed[ik]
+			if !indexed {
+				continue
+			}
+			ent := index.Entry{Key: p.Val, ID: id}
+			if prev, ok := set[ent]; !ok || !prev.required {
+				set[ent] = entState{required: live}
+			}
+		}
+		return true
+	})
+
+	for ik, tree := range e.indexes {
+		if probs := tree.CheckIntegrity(); len(probs) > 0 {
+			if err := e.rebuildIndexLocked(ik, tree.Kind(), allowed[ik]); err != nil {
+				return err
+			}
+			continue
+		}
+		// Drop entries the primary data does not justify (the torn
+		// commit's superseded values, or entries for reclaimed slots).
+		var extra []index.Entry
+		tree.WalkLeaves(func(_ uint64, entries []index.Entry, _ uint64) bool {
+			for _, ent := range entries {
+				if _, ok := allowed[ik][ent]; !ok {
+					extra = append(extra, ent)
+				}
+			}
+			return true
+		})
+		for _, ent := range extra {
+			tree.Delete(ent.Key, ent.ID)
+		}
+		// Insert entries live nodes require but the torn commit never got
+		// to write.
+		for ent, st := range allowed[ik] {
+			if st.required && !tree.Contains(ent.Key, ent.ID) {
+				if err := tree.Insert(ent.Key, ent.ID); err != nil {
+					return fmt.Errorf("core: reconcile index (%d,%d): %w", ik.label, ik.key, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rebuildIndexLocked replaces a structurally damaged index with a fresh
+// tree holding the required entries, and repoints the persistent directory
+// entry at it. The damaged tree's blocks leak (the allocator has no
+// tracing collector), which is the price of surviving arbitrary leaf-chain
+// damage. Caller holds idxMu.
+func (e *Engine) rebuildIndexLocked(ik indexKey, kind index.Kind, entries map[index.Entry]entState) error {
+	tree, err := index.Create(kind, e.pool, index.Options{})
+	if err != nil {
+		return err
+	}
+	for ent, st := range entries {
+		if !st.required {
+			continue // tombstoned nodes' entries are optional; a rebuild omits them
+		}
+		if err := tree.Insert(ent.Key, ent.ID); err != nil {
+			return fmt.Errorf("core: rebuild index (%d,%d): %w", ik.label, ik.key, err)
+		}
+	}
+	if kind != index.Volatile {
+		n := e.dev.ReadU64(e.root + rootIdxCount)
+		for i := uint64(0); i < n; i++ {
+			ent := e.root + rootIdxDir + i*idxEntrySize
+			if uint32(e.dev.ReadU64(ent)) == ik.label && uint32(e.dev.ReadU64(ent+8)) == ik.key {
+				e.dev.WriteU64(ent+24, tree.Offset())
+				e.dev.Persist(ent+24, 8)
+				break
+			}
+		}
+	}
+	e.indexes[ik] = tree
+	return nil
+}

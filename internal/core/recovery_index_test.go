@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"poseidon/internal/index"
+	"poseidon/internal/storage"
+)
+
+// Index maintenance runs after the pmemobj commit point (Commit step 4), so
+// a crash in between leaves the durable tree one commit behind the primary
+// tables: the superseded entry still present, the committed one missing.
+// Reopen must reconcile the index against the recovered tables.
+
+func tornIndexEngine(t *testing.T, kind index.Kind) (*Engine, uint64) {
+	t.Helper()
+	e := newTestEngine(t, PMem)
+	tx := e.Begin()
+	id := mustCreateNode(t, tx, "Person", map[string]any{"name": "alice"})
+	mustCommit(t, tx)
+	if err := e.CreateIndex("Person", "name", kind); err != nil {
+		t.Fatal(err)
+	}
+
+	// Commit an update, then rewind the tree to its pre-commit state —
+	// exactly what the durable image holds if the crash lands between the
+	// commit record and updateIndexes.
+	tx = e.Begin()
+	if err := tx.SetNodeProps(id, map[string]any{"name": "alicia"}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	tree, ok := e.IndexFor("Person", "name")
+	if !ok {
+		t.Fatal("index missing")
+	}
+	oldVal, err := e.EncodeValue("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newVal, err := e.EncodeValue("alicia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Delete(newVal, id) {
+		t.Fatal("committed entry was not in the index")
+	}
+	if err := tree.Insert(oldVal, id); err != nil {
+		t.Fatal(err)
+	}
+	return e, id
+}
+
+func checkReconciled(t *testing.T, e *Engine, id uint64) {
+	t.Helper()
+	tree, ok := e.IndexFor("Person", "name")
+	if !ok {
+		t.Fatal("index missing after reopen")
+	}
+	oldVal, _ := e.EncodeValue("alice")
+	newVal, _ := e.EncodeValue("alicia")
+	if ids := tree.Lookup(oldVal); len(ids) != 0 {
+		t.Errorf("superseded entry survived recovery: %v", ids)
+	}
+	if ids := tree.Lookup(newVal); len(ids) != 1 || ids[0] != id {
+		t.Errorf("committed entry missing after recovery: %v", ids)
+	}
+}
+
+func TestReopenReconcilesTornIndexUpdate(t *testing.T) {
+	for _, kind := range []index.Kind{index.Hybrid, index.Persistent} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e, id := tornIndexEngine(t, kind)
+			e2 := reopenAfterCrash(t, e)
+			checkReconciled(t, e2, id)
+		})
+	}
+}
+
+func TestReopenDropsIndexEntriesOfReclaimedSlots(t *testing.T) {
+	// An entry pointing at a slot recovery reclaimed (or that was never
+	// committed) must be dropped, not just tolerated: IndexScan trusts the
+	// tree's ids.
+	e := newTestEngine(t, PMem)
+	tx := e.Begin()
+	id := mustCreateNode(t, tx, "Person", map[string]any{"name": "alice"})
+	mustCommit(t, tx)
+	if err := e.CreateIndex("Person", "name", index.Hybrid); err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := e.IndexFor("Person", "name")
+	v, _ := e.EncodeValue("alice")
+	if err := tree.Insert(v, id+100); err != nil { // dangling id
+		t.Fatal(err)
+	}
+
+	e2 := reopenAfterCrash(t, e)
+	tree2, _ := e2.IndexFor("Person", "name")
+	if ids := tree2.Lookup(v); len(ids) != 1 || ids[0] != id {
+		t.Errorf("lookup after reopen = %v, want [%d]", ids, id)
+	}
+}
+
+func TestReopenKeepsTombstonedIndexEntries(t *testing.T) {
+	// Deleted nodes keep index entries until GC; reconcile must tolerate
+	// them (they are re-validated by IndexedLookup) rather than treating
+	// them as damage.
+	e := newTestEngine(t, PMem)
+	tx := e.Begin()
+	id := mustCreateNode(t, tx, "Person", map[string]any{"name": "bob"})
+	mustCommit(t, tx)
+	if err := e.CreateIndex("Person", "name", index.Hybrid); err != nil {
+		t.Fatal(err)
+	}
+	// An open reader keeps the engine non-quiescent so GC cannot reclaim
+	// the tombstoned slot before the crash.
+	holder := e.Begin()
+	tx = e.Begin()
+	if err := tx.DeleteNode(id); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	_ = holder // lost in the crash, like any in-flight transaction
+
+	e2 := reopenAfterCrash(t, e)
+	// The slot still holds the tombstoned record.
+	off, ok := e2.Nodes().RecordOffset(id)
+	if !ok {
+		t.Fatal("tombstoned slot gone")
+	}
+	if rec := storage.ReadNodeRec(e2.Device(), off); rec.Flags&storage.FlagTombstone == 0 {
+		t.Fatal("record not tombstoned")
+	}
+	// A current reader must not see the node through the index.
+	tree, _ := e2.IndexFor("Person", "name")
+	v, _ := e2.EncodeValue("bob")
+	tx2 := e2.Begin()
+	defer tx2.Abort()
+	snaps, err := tx2.IndexedLookup(tree, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 0 {
+		t.Errorf("deleted node visible through index: %v", snaps)
+	}
+}

@@ -1,0 +1,97 @@
+//go:build !crashmutate
+
+package crashx
+
+import (
+	"context"
+	"testing"
+
+	"poseidon/internal/pmem"
+)
+
+// The central claim of the harness: for every crash point in the LDBC IU
+// mix, recovery yields an image that passes every fsck invariant. A
+// violation here is a durability bug (or an fsck bug), never flake — the
+// whole schedule is deterministic.
+
+func TestExploreLDBCSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration is seconds-long; skipped in -short")
+	}
+	res, err := Explore(context.Background(), Options{
+		Persons: 8,
+		Ops:     5,
+		Seed:    7,
+		Random:  120,
+		Progress: func(format string, args ...any) {
+			t.Logf(format, args...)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEvents == 0 {
+		t.Fatal("dry run counted no crashable events")
+	}
+	if res.Points == 0 {
+		t.Fatal("no crash points explored")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+func TestExploreExhaustivePrefix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration is seconds-long; skipped in -short")
+	}
+	// The first events of the first commit cover the pre-flush and
+	// mid-undo-log crash classes; enumerate them densely.
+	res, err := Explore(context.Background(), Options{
+		Persons:   8,
+		Ops:       3,
+		Seed:      3,
+		MaxPoints: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points != 80 {
+		t.Fatalf("explored %d points, want 80", res.Points)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+func TestScheduleIDRoundTrip(t *testing.T) {
+	in := ScheduleID{Persons: 16, Seed: -3, Ops: 30, Mask: pmem.EvFlush | pmem.EvDrain, K: 17}
+	out, err := ParseScheduleID(in.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if _, err := ParseScheduleID("persons=1,bogus"); err == nil {
+		t.Error("malformed schedule accepted")
+	}
+	if _, err := ParseScheduleID("persons=1,seed=2"); err == nil {
+		t.Error("incomplete schedule accepted")
+	}
+}
+
+func TestReplayCleanSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay opens a full engine; skipped in -short")
+	}
+	v, err := Replay(context.Background(), ScheduleID{
+		Persons: 8, Seed: 7, Ops: 2, Mask: pmem.EvFlush | pmem.EvDrain, K: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("unexpected violation: %s", v)
+	}
+}

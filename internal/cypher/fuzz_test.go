@@ -1,0 +1,48 @@
+package cypher
+
+import "testing"
+
+// FuzzParse asserts the parser is total: any input either parses into a
+// non-nil statement or returns an error — it must never panic and never
+// return (nil, nil). The seed corpus covers the LDBC-style surface the
+// engine's workloads exercise (match patterns, filters, aggregation,
+// ordering, mutation clauses, parameters).
+func FuzzParse(f *testing.F) {
+	for _, src := range []string{
+		``,
+		`MATCH (p:Person) RETURN p.name`,
+		`MATCH (p:Person {name: 'ada'}) RETURN p.age`,
+		`MATCH (p:Person {id: $id}) RETURN p.firstName, p.lastName, p.birthday`,
+		`MATCH (p:Person {name: 'ada'})-[:knows]->(f) RETURN f.name`,
+		`MATCH (p:Person {name: 'ada'})<-[:hasCreator]-(m) RETURN m.id`,
+		`MATCH (p:Person {name: 'ada'})-[:knows]-(f) RETURN f.name`,
+		`MATCH (p:Person {name: 'ada'})-[:knows]->(f)-[:knows]->(ff) RETURN ff.name`,
+		`MATCH (p:Person) WHERE p.age > $min AND NOT p.name = 'cleo' RETURN p.name, p.age ORDER BY p.age DESC LIMIT 2`,
+		`MATCH (p:Person {name: 'ada'})-[r:knows]->(f) WHERE r.since >= 2020 RETURN f.name, r.since`,
+		`MATCH (p:Person)-[:knows]->(f) RETURN COUNT(*)`,
+		`MATCH (p:Person)-[:knows]->(f) RETURN DISTINCT p.name`,
+		`CREATE (x:Person {name: 'eve', age: 33})`,
+		`MATCH (a:Person {name: 'eve'}), (b:Person {name: 'dan'}) CREATE (a)-[:knows {since: 2024}]->(b)`,
+		`CREATE (m:Forum {title: 'general'})-[:hasModerator]->(n:Person {name: 'fay'})`,
+		`MATCH (p:Person {name: 'bob'}) SET p.age = $age, p.city = 'berlin'`,
+		`MATCH (p:Person {name: 'dan'}) DETACH DELETE p`,
+		`MATCH (p:Person) RETURN p`,
+		// Near-miss inputs that must be rejected, not crash.
+		`MATCH (p:Person RETURN p`,
+		`MATCH (p)-[->(q) RETURN p`,
+		`RETURN`,
+		`MATCH (p:Person) WHERE RETURN p`,
+		`CREATE (x:Person {name: })`,
+		`MATCH (p:Person) RETURN p.name ORDER LIMIT`,
+		"MATCH (p:`weird`) RETURN p",
+		`match (p:Person) return p.name`,
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err == nil && st == nil {
+			t.Fatalf("Parse(%q) = nil statement, nil error", src)
+		}
+	})
+}

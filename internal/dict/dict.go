@@ -354,3 +354,84 @@ func (d *Dict) growLocked(tx *pmemobj.Tx, newCap uint64) error {
 	dev.WriteU64(d.hdr+hBucketCap, newCap)
 	return tx.Free(oldArr)
 }
+
+// CheckIntegrity verifies the code↔string bijection of the persistent
+// image and returns a description of each violation (nil means healthy):
+// every occupied forward slot holds a valid in-bounds string whose hash
+// matches, a code in [1, next), unique among slots, and the reverse table
+// maps that code back to the same string; every assigned code decodes.
+// Used by the fsck harness (internal/fsck) after crash recovery.
+func (d *Dict) CheckIntegrity() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var probs []string
+	dev := d.pool.Device()
+	devSize := uint64(dev.Size())
+	next := dev.ReadU64(d.hdr + hCount)
+	if next == 0 {
+		return []string{"dict: next-code counter is 0 (codes start at 1)"}
+	}
+	arr := dev.ReadU64(d.hdr + hBucketOff)
+	capacity := dev.ReadU64(d.hdr + hBucketCap)
+	if capacity == 0 || capacity&(capacity-1) != 0 || arr+capacity*slotSize > devSize {
+		return []string{fmt.Sprintf("dict: bucket array [%#x, cap %d] invalid", arr, capacity)}
+	}
+
+	codeStr := make(map[uint64]string, next-1)
+	for i := uint64(0); i < capacity; i++ {
+		slot := arr + i*slotSize
+		h := dev.ReadU64(slot)
+		if h == 0 {
+			continue
+		}
+		strOff := dev.ReadU64(slot + 8)
+		code := dev.ReadU64(slot + 16)
+		if strOff+8 > devSize || strOff+8+dev.ReadU64(strOff) > devSize {
+			probs = append(probs, fmt.Sprintf("dict: slot %d string offset %#x out of bounds", i, strOff))
+			continue
+		}
+		s := d.readString(strOff)
+		if fnv1a(s) != h {
+			probs = append(probs, fmt.Sprintf("dict: slot %d hash %#x does not match string %q", i, h, s))
+		}
+		if code == 0 || code >= next {
+			probs = append(probs, fmt.Sprintf("dict: slot %d code %d outside [1, %d)", i, code, next))
+			continue
+		}
+		if prev, dup := codeStr[code]; dup {
+			probs = append(probs, fmt.Sprintf("dict: code %d assigned to both %q and %q", code, prev, s))
+			continue
+		}
+		codeStr[code] = s
+	}
+
+	// Reverse direction: every assigned code must decode to the string the
+	// forward table stores for it.
+	dir := dev.ReadU64(d.hdr + hRevDirOff)
+	for code := uint64(1); code < next; code++ {
+		blockIdx := code / revBlockCodes
+		if blockIdx >= revDirCap {
+			probs = append(probs, fmt.Sprintf("dict: code %d beyond reverse directory", code))
+			continue
+		}
+		block := dev.ReadU64(dir + blockIdx*8)
+		var strOff uint64
+		if block != 0 && block+(code%revBlockCodes)*8+8 <= devSize {
+			strOff = dev.ReadU64(block + (code%revBlockCodes)*8)
+		}
+		fwd, inFwd := codeStr[code]
+		if strOff == 0 || strOff+8 > devSize {
+			probs = append(probs, fmt.Sprintf("dict: code %d has no reverse mapping", code))
+			continue
+		}
+		rev := d.readString(strOff)
+		if !inFwd {
+			probs = append(probs, fmt.Sprintf("dict: code %d (%q) missing from the forward table", code, rev))
+			continue
+		}
+		if rev != fwd {
+			probs = append(probs, fmt.Sprintf("dict: code %d decodes to %q but encodes from %q", code, rev, fwd))
+		}
+	}
+	return probs
+}

@@ -1,0 +1,365 @@
+// Package fsck verifies the structural invariants of a recovered durable
+// graph image. It is the checking half of the crash-exploration harness
+// (internal/crashx drives it at every enumerated crash point): recovery
+// (core.Reopen) makes the image usable, fsck proves it is *consistent* —
+// every invariant the paper's failure-atomicity claim (C4) promises to
+// preserve across arbitrary crashes.
+//
+// The passes and what each defends:
+//
+//   - records: version validity — recovery left no transaction locks, no
+//     version carries a timestamp beyond the persisted commit watermark,
+//     begin/end timestamps are ordered, and the tombstone flag agrees with
+//     the end timestamp.
+//   - adjacency: referential integrity of the linked relationship lists —
+//     endpoints exist, out/in chains are acyclic and only contain
+//     relationships anchored at the right node, and every live
+//     relationship is reachable exactly once from each endpoint.
+//   - props: property chains are acyclic, unshared, owned by the record
+//     that references them, and decodable through the dictionary.
+//   - dict: the persistent code↔string mapping is a bijection.
+//   - indexes: every tree is structurally sound (ordering, leaf chain,
+//     inner-level agreement) and agrees with the primary tables — every
+//     entry is justified by a stored property and every live node's
+//     indexed property has an entry.
+//   - undolog: no transaction is still pending after recovery.
+package fsck
+
+import (
+	"fmt"
+	"strings"
+
+	"poseidon/internal/core"
+	"poseidon/internal/index"
+	"poseidon/internal/storage"
+)
+
+// Violation is one broken invariant.
+type Violation struct {
+	Pass   string // which pass found it
+	Detail string
+}
+
+func (v Violation) String() string { return v.Pass + ": " + v.Detail }
+
+// Report is the outcome of a full check.
+type Report struct {
+	Violations []Violation
+
+	// Coverage counters: how much of the image each pass visited.
+	Nodes        uint64
+	Rels         uint64
+	PropRecords  uint64
+	DictCodes    uint64
+	IndexEntries uint64
+}
+
+// OK reports whether the image passed every check.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fsck: %d nodes, %d rels, %d prop records, %d dict codes, %d index entries",
+		r.Nodes, r.Rels, r.PropRecords, r.DictCodes, r.IndexEntries)
+	if r.OK() {
+		b.WriteString(": clean")
+		return b.String()
+	}
+	fmt.Fprintf(&b, ": %d violations", len(r.Violations))
+	for _, v := range r.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+func (r *Report) addf(pass, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Check runs every pass against the engine's current durable image. The
+// engine must be quiescent (no in-flight transactions) — the intended
+// callers check freshly recovered engines, where that holds by
+// construction.
+func Check(e *core.Engine) *Report {
+	r := &Report{}
+	r.checkRecords(e)
+	r.checkAdjacency(e)
+	r.checkProps(e)
+	r.checkDict(e)
+	r.checkIndexes(e)
+	r.checkUndoLog(e)
+	return r
+}
+
+// --- records ---
+
+func (r *Report) checkRecords(e *core.Engine) {
+	const pass = "records"
+	dev := e.Device()
+	wm := e.Watermark()
+	check := func(kind string, id uint64, txn, bts, ets uint64, flags uint32, label uint32) {
+		if txn != 0 {
+			r.addf(pass, "%s %d: transaction lock %d survived recovery", kind, id, txn)
+		}
+		if bts == 0 {
+			r.addf(pass, "%s %d: occupied slot with begin timestamp 0", kind, id)
+		}
+		if bts > wm {
+			r.addf(pass, "%s %d: begin timestamp %d beyond commit watermark %d", kind, id, bts, wm)
+		}
+		if ets != core.Infinity {
+			if ets > wm {
+				r.addf(pass, "%s %d: end timestamp %d beyond commit watermark %d", kind, id, ets, wm)
+			}
+			if ets < bts {
+				r.addf(pass, "%s %d: end timestamp %d before begin timestamp %d", kind, id, ets, bts)
+			}
+			if flags&storage.FlagTombstone == 0 {
+				r.addf(pass, "%s %d: closed validity window without tombstone flag", kind, id)
+			}
+		} else if flags&storage.FlagTombstone != 0 {
+			r.addf(pass, "%s %d: tombstone flag on an open validity window", kind, id)
+		}
+		if _, err := e.Dict().Decode(uint64(label)); err != nil {
+			r.addf(pass, "%s %d: label code %d not in dictionary: %v", kind, id, label, err)
+		}
+	}
+	e.Nodes().Scan(func(id, off uint64) bool {
+		r.Nodes++
+		rec := storage.ReadNodeRec(dev, off)
+		check("node", id, rec.TxnID, rec.Bts, rec.Ets, rec.Flags, rec.Label)
+		return true
+	})
+	e.Rels().Scan(func(id, off uint64) bool {
+		r.Rels++
+		rec := storage.ReadRelRec(dev, off)
+		check("rel", id, rec.TxnID, rec.Bts, rec.Ets, rec.Flags, rec.Label)
+		return true
+	})
+}
+
+// --- adjacency ---
+
+func (r *Report) checkAdjacency(e *core.Engine) {
+	const pass = "adjacency"
+	dev := e.Device()
+	rels := e.Rels()
+	nodes := e.Nodes()
+	maxSteps := rels.MaxID() + 1
+
+	// seenOut/seenIn count how many times each relationship id occurs on
+	// any out/in chain; cross-checked against liveness afterwards.
+	seenOut := make(map[uint64]int)
+	seenIn := make(map[uint64]int)
+
+	walk := func(nodeID, head uint64, out bool, seen map[uint64]int) {
+		dir, nextField, anchorField := "out", uint64(storage.RNextSrc), uint64(storage.RSrc)
+		if !out {
+			dir, nextField, anchorField = "in", storage.RNextDst, storage.RDst
+		}
+		visited := make(map[uint64]bool)
+		cur := head
+		var steps uint64
+		for cur != storage.NilID {
+			if steps++; steps > maxSteps {
+				r.addf(pass, "node %d: %s-chain longer than the relationship table (cycle?)", nodeID, dir)
+				return
+			}
+			if visited[cur] {
+				r.addf(pass, "node %d: %s-chain cycles at rel %d", nodeID, dir, cur)
+				return
+			}
+			visited[cur] = true
+			off, ok := rels.RecordOffset(cur)
+			if !ok || !rels.Occupied(cur) {
+				r.addf(pass, "node %d: %s-chain references missing rel %d", nodeID, dir, cur)
+				return
+			}
+			if anchor := dev.ReadU64(off + anchorField); anchor != nodeID {
+				r.addf(pass, "node %d: %s-chain contains rel %d anchored at node %d", nodeID, dir, cur, anchor)
+			}
+			seen[cur]++
+			cur = dev.ReadU64(off + nextField)
+		}
+	}
+
+	nodes.Scan(func(id, off uint64) bool {
+		walk(id, dev.ReadU64(off+storage.NOut), true, seenOut)
+		walk(id, dev.ReadU64(off+storage.NIn), false, seenIn)
+		return true
+	})
+
+	rels.Scan(func(id, off uint64) bool {
+		rec := storage.ReadRelRec(dev, off)
+		for _, ep := range []struct {
+			name string
+			node uint64
+			seen map[uint64]int
+		}{{"src", rec.Src, seenOut}, {"dst", rec.Dst, seenIn}} {
+			if _, ok := nodes.RecordOffset(ep.node); !ok || !nodes.Occupied(ep.node) {
+				r.addf(pass, "rel %d: %s node %d missing", id, ep.name, ep.node)
+				continue
+			}
+			n := ep.seen[id]
+			live := rec.Ets == core.Infinity
+			switch {
+			case live && n != 1:
+				r.addf(pass, "rel %d: live but linked %d times from its %s node %d (want 1)", id, n, ep.name, ep.node)
+			case !live && n > 1:
+				// Tombstoned rels may be mid-unlink (0 or 1 links is fine).
+				r.addf(pass, "rel %d: tombstoned yet linked %d times from its %s node %d", id, n, ep.name, ep.node)
+			}
+		}
+		return true
+	})
+}
+
+// --- props ---
+
+func (r *Report) checkProps(e *core.Engine) {
+	const pass = "props"
+	dev := e.Device()
+	props := e.Props()
+	maxSteps := props.MaxID() + 1
+
+	// owner[propID] = first owner that reached it; chains must not share
+	// records.
+	owner := make(map[uint64]uint64)
+
+	walk := func(kind string, ownerID, head uint64) {
+		visited := make(map[uint64]bool)
+		cur := head
+		var steps uint64
+		for cur != storage.NilID {
+			if steps++; steps > maxSteps {
+				r.addf(pass, "%s %d: property chain longer than the table (cycle?)", kind, ownerID)
+				return
+			}
+			if visited[cur] {
+				r.addf(pass, "%s %d: property chain cycles at record %d", kind, ownerID, cur)
+				return
+			}
+			visited[cur] = true
+			off, ok := props.RecordOffset(cur)
+			if !ok || !props.Occupied(cur) {
+				r.addf(pass, "%s %d: property chain references missing record %d", kind, ownerID, cur)
+				return
+			}
+			if prev, shared := owner[cur]; shared {
+				r.addf(pass, "%s %d: property record %d already owned by %d", kind, ownerID, cur, prev)
+				return
+			}
+			owner[cur] = ownerID
+			if po := dev.ReadU64(off + storage.POwner); po != ownerID {
+				r.addf(pass, "%s %d: property record %d back-pointer names owner %d", kind, ownerID, cur, po)
+			}
+			cur = dev.ReadU64(off + storage.PNext)
+		}
+	}
+
+	e.Nodes().Scan(func(id, off uint64) bool {
+		walk("node", id, dev.ReadU64(off+storage.NProps))
+		return true
+	})
+	e.Rels().Scan(func(id, off uint64) bool {
+		walk("rel", id, dev.ReadU64(off+storage.RProps))
+		return true
+	})
+
+	// Every occupied property record must be reachable from its owner, and
+	// its items must decode.
+	props.Scan(func(id, off uint64) bool {
+		r.PropRecords++
+		if _, reached := owner[id]; !reached {
+			r.addf(pass, "property record %d occupied but unreachable from any owner", id)
+		}
+		// Decode just this record's items (not the chain: later records
+		// are visited by their own scan step).
+		for j := uint64(0); j < storage.PItemsMax; j++ {
+			item := off + storage.PItems + j*storage.PItemSize
+			kt := dev.ReadU64(item)
+			key, typ := uint32(kt), storage.ValueType(kt>>32)
+			if key == 0 && typ == storage.TypeNil {
+				continue
+			}
+			if _, err := e.Dict().Decode(uint64(key)); err != nil {
+				r.addf(pass, "property record %d: key code %d not in dictionary", id, key)
+			}
+			if typ == storage.TypeString {
+				if _, err := e.Dict().Decode(dev.ReadU64(item + 8)); err != nil {
+					r.addf(pass, "property record %d: string value code %d not in dictionary", id, dev.ReadU64(item+8))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// --- dict ---
+
+func (r *Report) checkDict(e *core.Engine) {
+	const pass = "dict"
+	d := e.Dict()
+	r.DictCodes = d.Count()
+	for _, p := range d.CheckIntegrity() {
+		r.addf(pass, "%s", p)
+	}
+}
+
+// --- indexes ---
+
+func (r *Report) checkIndexes(e *core.Engine) {
+	const pass = "indexes"
+	dev := e.Device()
+	nodes := e.Nodes()
+	props := e.Props()
+	for _, info := range e.Indexes() {
+		name := fmt.Sprintf("index(%d,%d)", info.Label, info.Key)
+		for _, p := range info.Tree.CheckIntegrity() {
+			r.addf(pass, "%s: %s", name, p)
+		}
+		// Forward: every entry must be justified by a stored property.
+		info.Tree.WalkLeaves(func(_ uint64, entries []index.Entry, _ uint64) bool {
+			for _, ent := range entries {
+				r.IndexEntries++
+				off, ok := nodes.RecordOffset(ent.ID)
+				if !ok || !nodes.Occupied(ent.ID) {
+					r.addf(pass, "%s: entry (%v, %d) references missing node", name, ent.Key, ent.ID)
+					continue
+				}
+				rec := storage.ReadNodeRec(dev, off)
+				if rec.Label != info.Label {
+					r.addf(pass, "%s: entry (%v, %d) references node with label %d", name, ent.Key, ent.ID, rec.Label)
+					continue
+				}
+				v, ok := storage.PropValue(props, rec.Props, info.Key)
+				if !ok || v != ent.Key {
+					r.addf(pass, "%s: entry (%v, %d) does not match stored property (%v, present=%v)", name, ent.Key, ent.ID, v, ok)
+				}
+			}
+			return true
+		})
+		// Backward: every live matching node must have its entry.
+		nodes.Scan(func(id, off uint64) bool {
+			rec := storage.ReadNodeRec(dev, off)
+			if rec.Label != info.Label || rec.Ets != core.Infinity {
+				return true
+			}
+			if v, ok := storage.PropValue(props, rec.Props, info.Key); ok {
+				if !info.Tree.Contains(v, id) {
+					r.addf(pass, "%s: live node %d with value %v missing from the index", name, id, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// --- undo log ---
+
+func (r *Report) checkUndoLog(e *core.Engine) {
+	if n := e.Pool().LogPending(); n != 0 {
+		r.addf("undolog", "%d undo-log entries still pending after recovery", n)
+	}
+}

@@ -1,0 +1,179 @@
+package pmem
+
+// Crash-schedule controller: deterministic fault injection at the k-th
+// durability event (store / flush-line / drain) on a persistent device.
+//
+// The paper's failure-atomicity claim (C4) is only as strong as the set of
+// crash points it was tested at. Hand-picked Crash() sites sample that set;
+// the controller enumerates it. A driver arms the controller, runs a
+// workload, and the device panics with *InjectedCrash immediately BEFORE
+// the k-th matching event takes its durable effect. "Before event k" makes
+// the enumeration exhaustive without double-counting: crashing before
+// flush-line k+1 is the same durable state as crashing after flush-line k,
+// and the state after the final event is the non-crashing run.
+//
+// Once the crash fires the media view is frozen: no later Flush reaches
+// media. This matters because the panic unwinds through pmemobj.RunTx,
+// whose recover handler rolls the undo log back (writes + flushes) before
+// re-panicking — on real hardware those instructions never execute, so the
+// simulated media must not see them either. The driver then calls Crash(),
+// which discards the CPU view and restores exactly the at-crash-point
+// image, and reopens the pool to exercise recovery.
+//
+// The controller follows the strict-checker idiom (strict.go): a nil
+// pointer when disarmed, so the hot paths pay one atomic load.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+)
+
+// CrashEvents is a bitmask selecting which durability events the crash
+// controller counts.
+type CrashEvents uint8
+
+const (
+	// EvStore counts each store call into a persistent device (WriteU64,
+	// WriteU32, WriteWords, WriteBytes, Zero, CompareAndSwapU64) as one
+	// event, before the store lands in the CPU view.
+	EvStore CrashEvents = 1 << iota
+	// EvFlush counts each cache-line write-back inside Flush as one
+	// event, before the line reaches the media view. A multi-line Flush
+	// is several events: a crash between its lines is a torn flush.
+	EvFlush
+	// EvDrain counts each Drain (sfence) barrier as one event.
+	EvDrain
+)
+
+// EvAll selects every event class.
+const EvAll = EvStore | EvFlush | EvDrain
+
+// String renders the mask in the form accepted by ParseCrashEvents,
+// e.g. "flush|drain".
+func (m CrashEvents) String() string {
+	var parts []string
+	if m&EvStore != 0 {
+		parts = append(parts, "store")
+	}
+	if m&EvFlush != 0 {
+		parts = append(parts, "flush")
+	}
+	if m&EvDrain != 0 {
+		parts = append(parts, "drain")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// ParseCrashEvents parses a mask of the form "flush|drain" (any order,
+// "store", "flush", "drain", or "all").
+func ParseCrashEvents(s string) (CrashEvents, error) {
+	var m CrashEvents
+	for _, part := range strings.Split(s, "|") {
+		switch strings.TrimSpace(part) {
+		case "store":
+			m |= EvStore
+		case "flush":
+			m |= EvFlush
+		case "drain":
+			m |= EvDrain
+		case "all":
+			m |= EvAll
+		case "":
+		default:
+			return 0, fmt.Errorf("pmem: unknown crash event %q", part)
+		}
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("pmem: empty crash event mask %q", s)
+	}
+	return m, nil
+}
+
+// InjectedCrash is the panic value thrown when an armed crash fires.
+// Drivers recover it, call Device.Crash() and re-open the pool; any other
+// panic value must be re-thrown.
+type InjectedCrash struct {
+	Dev   *Device
+	Seq   uint64      // 1-based index of the event that was about to happen
+	Event CrashEvents // the single event class that triggered
+}
+
+func (c *InjectedCrash) Error() string {
+	return fmt.Sprintf("pmem: injected crash before event %d (%s) on %s",
+		c.Seq, c.Event, c.Dev.Name())
+}
+
+type crashCtl struct {
+	mask  CrashEvents
+	armK  uint64 // fire before the armK-th matching event; 0 = count only
+	count atomic.Uint64
+	fired atomic.Bool
+}
+
+// ArmCrash arms the controller: the device will panic with *InjectedCrash
+// immediately before the k-th event matching mask takes durable effect.
+// k == 0 arms in count-only mode — no crash fires, and DisarmCrash reports
+// how many matching events the workload generated (the N a driver then
+// enumerates k = 1..N over). Arming replaces any previous controller.
+func (d *Device) ArmCrash(mask CrashEvents, k uint64) {
+	d.crashctl.Store(&crashCtl{mask: mask, armK: k})
+}
+
+// ArmCrashRandom arms a crash at a pseudo-random point k in [1, maxEvents],
+// drawn from seed, and returns the chosen k so the schedule can be
+// replayed deterministically with ArmCrash(mask, k).
+func (d *Device) ArmCrashRandom(mask CrashEvents, seed int64, maxEvents uint64) uint64 {
+	if maxEvents == 0 {
+		maxEvents = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	k := uint64(rng.Int63n(int64(maxEvents))) + 1
+	d.ArmCrash(mask, k)
+	return k
+}
+
+// DisarmCrash removes the controller and reports the number of matching
+// events observed and whether the crash fired. Call it before Crash():
+// Crash also disarms, discarding the counters.
+func (d *Device) DisarmCrash() (events uint64, fired bool) {
+	c := d.crashctl.Swap(nil)
+	if c == nil {
+		return 0, false
+	}
+	return c.count.Load(), c.fired.Load()
+}
+
+// CrashFired reports whether an armed crash has fired (and the media view
+// is therefore frozen).
+func (d *Device) CrashFired() bool {
+	c := d.crashctl.Load()
+	return c != nil && c.fired.Load()
+}
+
+// crashPoint is the per-event hook. It must be called before the event's
+// durable effect, and never while holding the media lock (the panic must
+// not leak a held lock).
+func (d *Device) crashPoint(ev CrashEvents) {
+	c := d.crashctl.Load()
+	if c == nil || c.mask&ev == 0 {
+		return
+	}
+	seq := c.count.Add(1)
+	if c.armK != 0 && seq == c.armK && c.fired.CompareAndSwap(false, true) {
+		panic(&InjectedCrash{Dev: d, Seq: seq, Event: ev})
+	}
+}
+
+// mediaFrozen reports whether an injected crash already fired, in which
+// case flushes must no longer reach the media view: the stores executed
+// during panic unwinding (e.g. the pmemobj rollback) happen after the
+// simulated power failure.
+func (d *Device) mediaFrozen() bool {
+	c := d.crashctl.Load()
+	return c != nil && c.fired.Load()
+}

@@ -1,0 +1,183 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// runToCrash executes fn, recovering an injected crash. Any other panic is
+// re-thrown.
+func runToCrash(fn func()) (ic *InjectedCrash) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		c, ok := r.(*InjectedCrash)
+		if !ok {
+			panic(r)
+		}
+		ic = c
+	}()
+	fn()
+	return nil
+}
+
+// fourLineWorkload writes and flushes four lines, then drains: 4 EvFlush
+// events + 1 EvDrain.
+func fourLineWorkload(dev *Device) {
+	for i := 0; i < 4; i++ {
+		off := uint64(i) * LineSize
+		dev.WriteU64(off, uint64(i+1))
+		dev.Flush(off, 8)
+	}
+	dev.Drain()
+}
+
+func TestCrashCountOnly(t *testing.T) {
+	dev := New(Config{Name: "t", Size: 4096, Persistent: true})
+	dev.ArmCrash(EvFlush|EvDrain, 0)
+	fourLineWorkload(dev)
+	n, fired := dev.DisarmCrash()
+	if fired {
+		t.Fatal("count-only mode fired a crash")
+	}
+	if n != 5 {
+		t.Fatalf("event count = %d, want 5 (4 line flushes + 1 drain)", n)
+	}
+}
+
+func TestCrashBeforeKthEvent(t *testing.T) {
+	// Enumerate every flush/drain point of the workload: crash before
+	// event k must leave exactly the first k-1 flushed lines durable.
+	for k := uint64(1); k <= 5; k++ {
+		dev := New(Config{Name: "t", Size: 4096, Persistent: true})
+		dev.ArmCrash(EvFlush|EvDrain, k)
+		ic := runToCrash(func() { fourLineWorkload(dev) })
+		if ic == nil {
+			t.Fatalf("k=%d: no crash fired", k)
+		}
+		if ic.Seq != k {
+			t.Fatalf("k=%d: crash fired at seq %d", k, ic.Seq)
+		}
+		wantEv := EvFlush
+		if k == 5 {
+			wantEv = EvDrain
+		}
+		if ic.Event != wantEv {
+			t.Fatalf("k=%d: crash event = %v, want %v", k, ic.Event, wantEv)
+		}
+		dev.DisarmCrash()
+		dev.Crash()
+		for i := uint64(0); i < 4; i++ {
+			got := dev.ReadU64(i * LineSize)
+			want := uint64(0)
+			if i < k-1 {
+				want = i + 1 // flush events 1..k-1 completed
+			}
+			if got != want {
+				t.Errorf("k=%d: line %d after crash = %d, want %d", k, i, got, want)
+			}
+		}
+	}
+}
+
+func TestCrashStoreEvents(t *testing.T) {
+	dev := New(Config{Name: "t", Size: 4096, Persistent: true})
+	// Crash before the 2nd store: the first store was persisted and
+	// survives, the second never happened.
+	dev.ArmCrash(EvStore, 2)
+	ic := runToCrash(func() {
+		dev.WriteU64(0, 7)
+		dev.Persist(0, 8)
+		dev.WriteU64(8, 9)
+		dev.Persist(8, 8)
+	})
+	if ic == nil || ic.Event != EvStore || ic.Seq != 2 {
+		t.Fatalf("crash = %+v, want seq 2 of EvStore", ic)
+	}
+	dev.Crash()
+	if a, b := dev.ReadU64(0), dev.ReadU64(8); a != 7 || b != 0 {
+		t.Fatalf("after crash before 2nd store: words = %d,%d, want 7,0", a, b)
+	}
+}
+
+func TestMediaFrozenAfterFire(t *testing.T) {
+	dev := New(Config{Name: "t", Size: 4096, Persistent: true})
+	dev.ArmCrash(EvFlush, 1)
+	ic := runToCrash(func() {
+		dev.WriteU64(0, 1)
+		dev.Flush(0, 8)
+	})
+	if ic == nil {
+		t.Fatal("no crash fired")
+	}
+	if !dev.CrashFired() {
+		t.Fatal("CrashFired = false after fire")
+	}
+	// Anything "persisted" while unwinding (the pmemobj rollback path)
+	// must not reach media: the power is already off.
+	dev.WriteU64(LineSize, 42)
+	dev.Persist(LineSize, 8)
+	if _, fired := dev.DisarmCrash(); !fired {
+		t.Fatal("DisarmCrash reported fired=false")
+	}
+	dev.Crash()
+	if v := dev.ReadU64(LineSize); v != 0 {
+		t.Fatalf("post-fire flush reached media: %d", v)
+	}
+}
+
+func TestArmCrashRandomDeterministic(t *testing.T) {
+	dev := New(Config{Name: "t", Size: 4096, Persistent: true})
+	k1 := dev.ArmCrashRandom(EvFlush, 12345, 100)
+	dev.DisarmCrash()
+	k2 := dev.ArmCrashRandom(EvFlush, 12345, 100)
+	dev.DisarmCrash()
+	if k1 != k2 {
+		t.Fatalf("same seed chose different points: %d vs %d", k1, k2)
+	}
+	if k1 < 1 || k1 > 100 {
+		t.Fatalf("chosen point %d outside [1,100]", k1)
+	}
+}
+
+func TestCrashDisarmsController(t *testing.T) {
+	dev := New(Config{Name: "t", Size: 4096, Persistent: true})
+	dev.ArmCrash(EvFlush, 1)
+	dev.Crash()
+	if dev.crashctl.Load() != nil {
+		t.Fatal("Crash left the controller armed")
+	}
+	dev.WriteU64(0, 1)
+	dev.Flush(0, 8) // must not panic
+}
+
+func TestLoadZeroesTail(t *testing.T) {
+	// Save a short image from one device, dirty a second device beyond
+	// the image length, load — the tail must be zero in both views.
+	src := New(Config{Name: "src", Size: 4096, Persistent: true})
+	src.WriteU64(0, 11)
+	src.Persist(0, 8)
+	var img bytes.Buffer
+	if err := src.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(Config{Name: "dst", Size: 4096, Persistent: true})
+	dst.WriteU64(2048, 99)
+	dst.Persist(2048, 8)
+	if err := dst.Load(bytes.NewReader(img.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if v := dst.ReadU64(0); v != 11 {
+		t.Fatalf("word 0 after load = %d, want 11", v)
+	}
+	if v := dst.ReadU64(2048); v != 0 {
+		t.Fatalf("CPU view tail after load = %d, want 0", v)
+	}
+	dst.Crash() // restores from media: the media tail must be zero too
+	if v := dst.ReadU64(2048); v != 0 {
+		t.Fatalf("media tail after load+crash = %d, want 0", v)
+	}
+}

@@ -68,6 +68,13 @@ type Device struct {
 	persistent bool
 	strict     *strictState // non-nil only in strict flush-checking mode
 
+	// crashctl is the armed crash-schedule controller (crashctl.go);
+	// nil when disarmed. mediaMu orders media-view writers: Flush holds
+	// it shared per line, Crash and Load hold it exclusively so a crash
+	// never observes a half-copied line from a concurrent flusher.
+	crashctl atomic.Pointer[crashCtl]
+	mediaMu  sync.RWMutex
+
 	epochMu     sync.Mutex
 	epochBlocks map[uint64]struct{} // 256B blocks charged since last Drain
 
@@ -164,6 +171,7 @@ func (d *Device) ReadU64(off uint64) uint64 {
 func (d *Device) WriteU64(off uint64, v uint64) {
 	d.checkRange(off, 8)
 	d.Stats.Writes.Add(1)
+	d.crashPoint(EvStore)
 	if d.cache != nil {
 		d.cache.touch(off / LineSize) // write-allocate
 	}
@@ -177,6 +185,7 @@ func (d *Device) CompareAndSwapU64(off, old, new uint64) bool {
 	d.checkRange(off, 8)
 	d.Stats.Reads.Add(1)
 	d.Stats.Writes.Add(1)
+	d.crashPoint(EvStore)
 	d.chargeRead(off)
 	d.strictCAS(off, 8)
 	return atomic.CompareAndSwapUint64(&d.words[off/8], old, new)
@@ -203,6 +212,7 @@ func (d *Device) ReadU32(off uint64) uint32 {
 func (d *Device) WriteU32(off uint64, v uint32) {
 	d.checkRange(off, 4)
 	d.Stats.Writes.Add(1)
+	d.crashPoint(EvStore)
 	if d.cache != nil {
 		d.cache.touch(off / LineSize)
 	}
@@ -234,6 +244,7 @@ func (d *Device) ReadWords(off uint64, dst []uint64) {
 func (d *Device) WriteWords(off uint64, src []uint64) {
 	d.checkRange(off, uint64(len(src))*8)
 	d.Stats.Writes.Add(uint64(len(src)))
+	d.crashPoint(EvStore)
 	d.strictStore(off, uint64(len(src))*8)
 	for i, v := range src {
 		if d.cache != nil && (i%wordsPerLine == 0 || i == 0) {
@@ -270,6 +281,7 @@ func (d *Device) WriteBytes(off uint64, src []byte) {
 	if off%8 != 0 {
 		panic("pmem: WriteBytes offset must be 8-byte aligned")
 	}
+	d.crashPoint(EvStore)
 	d.strictStore(off, uint64(len(src)))
 	var buf [8]byte
 	for i := 0; i < len(src); i += 8 {
@@ -292,6 +304,7 @@ func (d *Device) WriteBytes(off uint64, src []byte) {
 // Zero clears n bytes starting at off (both 8-byte aligned).
 func (d *Device) Zero(off, n uint64) {
 	d.checkRange(off, n)
+	d.crashPoint(EvStore)
 	d.strictStore(off, n)
 	for i := uint64(0); i < n; i += 8 {
 		atomic.StoreUint64(&d.words[(off+i)/8], 0)
@@ -315,14 +328,28 @@ func (d *Device) Flush(off, n uint64) {
 	d.Stats.LineFlushes.Add(last - first + 1)
 	for line := first; line <= last; line++ {
 		if d.media != nil {
-			base := line * wordsPerLine
-			for w := uint64(0); w < wordsPerLine; w++ {
-				atomic.StoreUint64(&d.media[base+w], atomic.LoadUint64(&d.words[base+w]))
-			}
+			d.flushLine(line)
 		}
 		if d.hasLatency {
 			d.chargeFlush(line)
 		}
+	}
+}
+
+// flushLine writes one cache line back to media. The crash hook runs
+// before the lock is taken (an injected panic must not leak a held lock)
+// and before any word of the line reaches media, so crash point k sees
+// lines 1..k-1 durable and line k not at all — never a torn line.
+func (d *Device) flushLine(line uint64) {
+	d.crashPoint(EvFlush)
+	d.mediaMu.RLock()
+	defer d.mediaMu.RUnlock()
+	if d.mediaFrozen() {
+		return
+	}
+	base := line * wordsPerLine
+	for w := uint64(0); w < wordsPerLine; w++ {
+		atomic.StoreUint64(&d.media[base+w], atomic.LoadUint64(&d.words[base+w]))
 	}
 }
 
@@ -347,6 +374,7 @@ func (d *Device) chargeFlush(line uint64) {
 // already durable, so Drain affects only the cost model; ordering-related
 // bugs surface through the crash tests of package pmemobj instead.
 func (d *Device) Drain() {
+	d.crashPoint(EvDrain)
 	d.Stats.Drains.Add(1)
 	d.strictDrain()
 	if d.hasLatency {
@@ -372,10 +400,16 @@ func (d *Device) Persist(off, n uint64) {
 
 // Crash simulates a power failure: the CPU view is replaced by the media
 // view and the simulated CPU cache is invalidated. Unflushed stores are
-// lost. On a volatile device the entire contents are zeroed.
+// lost. On a volatile device the entire contents are zeroed. Crash holds
+// the media lock exclusively for the whole discard, so it is safe against
+// concurrent flushers: the restored image never mixes a half-copied line.
+// Crash also disarms any crash controller; call DisarmCrash first if the
+// event count is needed.
 func (d *Device) Crash() {
 	d.Stats.Crashes.Add(1)
+	d.crashctl.Store(nil)
 	d.strictReset()
+	d.mediaMu.Lock()
 	if d.media == nil {
 		for i := range d.words {
 			atomic.StoreUint64(&d.words[i], 0)
@@ -385,6 +419,7 @@ func (d *Device) Crash() {
 			atomic.StoreUint64(&d.words[i], atomic.LoadUint64(&d.media[i]))
 		}
 	}
+	d.mediaMu.Unlock()
 	if d.cache != nil {
 		d.cache.invalidateAll()
 	}
@@ -445,7 +480,11 @@ func (d *Device) Save(w io.Writer) error {
 }
 
 // Load restores both views from a stream produced by Save. The stored size
-// must not exceed the device capacity.
+// must not exceed the device capacity. Words beyond the stored image are
+// zeroed in both views, so loading a (shorter) image into a used device
+// yields the same state as loading it into a fresh one — crash-exploration
+// drivers rely on this to reuse a single device across iterations. Like
+// Crash, Load holds the media lock exclusively for the whole restore.
 func (d *Device) Load(r io.Reader) error {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -458,6 +497,8 @@ func (d *Device) Load(r io.Reader) error {
 	if n > uint64(len(d.words)) {
 		return fmt.Errorf("pmem: load: stored size %d words exceeds device capacity %d", n, len(d.words))
 	}
+	d.mediaMu.Lock()
+	defer d.mediaMu.Unlock()
 	buf := make([]byte, 64*1024)
 	i := uint64(0)
 	for i < n {
@@ -476,6 +517,15 @@ func (d *Device) Load(r io.Reader) error {
 			}
 			i++
 		}
+	}
+	for ; i < uint64(len(d.words)); i++ {
+		atomic.StoreUint64(&d.words[i], 0)
+		if d.media != nil {
+			atomic.StoreUint64(&d.media[i], 0)
+		}
+	}
+	if d.cache != nil {
+		d.cache.invalidateAll()
 	}
 	d.strictReset()
 	return nil

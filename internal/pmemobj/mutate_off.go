@@ -1,0 +1,8 @@
+//go:build !crashmutate
+
+package pmemobj
+
+// mutateSkipFlush deliberately weakens the commit protocol when the
+// crashmutate build tag is set (see mutate_on.go). In normal builds it is
+// a compile-time false, so the branch in tx.commit vanishes.
+const mutateSkipFlush = false

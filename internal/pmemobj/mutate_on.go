@@ -1,0 +1,11 @@
+//go:build crashmutate
+
+package pmemobj
+
+// mutateSkipFlush injects a deliberate crash-consistency bug: tx.commit
+// invalidates the undo log without having flushed its last touched range.
+// Recovery then trusts a commit whose data may never have reached media.
+// The crash-point explorer (internal/crashx) must report this build as a
+// violation — it mutation-validates that the fsck harness can actually
+// fail. Never set this tag outside that test.
+const mutateSkipFlush = true

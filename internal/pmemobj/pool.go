@@ -149,6 +149,12 @@ func (p *Pool) SetRoot(off uint64) {
 // Close unregisters the pool from the runtime registry.
 func (p *Pool) Close() { unregister(p) }
 
+// LogPending returns the number of undo-log entries currently marked
+// valid. After Open (which rolls back any in-flight transaction) and
+// outside a running transaction it must be zero; the fsck undo-log pass
+// checks exactly that.
+func (p *Pool) LogPending() uint64 { return p.dev.ReadU64(p.logOff) }
+
 func align(v, a uint64) uint64 { return (v + a - 1) / a * a }
 
 // --- Persistent pointers (C6) ---
