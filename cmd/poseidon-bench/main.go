@@ -40,7 +40,7 @@ func main() {
 	persons := flag.Int("persons", 500, "dataset scale (number of persons; SNB ratios derive the rest)")
 	runs := flag.Int("runs", 20, "measured repetitions per query (the paper uses 50)")
 	workers := flag.Int("workers", 0, "parallel/adaptive workers (0 = GOMAXPROCS)")
-	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, 10, ablations or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, 10, ablations, stream, saturation or all")
 	seed := flag.Int64("seed", 42, "dataset and parameter seed")
 	jsonPath := flag.String("json", "", "also write a machine-readable result to this path")
 	checkPath := flag.String("checkjson", "", "validate a previously written -json file and exit")
@@ -78,10 +78,11 @@ func main() {
 
 	figures := map[string]func() (*bench.Table, error){
 		"5": s.Fig5, "6": s.Fig6, "7": s.Fig7, "8": s.Fig8, "9": s.Fig9, "10": s.Fig10,
-		"ablations": s.Ablations,
-		"stream":    func() (*bench.Table, error) { return streamFigure(*runs) },
+		"ablations":  s.Ablations,
+		"stream":     func() (*bench.Table, error) { return streamFigure(*runs) },
+		"saturation": func() (*bench.Table, error) { return bench.Saturation(s.Opts) },
 	}
-	order := []string{"5", "6", "7", "8", "9", "10", "ablations", "stream"}
+	order := []string{"5", "6", "7", "8", "9", "10", "ablations", "stream", "saturation"}
 
 	var collected []*bench.Table
 	run := func(name string) {

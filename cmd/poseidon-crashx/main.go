@@ -35,6 +35,7 @@ func main() {
 	random := flag.Int("random", 0, "sample N crash points instead of enumerating all")
 	maxPoints := flag.Int("max", 0, "cap exhaustive enumeration at N points (0 = all)")
 	replay := flag.String("replay", "", "re-execute one schedule ID and report")
+	shards := flag.Int("shards", 0, "engine-core shard count for run and recovery (0 = engine default)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -73,6 +74,7 @@ func main() {
 		Mask:      mask,
 		Random:    *random,
 		MaxPoints: *maxPoints,
+		Shards:    *shards,
 	}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"poseidon/internal/core"
+)
+
+// Saturation sweeps the engine-core shard count under a write-heavy
+// concurrent commit workload: fixed worker count, each worker committing
+// small update transactions against nodes spread uniformly over the
+// shards (~10% of them deliberately cross-shard). Throughput measures
+// multi-core scaling; the per-shard lock-wait total measures commit-lock
+// contention directly, which is the honest signal on hosts whose
+// GOMAXPROCS or CPU budget cannot show wall-clock speedup.
+func Saturation(opts Options) (*Table, error) {
+	opts.fill()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 4 {
+		workers = 4
+	}
+	const txPerWorker = 1500
+	const nodeCount = 256
+
+	shardCounts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		shardCounts = append(shardCounts, g)
+	}
+
+	t := &Table{
+		Name: fmt.Sprintf("Saturation: commit throughput vs shard count (%d workers, GOMAXPROCS=%d)",
+			workers, runtime.GOMAXPROCS(0)),
+		Columns: []string{"ktx/s", "speedup", "contended_pct", "lock_wait_ms", "cross_pct", "aborts"},
+		Notes: []string{
+			"speedup is relative to shards=1 on the same host; wall-clock scaling needs free cores",
+			"contended_pct: share of commit-lock acquisitions that found the lock held (TryLock miss)",
+			"it is scheduling-independent, so it shows contention collapse even on oversubscribed hosts",
+			"lock_wait_ms sums every shard's commit-lock wait; on starved hosts it measures CPU scarcity",
+			"~10% of transactions update two nodes in different shards (cross-shard commit protocol)",
+		},
+	}
+
+	var base float64
+	for _, n := range shardCounts {
+		elapsed, stats, cross, aborts, commits, err := saturationRound(n, workers, txPerWorker, nodeCount, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ktps := float64(commits) / elapsed.Seconds() / 1e3
+		if base == 0 {
+			base = ktps
+		}
+		var lockWait, contended, acquisitions uint64
+		for _, s := range stats {
+			lockWait += s.LockWaitNs
+			contended += s.LockContended
+			acquisitions += s.Commits
+		}
+		crossPct, contendedPct := 0.0, 0.0
+		if commits > 0 {
+			crossPct = 100 * float64(cross) / float64(commits)
+		}
+		if acquisitions > 0 {
+			contendedPct = 100 * float64(contended) / float64(acquisitions)
+		}
+		t.Rows = append(t.Rows, TableRow{
+			Query: fmt.Sprintf("shards=%d", n),
+			Cells: map[string]float64{
+				"ktx/s":         ktps,
+				"speedup":       ktps / base,
+				"contended_pct": contendedPct,
+				"lock_wait_ms":  float64(lockWait) / 1e6,
+				"cross_pct":     crossPct,
+				"aborts":        float64(aborts),
+			},
+		})
+	}
+	return t, nil
+}
+
+// saturationRound runs the workload once against a fresh engine with the
+// given shard count and returns the elapsed wall time plus the engine's
+// contention counters.
+func saturationRound(shards, workers, txPerWorker, nodeCount int, seed int64) (
+	elapsed time.Duration, stats []core.ShardStats, cross uint64, aborts, commits uint64, err error) {
+
+	e, err := core.Open(core.Config{Mode: core.PMem, PoolSize: 128 << 20, Shards: shards})
+	if err != nil {
+		return 0, nil, 0, 0, 0, err
+	}
+	defer e.Close()
+
+	// One node per transaction so home-shard rotation spreads the nodes
+	// uniformly over the shards.
+	ids := make([]uint64, nodeCount)
+	for i := range ids {
+		tx := e.Begin()
+		if ids[i], err = tx.CreateNode("S", map[string]any{"v": int64(0)}); err != nil {
+			return 0, nil, 0, 0, 0, err
+		}
+		if err = tx.Commit(); err != nil {
+			return 0, nil, 0, 0, 0, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	var abortCount, commitCount atomic.Uint64
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*6151))
+			for i := 0; i < txPerWorker; i++ {
+				tx := e.Begin()
+				n := rng.Intn(nodeCount)
+				val := int64(w*txPerWorker + i)
+				if err := tx.SetNodeProps(ids[n], map[string]any{"v": val}); err != nil {
+					tx.Abort()
+					abortCount.Add(1)
+					continue
+				}
+				if rng.Intn(10) == 0 { // cross-shard update
+					m := (n + 1 + rng.Intn(nodeCount-1)) % nodeCount
+					if err := tx.SetNodeProps(ids[m], map[string]any{"v": val}); err != nil {
+						tx.Abort()
+						abortCount.Add(1)
+						continue
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					abortCount.Add(1)
+					continue
+				}
+				commitCount.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	stats, cross = e.ShardStatsSnapshot()
+	return elapsed, stats, cross, abortCount.Load(), commitCount.Load(), nil
+}

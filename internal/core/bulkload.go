@@ -13,7 +13,12 @@ import (
 // costs (DG5: group allocation). A crash mid-load rolls back the current
 // batch only.
 //
-// A BulkLoader must not run concurrently with transactions.
+// A BulkLoader must not run concurrently with transactions: it bypasses
+// the MVTO write locks and the per-shard commit locks, and it logs
+// through the pool's built-in undo log rather than a shard lane. Shard
+// membership is a pure function of the record id, so sequentially
+// filled chunks still rotate over the shards and every sharded-core
+// invariant holds once the load finishes.
 type BulkLoader struct {
 	e     *Engine
 	tx    *pmemobj.Tx

@@ -1,11 +1,116 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"poseidon/internal/pmemobj"
 	"poseidon/internal/storage"
 )
+
+// --- shard lock ordering ---
+//
+// Every code path that needs more than one shard commit lock MUST acquire
+// them through lockShards (or lockAllShards), which takes the locks in
+// ascending shard order. Shard locks nest outside the pool/lane mutexes
+// and the table mutex; nothing that holds a pool transaction may wait on
+// a shard commit lock. poseidonlint's shardlock pass enforces that no
+// other function takes two shard commit locks directly.
+
+// lockShards acquires the commit locks of the given shards, which must be
+// sorted in ascending order. Contention is charged to each shard's
+// lock-wait gauge.
+func (e *Engine) lockShards(order []int) {
+	for _, s := range order {
+		sh := &e.shards[s]
+		// TryLock first: the uncontended fast path pays no clock reads,
+		// and the failure count is a scheduling-independent contention
+		// measure (unlike wait time, which conflates lock contention
+		// with CPU scarcity on oversubscribed hosts).
+		if sh.commitMu.TryLock() {
+			continue
+		}
+		sh.lockContended.Add(1)
+		start := time.Now()
+		sh.commitMu.Lock()
+		if w := time.Since(start); w > 0 {
+			sh.lockWaitNs.Add(uint64(w.Nanoseconds()))
+		}
+	}
+}
+
+// unlockShards releases the commit locks in reverse acquisition order.
+func (e *Engine) unlockShards(order []int) {
+	for i := len(order) - 1; i >= 0; i-- {
+		e.shards[order[i]].commitMu.Unlock()
+	}
+}
+
+// lockAllShards takes every shard commit lock (ascending); used by
+// physical GC, whose adjacency rewrites touch records in arbitrary
+// shards, and by online index creation's quiesce step.
+func (e *Engine) lockAllShards()   { e.lockShards(e.allShards) }
+func (e *Engine) unlockAllShards() { e.unlockShards(e.allShards) }
+
+// commitShards returns the sorted set of shards whose commit locks this
+// transaction needs: the shard of every dirty object, plus the shards of
+// the property records an update will free. Old property chains are
+// normally co-sharded with their owner, but a reopen with a different
+// shard count repartitions chunk ownership, so the chain is walked
+// rather than assumed.
+func (tx *Tx) commitShards() []int {
+	e := tx.e
+	set := make(map[int]struct{}, 2)
+	for _, key := range tx.order {
+		d := tx.dirty[key]
+		set[e.shardOf(key)] = struct{}{}
+		if d.hasOld && d.propsChanged && !d.isDelete {
+			oldHead := d.oldNode.Props
+			if key.kind == kindRel {
+				oldHead = d.oldRel.Props
+			}
+			e.addPropChainShards(oldHead, set)
+		}
+	}
+	order := make([]int, 0, len(set))
+	for s := range set {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	return order
+}
+
+// addPropChainShards adds the shard of every record in the property chain
+// starting at head to set. The chain structure is committed state and the
+// caller's objects are write-locked, so the walk is stable.
+func (e *Engine) addPropChainShards(head uint64, set map[int]struct{}) {
+	for id := head; id != storage.NilID; {
+		off, ok := e.props.RecordOffset(id)
+		if !ok {
+			return
+		}
+		set[e.props.ShardOf(id)] = struct{}{}
+		id = e.dev.ReadU64(off + storage.PNext)
+	}
+}
+
+// propNeeds returns, per shard, the number of property records the commit
+// will insert — the capacity to reserve before retrying after
+// ErrShardFull.
+func (tx *Tx) propNeeds() map[int]int {
+	needs := make(map[int]int)
+	for _, key := range tx.order {
+		d := tx.dirty[key]
+		if d.isDelete || !d.propsChanged || len(d.ver.props) == 0 {
+			continue
+		}
+		s := tx.e.shardOf(key)
+		needs[s] += (len(d.ver.props) + storage.PItemsMax - 1) / storage.PItemsMax
+	}
+	return needs
+}
 
 // Commit persists the transaction (§5.1 Commit):
 //
@@ -18,6 +123,17 @@ import (
 //  3. Records are unlocked with single 8-byte stores after the commit
 //     point; a crash in between leaves stale locks that recovery clears.
 //  4. Secondary indexes are updated and transaction-level GC runs.
+//
+// Sharding: only the commit locks of the shards the transaction touched
+// are taken (ascending, via lockShards), and the undo log is the lane of
+// the lowest involved shard. Because every persistent range written here
+// belongs to a held shard, concurrent commits on disjoint shards write
+// disjoint ranges into distinct lanes, and crash rollback of the lanes is
+// order-independent. Commit order within a shard is serialized by its
+// lock; cross-shard transactions serialize with every involved shard.
+// Serializability does not depend on the lock scope — MVTO's timestamp
+// protocol provides it — so the global commit watermark (the clock)
+// needs no extra publication step.
 func (tx *Tx) Commit() error {
 	tx.endMu.Lock()
 	defer tx.endMu.Unlock()
@@ -37,8 +153,15 @@ func (tx *Tx) Commit() error {
 		return nil
 	}
 	e := tx.e
-	e.commitMu.Lock()
-	defer e.commitMu.Unlock()
+	shardOrder := tx.commitShards()
+	e.lockShards(shardOrder)
+	locked := true
+	defer func() {
+		if locked {
+			e.unlockShards(shardOrder)
+		}
+	}()
+	lane := e.shards[shardOrder[0]].lane
 
 	// Step 1: preserve old versions for updates (deletes keep serving old
 	// readers from the PMem record itself, whose window just gets closed).
@@ -59,7 +182,7 @@ func (tx *Tx) Commit() error {
 			old := d.oldRel
 			v = &version{bts: old.Bts, ets: tx.id, rel: &old, props: d.oldProps}
 		}
-		c := tx.chainsFor(d.key.kind).getOrCreate(d.key.id)
+		c := tx.chainsForKey(d.key).getOrCreate(d.key.id)
 		c.push(v)
 		pushed = append(pushed, struct {
 			c *chain
@@ -67,23 +190,52 @@ func (tx *Tx) Commit() error {
 		}{c, v})
 	}
 
-	err := e.pool.RunTx(func(ptx *pmemobj.Tx) error {
-		for _, key := range tx.order {
-			if err := tx.applyDirty(ptx, tx.dirty[key]); err != nil {
-				return err
+	// Step 2: the failure-atomic persist, on the shard lane. A shard that
+	// runs out of property-record slots rolls the lane back; capacity is
+	// reserved outside every commit lock (chunk appends mutate global
+	// allocator state) and the persist retried.
+	var err error
+	for {
+		err = e.pool.RunTxLane(lane, func(ptx *pmemobj.Tx) error {
+			for _, key := range tx.order {
+				if err := tx.applyDirty(ptx, tx.dirty[key]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if !errors.Is(err, storage.ErrShardFull) {
+			break
+		}
+		e.unlockShards(shardOrder)
+		locked = false
+		var rerr error
+		for s, n := range tx.propNeeds() {
+			if ferr := e.props.EnsureShardFreeN(s, n); ferr != nil {
+				rerr = ferr
+				break
 			}
 		}
-		return nil
-	})
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		e.lockShards(shardOrder)
+		locked = true
+	}
 	if err != nil {
-		// The pool transaction rolled back all persistent changes; undo
-		// the version pushes and abort fully.
+		// The lane transaction rolled back all persistent changes; the
+		// volatile free lists may hold stale hints, which inserts prune
+		// against the bitmaps. Undo the version pushes and abort fully —
+		// after releasing the shard locks, because the abort re-acquires
+		// them to release inserted slots.
 		for _, p := range pushed {
 			p.c.remove(p.v)
 		}
-		e.nodes.ResyncVolatile()
-		e.rels.ResyncVolatile()
-		e.props.ResyncVolatile()
+		if locked {
+			e.unlockShards(shardOrder)
+			locked = false
+		}
 		tx.setAbortReason(AbortCommitFailed)
 		_ = tx.abortLocked()
 		return fmt.Errorf("core: commit failed: %w", err)
@@ -104,22 +256,31 @@ func (tx *Tx) Commit() error {
 	// out of the chain too — the PMem record serves old readers.
 	for _, key := range tx.order {
 		d := tx.dirty[key]
-		tx.chainsFor(d.key.kind).getOrCreate(d.key.id).remove(d.ver)
+		tx.chainsForKey(d.key).getOrCreate(d.key.id).remove(d.ver)
 	}
 
-	// Step 4: secondary index maintenance and GC.
+	// Step 4: secondary index maintenance (still under the shard locks, so
+	// per-shard index updates observe commit order) and GC bookkeeping.
 	tx.updateIndexes()
 	tx.enqueueGC()
+	for _, s := range shardOrder {
+		e.shards[s].commits.Add(1)
+	}
+	if len(shardOrder) > 1 {
+		e.crossCommits.Add(1)
+	}
+	e.unlockShards(shardOrder)
+	locked = false
 	e.tel.TxCommits.Inc()
 	tx.finish()
 	return nil
 }
 
-func (tx *Tx) chainsFor(k objKind) *chainTable {
-	if k == kindNode {
-		return tx.e.nodeChains
+func (tx *Tx) chainsForKey(key objKey) *chainTable {
+	if key.kind == kindNode {
+		return tx.e.nodeChainsOf(key.id)
 	}
-	return tx.e.relChains
+	return tx.e.relChainsOf(key.id)
 }
 
 func (tx *Tx) tableFor(k objKind) *storage.Table {
@@ -139,7 +300,8 @@ func (tx *Tx) recordOffset(key objKey) uint64 {
 
 // applyDirty writes one dirty object into PMem within the commit
 // transaction. The record's txn-id word keeps the lock until after the
-// commit point.
+// commit point. New property records are constrained to the dirty
+// object's shard so the commit lane only ever covers held shards.
 func (tx *Tx) applyDirty(ptx *pmemobj.Tx, d *dirtyObj) error {
 	e := tx.e
 	off := tx.recordOffset(d.key)
@@ -184,7 +346,7 @@ func (tx *Tx) applyDirty(ptx *pmemobj.Tx, d *dirtyObj) error {
 				}
 			}
 			var err error
-			head, err = storage.WritePropChainTx(ptx, e.props, d.key.id, d.ver.props)
+			head, err = storage.WritePropChainShardTx(ptx, e.props, d.key.id, d.ver.props, e.shardOf(d.key))
 			if err != nil {
 				return err
 			}
@@ -235,15 +397,25 @@ func (tx *Tx) abortLocked() error {
 	}
 	for i := len(tx.order) - 1; i >= 0; i-- {
 		d := tx.dirty[tx.order[i]]
-		tx.chainsFor(d.key.kind).getOrCreate(d.key.id).remove(d.ver)
+		tx.chainsForKey(d.key).getOrCreate(d.key.id).remove(d.ver)
 		if d.isInsert {
 			// The slot was persistently allocated at operation time; give
-			// it back. Readers always saw it locked, so nobody can hold a
-			// reference.
-			if err := tx.tableFor(d.key.kind).Release(d.key.id); err != nil {
+			// it back on its shard's lane, under the shard's commit lock,
+			// so the release cannot overlap a concurrent commit's undo
+			// log. Readers always saw the record locked, so nobody can
+			// hold a reference.
+			s := e.shardOf(d.key)
+			sh := &e.shards[s]
+			tbl := tx.tableFor(d.key.kind)
+			sh.commitMu.Lock()
+			err := e.pool.RunTxLane(sh.lane, func(ptx *pmemobj.Tx) error {
+				return tbl.ReleaseTx(ptx, d.key.id)
+			})
+			sh.commitMu.Unlock()
+			if err != nil {
 				return fmt.Errorf("core: abort: release %v %d: %w", d.key.kind, d.key.id, err)
 			}
-			tx.chainsFor(d.key.kind).drop(d.key.id)
+			tx.chainsForKey(d.key).drop(d.key.id)
 			continue
 		}
 		off := tx.recordOffset(d.key)
@@ -257,14 +429,11 @@ func (tx *Tx) abortLocked() error {
 // --- secondary index maintenance ---
 
 // updateIndexes applies the committed changes to every matching
-// (label, property) index.
+// (label, property) index. Runs under the commit locks of the involved
+// shards; a node's entries live in its own shard's trees, so each update
+// only touches held shards.
 func (tx *Tx) updateIndexes() {
 	e := tx.e
-	e.idxMu.RLock()
-	defer e.idxMu.RUnlock()
-	if len(e.indexes) == 0 {
-		return
-	}
 	for _, key := range tx.order {
 		d := tx.dirty[key]
 		if d.key.kind != kindNode {
@@ -273,19 +442,25 @@ func (tx *Tx) updateIndexes() {
 		if !d.propsChanged && !d.isDelete && d.hasOld && d.oldNode.Label == d.ver.node.Label {
 			continue // adjacency-only update: index entries unchanged
 		}
+		sh := &e.shards[e.shardOf(d.key)]
+		sh.idxMu.RLock()
+		if len(sh.indexes) == 0 {
+			sh.idxMu.RUnlock()
+			continue
+		}
 		// Deleted nodes keep their index entries until GC reclaims the
 		// slot: older snapshots may still reach them through the index,
 		// and newer readers re-validate against their snapshot anyway.
 		if d.hasOld && !d.isDelete {
 			for _, p := range d.oldProps {
-				if t := e.indexes[indexKey{d.oldNode.Label, p.Key}]; t != nil {
+				if t := sh.indexes[indexKey{d.oldNode.Label, p.Key}]; t != nil {
 					t.Delete(p.Val, d.key.id)
 				}
 			}
 		}
 		if !d.isDelete {
 			for _, p := range d.ver.props {
-				if t := e.indexes[indexKey{d.ver.node.Label, p.Key}]; t != nil {
+				if t := sh.indexes[indexKey{d.ver.node.Label, p.Key}]; t != nil {
 					if err := t.Insert(p.Val, d.key.id); err != nil {
 						// Index degradation is survivable: it is a secondary
 						// structure; queries fall back to scans if dropped.
@@ -294,61 +469,83 @@ func (tx *Tx) updateIndexes() {
 				}
 			}
 		}
+		sh.idxMu.RUnlock()
 	}
 }
 
 // --- transaction-level garbage collection (§5.3) ---
 
 // enqueueGC records the committed deletions for later physical
-// reclamation: relationships first, then nodes, so unlinking still finds
-// the endpoint records in place.
+// reclamation, each on its own shard's queue.
 func (tx *Tx) enqueueGC() {
 	e := tx.e
-	e.gcMu.Lock()
 	for _, key := range tx.order {
 		d := tx.dirty[key]
-		if d.isDelete && d.key.kind == kindRel {
-			e.gcQueue = append(e.gcQueue, d.key)
+		if !d.isDelete {
+			continue
 		}
+		sh := &e.shards[e.shardOf(d.key)]
+		sh.gcMu.Lock()
+		sh.gcQueue = append(sh.gcQueue, d.key)
+		sh.gcMu.Unlock()
 	}
-	for _, key := range tx.order {
-		d := tx.dirty[key]
-		if d.isDelete && d.key.kind == kindNode {
-			e.gcQueue = append(e.gcQueue, d.key)
-		}
-	}
-	e.gcMu.Unlock()
 }
 
 // runGC reclaims storage at transaction-level granularity. Version chains
 // are pruned against the oldest active timestamp on every transaction
 // end; physical slot reclamation (bitmap-free, DG5) runs only in
-// quiescent moments, when no transaction can be traversing the records.
+// quiescent moments, when no transaction can be traversing the records,
+// and under every shard's commit lock, because unlinking a relationship
+// rewrites next-pointers of records in arbitrary shards.
 func (e *Engine) runGC(quiescent bool) {
 	// Fast path: nothing to collect (read-only steady state).
-	hasChains := e.nodeChains.live.Load() > 0 || e.relChains.live.Load() > 0
-	e.gcMu.Lock()
-	hasQueue := len(e.gcQueue) > 0
-	e.gcMu.Unlock()
+	hasChains, hasQueue := false, false
+	for i := range e.shards {
+		sh := &e.shards[i]
+		if sh.nodeChains.live.Load() > 0 || sh.relChains.live.Load() > 0 {
+			hasChains = true
+		}
+		sh.gcMu.Lock()
+		if len(sh.gcQueue) > 0 {
+			hasQueue = true
+		}
+		sh.gcMu.Unlock()
+	}
 	if !hasChains && !hasQueue {
 		return
 	}
 	minActive := e.minActive()
 	if hasChains {
-		e.pruneChains(e.nodeChains, minActive)
-		e.pruneChains(e.relChains, minActive)
+		for i := range e.shards {
+			e.pruneChains(e.shards[i].nodeChains, minActive)
+			e.pruneChains(e.shards[i].relChains, minActive)
+		}
 	}
 	if !quiescent {
 		return
 	}
-	e.gcMu.Lock()
-	queue := e.gcQueue
-	e.gcQueue = nil
-	e.gcMu.Unlock()
+	var queue []objKey
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.gcMu.Lock()
+		queue = append(queue, sh.gcQueue...)
+		sh.gcQueue = nil
+		sh.gcMu.Unlock()
+	}
+	if len(queue) == 0 {
+		return
+	}
+	e.lockAllShards()
+	defer e.unlockAllShards()
+	// Relationships first, then nodes, so unlinking still finds the
+	// endpoint records in place.
 	for _, key := range queue {
 		if key.kind == kindRel {
 			e.reclaimRel(key.id)
-		} else {
+		}
+	}
+	for _, key := range queue {
+		if key.kind == kindNode {
 			e.reclaimNode(key.id)
 		}
 	}
@@ -369,7 +566,9 @@ func (e *Engine) pruneChains(t *chainTable, minActive uint64) {
 }
 
 // reclaimRel physically unlinks a tombstoned relationship from both
-// adjacency lists and releases its slot and property records.
+// adjacency lists and releases its slot and property records. Caller
+// holds every shard commit lock, so the built-in undo log cannot overlap
+// any lane.
 func (e *Engine) reclaimRel(id uint64) {
 	off, ok := e.rels.RecordOffset(id)
 	if !ok || !e.rels.Occupied(id) {
@@ -392,8 +591,8 @@ func (e *Engine) reclaimRel(id uint64) {
 		e.props.ResyncVolatile()
 		return
 	}
-	e.relRTS.forget(id)
-	e.relChains.drop(id)
+	e.relRTSOf(id).forget(id)
+	e.relChainsOf(id).drop(id)
 }
 
 // unlinkRel removes relationship id from one adjacency list of node n.
@@ -432,7 +631,8 @@ func (e *Engine) unlinkRel(id, nodeID, next uint64, out bool) {
 }
 
 // reclaimNode releases a tombstoned node's slot and property records,
-// and drops the node's (deferred) secondary-index entries.
+// and drops the node's (deferred) secondary-index entries. Caller holds
+// every shard commit lock.
 func (e *Engine) reclaimNode(id uint64) {
 	off, ok := e.nodes.RecordOffset(id)
 	if !ok || !e.nodes.Occupied(id) {
@@ -442,15 +642,16 @@ func (e *Engine) reclaimNode(id uint64) {
 	if rec.Flags&storage.FlagTombstone == 0 {
 		return
 	}
-	e.idxMu.RLock()
-	if len(e.indexes) > 0 {
+	sh := &e.shards[e.nodes.ShardOf(id)]
+	sh.idxMu.RLock()
+	if len(sh.indexes) > 0 {
 		for _, p := range storage.ReadPropChain(e.props, rec.Props) {
-			if t := e.indexes[indexKey{rec.Label, p.Key}]; t != nil {
+			if t := sh.indexes[indexKey{rec.Label, p.Key}]; t != nil {
 				t.Delete(p.Val, id)
 			}
 		}
 	}
-	e.idxMu.RUnlock()
+	sh.idxMu.RUnlock()
 	err := e.pool.RunTx(func(ptx *pmemobj.Tx) error {
 		if err := storage.FreePropChainTx(ptx, e.props, rec.Props); err != nil {
 			return err
@@ -462,6 +663,6 @@ func (e *Engine) reclaimNode(id uint64) {
 		e.props.ResyncVolatile()
 		return
 	}
-	e.nodeRTS.forget(id)
-	e.nodeChains.drop(id)
+	e.nodeRTSOf(id).forget(id)
+	e.nodeChainsOf(id).drop(id)
 }

@@ -177,8 +177,10 @@ func TestSlotReuseAfterDeleteCycle(t *testing.T) {
 			t.Fatalf("round %d: %d nodes left", round, e.NodeCount())
 		}
 	}
-	if got := chunks(); got != 1 {
-		t.Errorf("node table grew to %d chunks across delete cycles, want 1 (slot reuse)", got)
+	// Per-shard placement can touch one chunk per shard, but cycles must
+	// not grow the table beyond that steady state.
+	if got, limit := chunks(), uint64(e.Shards()); got > limit {
+		t.Errorf("node table grew to %d chunks across delete cycles, want <= %d (slot reuse)", got, limit)
 	}
 }
 

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -27,6 +30,13 @@ type Config struct {
 	CacheBytes int
 	// LogCap sizes the pmemobj undo log (default 4 MiB).
 	LogCap uint64
+	// Shards partitions the engine's MVTO state, secondary indexes and
+	// commit pipeline by record id range (chunk-granular striping).
+	// 1 reproduces the original single-monitor behavior; 0 defaults to
+	// GOMAXPROCS capped at maxShardLanes, overridable with the
+	// POSEIDON_SHARDS environment variable (the CI race matrix uses it).
+	// Shard ownership is volatile — any shard count opens any image.
+	Shards int
 }
 
 func (c *Config) fill() {
@@ -39,9 +49,34 @@ func (c *Config) fill() {
 	if c.LogCap == 0 {
 		c.LogCap = 4 << 20
 	}
+	if c.Shards == 0 {
+		c.Shards = defaultShards()
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Shards > maxShardLanes {
+		c.Shards = maxShardLanes
+	}
 }
 
-// Root object layout.
+func defaultShards() int {
+	if s := os.Getenv("POSEIDON_SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > maxShardLanes {
+		n = maxShardLanes
+	}
+	return n
+}
+
+// Root object layout. The lane directory extends the original layout;
+// both sizes land in the same allocator class and freshly allocated
+// blocks are zeroed, so images written before the extension read a zero
+// lane count and remain fully compatible.
 const (
 	rootNodes    = 0
 	rootRels     = 8
@@ -50,9 +85,17 @@ const (
 	rootAux      = 32 // auxiliary subsystem root (JIT code cache)
 	rootIdxCount = 40
 	rootIdxDir   = 48 // maxIndexes × idxEntrySize
-	idxEntrySize = 32 // label u64, key u64, kind u64, hdr u64
+	idxEntrySize = 32 // label|shardCount u64, key u64, kind|shard u64, hdr u64
 	maxIndexes   = 64
-	rootSize     = rootIdxDir + maxIndexes*idxEntrySize
+
+	// Undo-log lane directory: one durable region per shard so crash
+	// recovery can roll back every lane's in-flight commit, whatever
+	// shard count the engine reopens with.
+	rootLaneCount = rootIdxDir + maxIndexes*idxEntrySize
+	rootLaneDir   = rootLaneCount + 8 // maxShardLanes × laneEntrySize
+	laneEntrySize = 16                // log offset u64, log capacity u64
+	maxShardLanes = 64
+	rootSize      = rootLaneDir + maxShardLanes*laneEntrySize
 )
 
 // indexKey identifies a secondary index: nodes with a label, keyed by a
@@ -60,6 +103,44 @@ const (
 type indexKey struct {
 	label uint32
 	key   uint32
+}
+
+// engineShard holds everything the engine serializes per id-range shard:
+// the MVTO bookkeeping, the commit lock gating the shard's undo-log lane,
+// the shard's slice of every secondary index, and its GC queue. A record
+// belongs to the shard owning its chunk (chunk index mod shard count), so
+// all persistent ranges a commit touches are covered by the commit locks
+// it holds — the invariant that keeps concurrent lane logs disjoint.
+type engineShard struct {
+	// commitMu is the shard commit lock. It serializes, per shard:
+	// operation-time slot inserts, the commit critical section (lane
+	// transaction through index update), abort-time slot releases, and
+	// index backfill quiesce. Cross-shard transactions take several in
+	// ascending shard order — only via Engine.lockShards.
+	commitMu sync.Mutex
+	lane     int // pmemobj undo-log lane (0 = built-in log when unsharded)
+
+	activeMu sync.Mutex
+	active   map[uint64]struct{}
+
+	nodeChains *chainTable
+	relChains  *chainTable
+	nodeRTS    *rtsTable
+	relRTS     *rtsTable
+
+	gcMu    sync.Mutex
+	gcQueue []objKey
+
+	// Per-shard slice of the secondary indexes: tree s of index (label,
+	// key) holds entries only for node ids owned by shard s.
+	idxMu   sync.RWMutex
+	indexes map[indexKey]*index.Tree
+
+	// Contention and balance statistics (read by telemetry gauges).
+	commits       atomic.Uint64 // commits whose lock set includes this shard
+	lockWaitNs    atomic.Uint64 // time commits spent waiting on commitMu
+	lockContended atomic.Uint64 // commit-lock acquisitions that found it held
+	homeInserts   atomic.Uint64 // records placed in this shard at op time
 }
 
 // Engine is the PMem graph engine.
@@ -77,24 +158,28 @@ type Engine struct {
 
 	root uint64
 
-	// MVTO state (volatile).
-	clock      atomic.Uint64
-	activeMu   sync.Mutex
-	active     map[uint64]struct{}
-	nodeChains *chainTable
-	relChains  *chainTable
-	nodeRTS    *rtsTable
-	relRTS     *rtsTable
-	gcMu       sync.Mutex
-	gcQueue    []objKey
+	// Global MVTO clock: transaction ids, commit timestamps and the
+	// recovery watermark all come from this one atomic counter, which is
+	// what keeps sharded commits serializable exactly like the
+	// single-monitor design (see DESIGN.md "Sharded core").
+	clock atomic.Uint64
 
-	// Secondary indexes.
-	idxMu   sync.RWMutex
-	indexes map[indexKey]*index.Tree
+	// beginMu closes the draw-vs-register window: Begin holds the read
+	// side while it draws a timestamp and registers it in its home
+	// shard's active set, and minActive takes the write side before
+	// snapshotting the clock. Without it a GC pass racing a Begin could
+	// compute a minimum past the just-drawn id and prune chain versions
+	// the new transaction is entitled to read.
+	beginMu sync.RWMutex
 
-	// commitMu serializes the commit critical section so index updates
-	// observe commits in timestamp order.
-	commitMu sync.Mutex
+	nShards      int
+	shards       []engineShard
+	allShards    []int         // 0..nShards-1, the lockAllShards acquisition order
+	crossCommits atomic.Uint64 // commits that locked more than one shard
+
+	// idxDDL serializes index creation and rebuild against each other
+	// (not against commits — those synchronize per shard).
+	idxDDL sync.Mutex
 
 	// tel holds the metric handles; the zero value (all nil) is the
 	// disabled no-op path.
@@ -143,6 +228,10 @@ func Open(cfg Config) (*Engine, error) {
 	dev.Persist(root, rootSize)
 	pool.SetRoot(root)
 	e.root = root
+	e.initShardStorage()
+	if err := e.setupLanes(); err != nil {
+		return nil, err
+	}
 	e.clock.Store(1)
 	return e, nil
 }
@@ -172,18 +261,123 @@ func newDevice(cfg Config) (*pmem.Device, error) {
 }
 
 func newEngine(cfg Config, dev *pmem.Device, pool *pmemobj.Pool) *Engine {
-	return &Engine{
-		mode:       cfg.Mode,
-		cfg:        cfg,
-		dev:        dev,
-		pool:       pool,
-		active:     make(map[uint64]struct{}),
-		nodeChains: newChainTable(),
-		relChains:  newChainTable(),
-		nodeRTS:    newRTSTable(),
-		relRTS:     newRTSTable(),
-		indexes:    make(map[indexKey]*index.Tree),
+	e := &Engine{
+		mode:    cfg.Mode,
+		cfg:     cfg,
+		dev:     dev,
+		pool:    pool,
+		nShards: cfg.Shards,
+		shards:  make([]engineShard, cfg.Shards),
 	}
+	e.allShards = make([]int, cfg.Shards)
+	for s := range e.allShards {
+		e.allShards[s] = s
+	}
+	for s := range e.shards {
+		sh := &e.shards[s]
+		sh.active = make(map[uint64]struct{})
+		sh.nodeChains = newChainTable()
+		sh.relChains = newChainTable()
+		sh.nodeRTS = newRTSTable()
+		sh.relRTS = newRTSTable()
+		sh.indexes = make(map[indexKey]*index.Tree)
+	}
+	return e
+}
+
+// --- shard mapping ---
+
+// Shards returns the engine's shard count.
+func (e *Engine) Shards() int { return e.nShards }
+
+// ShardOfNode returns the shard owning node id.
+func (e *Engine) ShardOfNode(id uint64) int { return e.nodes.ShardOf(id) }
+
+// ShardOfRel returns the shard owning relationship id.
+func (e *Engine) ShardOfRel(id uint64) int { return e.rels.ShardOf(id) }
+
+func (e *Engine) shardOf(key objKey) int {
+	if key.kind == kindNode {
+		return e.nodes.ShardOf(key.id)
+	}
+	return e.rels.ShardOf(key.id)
+}
+
+// homeShard maps a transaction to the shard where its new nodes are
+// placed, spreading op-time inserts (and thus future commit locks) across
+// shards.
+func (e *Engine) homeShard(txid uint64) int { return int(txid % uint64(e.nShards)) }
+
+// initShardStorage propagates the shard partition to the record tables.
+// Called once at open, before any transaction runs.
+func (e *Engine) initShardStorage() {
+	e.nodes.SetShards(e.nShards)
+	e.rels.SetShards(e.nShards)
+	e.props.SetShards(e.nShards)
+}
+
+// setupLanes attaches every undo-log lane recorded in the root (rolling
+// back any commit that was in flight in it at a crash) and, when the
+// engine runs sharded, creates the lanes the configured shard count still
+// lacks. Every stored lane is attached no matter the current shard count:
+// a crash under Shards=8 must roll back all eight lanes even if the image
+// reopens with Shards=1.
+func (e *Engine) setupLanes() error {
+	stored := e.dev.ReadU64(e.root + rootLaneCount)
+	if stored > maxShardLanes {
+		return fmt.Errorf("core: corrupt lane directory (count %d)", stored)
+	}
+	laneIDs := make([]int, 0, e.nShards)
+	for i := uint64(0); i < stored; i++ {
+		ent := e.root + rootLaneDir + i*laneEntrySize
+		off := e.dev.ReadU64(ent)
+		logCap := e.dev.ReadU64(ent + 8)
+		id, err := e.pool.AttachLane(off, logCap)
+		if err != nil {
+			return fmt.Errorf("core: attach lane %d: %w", i, err)
+		}
+		laneIDs = append(laneIDs, id)
+	}
+	if e.nShards == 1 {
+		// Unsharded engines commit on the built-in log; stored lanes were
+		// attached purely so their pending transactions rolled back.
+		e.shards[0].lane = 0
+		return nil
+	}
+	// New lanes match the built-in log's capacity where the pool can
+	// afford it, budgeting at most 1/16th of the device across all lanes
+	// (floor 256 KiB) so small pools keep their heap.
+	laneCap := e.pool.LogCap()
+	if budget := uint64(e.dev.Size()) / uint64(16*e.nShards); budget < laneCap {
+		laneCap = budget
+	}
+	if min := uint64(256 << 10); laneCap < min {
+		laneCap = min
+	}
+	for len(laneIDs) < e.nShards {
+		n := uint64(len(laneIDs))
+		off, err := e.pool.Alloc(laneCap)
+		if err != nil {
+			return fmt.Errorf("core: allocate lane log: %w", err)
+		}
+		ent := e.root + rootLaneDir + n*laneEntrySize
+		e.dev.WriteU64(ent, off)
+		e.dev.WriteU64(ent+8, laneCap)
+		e.dev.Persist(ent, laneEntrySize)
+		// The 8-byte count bump makes the lane durable; a crash before it
+		// only leaks the allocated region.
+		e.dev.WriteU64(e.root+rootLaneCount, n+1)
+		e.dev.Persist(e.root+rootLaneCount, 8)
+		id, err := e.pool.AttachLane(off, laneCap)
+		if err != nil {
+			return err
+		}
+		laneIDs = append(laneIDs, id)
+	}
+	for s := range e.shards {
+		e.shards[s].lane = laneIDs[s]
+	}
+	return nil
 }
 
 // Reopen attaches to a device holding a previously created engine,
@@ -212,6 +406,12 @@ func Reopen(dev *pmem.Device, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	if e.props, err = storage.OpenTable(pool, dev.ReadU64(root+rootProps)); err != nil {
+		return nil, err
+	}
+	e.initShardStorage()
+	// Lane rollback must precede record recovery: a lane's pending commit
+	// may cover the very records recoverRecords inspects.
+	if err := e.setupLanes(); err != nil {
 		return nil, err
 	}
 	maxTS, err := e.recoverRecords()
@@ -277,23 +477,6 @@ func (e *Engine) recoverRecords() (uint64, error) {
 	return maxTS, nil
 }
 
-func (e *Engine) reopenIndexes() error {
-	n := e.dev.ReadU64(e.root + rootIdxCount)
-	for i := uint64(0); i < n; i++ {
-		ent := e.root + rootIdxDir + i*idxEntrySize
-		label := uint32(e.dev.ReadU64(ent))
-		key := uint32(e.dev.ReadU64(ent + 8))
-		kind := index.Kind(e.dev.ReadU64(ent + 16))
-		hdr := e.dev.ReadU64(ent + 24)
-		tree, err := index.Open(kind, e.pool, hdr, index.Options{})
-		if err != nil {
-			return fmt.Errorf("core: reopen index (%d,%d): %w", label, key, err)
-		}
-		e.indexes[indexKey{label, key}] = tree
-	}
-	return nil
-}
-
 // Watermark returns the highest committed timestamp the engine knows of.
 // After Reopen it is the recovered commit watermark: no durable version
 // may carry a timestamp beyond it (the fsck records pass checks this).
@@ -350,26 +533,66 @@ func (e *Engine) RelCount() uint64 { return e.rels.Count() }
 // yet committed or aborted. Facade tests use it to assert that cancelled
 // executions do not leak transactions.
 func (e *Engine) ActiveTxs() int {
-	e.activeMu.Lock()
-	defer e.activeMu.Unlock()
-	return len(e.active)
+	n := 0
+	for s := range e.shards {
+		sh := &e.shards[s]
+		sh.activeMu.Lock()
+		n += len(sh.active)
+		sh.activeMu.Unlock()
+	}
+	return n
 }
 
-// minActive returns the smallest active transaction timestamp, or the
-// current clock when no transaction is active.
+// minActive returns the smallest active transaction timestamp across all
+// shards, or one past the current clock when no transaction is active.
 func (e *Engine) minActive() uint64 {
-	e.activeMu.Lock()
-	defer e.activeMu.Unlock()
-	if len(e.active) == 0 {
-		return e.clock.Load() + 1
-	}
+	// Flush in-flight Begins, then snapshot the clock: any transaction
+	// missing from the scan below either finished already or drew an id
+	// after the barrier — and the latter is strictly above the ceiling.
+	e.beginMu.Lock()
+	ceiling := e.clock.Load() + 1
+	e.beginMu.Unlock()
 	min := Infinity
-	for ts := range e.active {
-		if ts < min {
-			min = ts
+	for s := range e.shards {
+		sh := &e.shards[s]
+		sh.activeMu.Lock()
+		for ts := range sh.active {
+			if ts < min {
+				min = ts
+			}
 		}
+		sh.activeMu.Unlock()
+	}
+	if ceiling < min {
+		return ceiling
 	}
 	return min
+}
+
+// ShardStats is a snapshot of one shard's contention and balance
+// counters, exported for the telemetry gauges and the saturation
+// benchmark.
+type ShardStats struct {
+	Commits       uint64 // commits whose lock set included the shard
+	LockWaitNs    uint64 // cumulative commit-lock wait
+	LockContended uint64 // lock acquisitions that found the lock held
+	HomeInserts   uint64 // records placed in the shard at op time
+}
+
+// ShardStatsSnapshot returns per-shard statistics plus the number of
+// cross-shard commits.
+func (e *Engine) ShardStatsSnapshot() (stats []ShardStats, crossCommits uint64) {
+	stats = make([]ShardStats, e.nShards)
+	for s := range e.shards {
+		sh := &e.shards[s]
+		stats[s] = ShardStats{
+			Commits:       sh.commits.Load(),
+			LockWaitNs:    sh.lockWaitNs.Load(),
+			LockContended: sh.lockContended.Load(),
+			HomeInserts:   sh.homeInserts.Load(),
+		}
+	}
+	return stats, e.crossCommits.Load()
 }
 
 // encodeProps translates a property map into storage form, interning all

@@ -445,15 +445,16 @@ func TestManyPropsSpillAcrossBatches(t *testing.T) {
 func TestScanNodesVisibility(t *testing.T) {
 	bothModes(t, func(t *testing.T, e *Engine) {
 		setup := e.Begin()
+		ids := make([]uint64, 10)
 		for i := 0; i < 10; i++ {
-			mustCreateNode(t, setup, "P", map[string]any{"i": int64(i)})
+			ids[i] = mustCreateNode(t, setup, "P", map[string]any{"i": int64(i)})
 		}
 		mustCommit(t, setup)
 
 		oldReader := e.Begin()
 		// Delete one and add one from a later transaction.
 		mod := e.Begin()
-		if err := mod.DeleteNode(0); err != nil {
+		if err := mod.DeleteNode(ids[0]); err != nil {
 			t.Fatal(err)
 		}
 		mustCreateNode(t, mod, "P", map[string]any{"i": int64(10)})

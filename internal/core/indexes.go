@@ -7,10 +7,93 @@ import (
 	"poseidon/internal/storage"
 )
 
+// Secondary indexes are sharded exactly like the MVTO state: index
+// (label, key) is a family of nShards trees, where tree s holds entries
+// only for node ids owned by shard s. Commit-time maintenance therefore
+// touches only trees of shards whose commit locks the transaction already
+// holds, and index updates within a shard observe commit order.
+//
+// The persistent directory stores one entry per (index, shard):
+//
+//	word 0: label | shardCount<<32
+//	word 1: key
+//	word 2: kind | shard<<32
+//	word 3: tree root offset
+//
+// Images written before sharding read shardCount 0 (treated as 1) and
+// shard 0 — exactly one tree, which is what those images have. An image
+// reopened with a different shard count repartitions record ownership,
+// so its index families are replaced with empty trees and reconciled
+// (a full rebuild) against the primary tables.
+
+// idxDirEnt is one decoded persistent directory entry.
+type idxDirEnt struct {
+	label, key uint32
+	kind       index.Kind
+	shard      int
+	shardCount int
+	hdr        uint64
+}
+
+func (e *Engine) readIndexDir() []idxDirEnt {
+	n := e.dev.ReadU64(e.root + rootIdxCount)
+	if n > maxIndexes {
+		n = maxIndexes
+	}
+	out := make([]idxDirEnt, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ent := e.root + rootIdxDir + i*idxEntrySize
+		w0 := e.dev.ReadU64(ent)
+		w2 := e.dev.ReadU64(ent + 16)
+		de := idxDirEnt{
+			label:      uint32(w0),
+			shardCount: int(w0 >> 32),
+			key:        uint32(e.dev.ReadU64(ent + 8)),
+			kind:       index.Kind(uint32(w2)),
+			shard:      int(w2 >> 32),
+			hdr:        e.dev.ReadU64(ent + 24),
+		}
+		if de.shardCount == 0 {
+			de.shardCount = 1
+		}
+		out = append(out, de)
+	}
+	return out
+}
+
+// writeIndexDir replaces the whole persistent directory with the given
+// entries. The count word is the commit point: a crash mid-rewrite leaves
+// the old count over a partially new entry array, every prefix of which
+// still describes structurally valid trees — the mismatch is detected at
+// the next reopen and reconciled.
+func (e *Engine) writeIndexDir(ents []idxDirEnt) error {
+	if len(ents) > maxIndexes {
+		return fmt.Errorf("core: too many persistent index entries (%d, max %d)", len(ents), maxIndexes)
+	}
+	for i, de := range ents {
+		ent := e.root + rootIdxDir + uint64(i)*idxEntrySize
+		e.dev.WriteU64(ent, uint64(de.label)|uint64(de.shardCount)<<32)
+		e.dev.WriteU64(ent+8, uint64(de.key))
+		e.dev.WriteU64(ent+16, uint64(de.kind)|uint64(de.shard)<<32)
+		e.dev.WriteU64(ent+24, de.hdr)
+		e.dev.Flush(ent, idxEntrySize)
+	}
+	e.dev.Drain()
+	e.dev.WriteU64(e.root+rootIdxCount, uint64(len(ents)))
+	e.dev.Persist(e.root+rootIdxCount, 8)
+	return nil
+}
+
 // CreateIndex builds a secondary B+-tree index over the given property of
 // nodes with the given label (§4.2 "Hybrid Indexes") and backfills it from
-// the currently committed data. kind selects the Fig 8 variant; Hybrid is
-// the paper's recommended default.
+// the committed data. kind selects the Fig 8 variant; Hybrid is the
+// paper's recommended default.
+//
+// Creation is safe against concurrent writers: each shard's tree is
+// backfilled and published while holding that shard's commit lock, so the
+// backfill sees exactly the commits that happened before it and
+// commit-time maintenance (which runs under the same lock) sees the tree
+// for every commit after it. No committed entry can fall between.
 func (e *Engine) CreateIndex(label, key string, kind index.Kind) error {
 	labelCode, err := e.dict.Encode(label)
 	if err != nil {
@@ -22,105 +105,272 @@ func (e *Engine) CreateIndex(label, key string, kind index.Kind) error {
 	}
 	ik := indexKey{uint32(labelCode), uint32(keyCode)}
 
-	e.idxMu.Lock()
-	if _, dup := e.indexes[ik]; dup {
-		e.idxMu.Unlock()
-		return fmt.Errorf("core: index on (%s, %s) already exists", label, key)
-	}
-	e.idxMu.Unlock()
-
-	tree, err := index.Create(kind, e.pool, index.Options{})
-	if err != nil {
-		return err
-	}
-	if err := e.backfillIndex(tree, ik); err != nil {
-		return err
-	}
-
-	e.idxMu.Lock()
-	defer e.idxMu.Unlock()
-	if _, dup := e.indexes[ik]; dup {
+	e.idxDDL.Lock()
+	defer e.idxDDL.Unlock()
+	sh0 := &e.shards[0]
+	sh0.idxMu.RLock()
+	_, dup := sh0.indexes[ik]
+	sh0.idxMu.RUnlock()
+	if dup {
 		return fmt.Errorf("core: index on (%s, %s) already exists", label, key)
 	}
 	if kind != index.Volatile {
-		n := e.dev.ReadU64(e.root + rootIdxCount)
-		if n >= maxIndexes {
-			return fmt.Errorf("core: too many persistent indexes (max %d)", maxIndexes)
+		if int(e.dev.ReadU64(e.root+rootIdxCount))+e.nShards > maxIndexes {
+			return fmt.Errorf("core: too many persistent index entries (max %d)", maxIndexes)
 		}
-		ent := e.root + rootIdxDir + n*idxEntrySize
-		e.dev.WriteU64(ent, uint64(ik.label))
-		e.dev.WriteU64(ent+8, uint64(ik.key))
-		e.dev.WriteU64(ent+16, uint64(kind))
-		e.dev.WriteU64(ent+24, tree.Offset())
-		e.dev.Flush(ent, idxEntrySize)
-		e.dev.Drain()
-		e.dev.WriteU64(e.root+rootIdxCount, n+1)
-		e.dev.Persist(e.root+rootIdxCount, 8)
 	}
-	e.indexes[ik] = tree
+
+	trees := make([]*index.Tree, e.nShards)
+	for s := range trees {
+		if trees[s], err = index.Create(kind, e.pool, index.Options{}); err != nil {
+			return err
+		}
+	}
+	for s := 0; s < e.nShards; s++ {
+		if err := e.backfillShard(trees[s], ik, s); err != nil {
+			e.unpublishIndex(ik)
+			return err
+		}
+	}
+
+	if kind != index.Volatile {
+		ents := e.readIndexDir()
+		for s, t := range trees {
+			ents = append(ents, idxDirEnt{
+				label: ik.label, key: ik.key, kind: kind,
+				shard: s, shardCount: e.nShards, hdr: t.Offset(),
+			})
+		}
+		if err := e.writeIndexDir(ents); err != nil {
+			e.unpublishIndex(ik)
+			return err
+		}
+	}
 	return nil
 }
 
-// backfillIndex fills a fresh tree from the committed data.
-func (e *Engine) backfillIndex(tree *index.Tree, ik indexKey) error {
-	tx := e.Begin()
-	defer tx.mustAbort()
+// backfillShard fills tree from the committed records owned by shard s
+// and publishes it into the shard's index map, all under the shard's
+// commit lock (the quiesce that closes the stale-snapshot window).
+// Records locked by in-flight transactions still carry their committed
+// pre-image — the locker's commit will apply its own index delta later,
+// under this same lock. Tombstoned nodes are indexed too: their entries
+// serve older snapshots until GC drops them.
+func (e *Engine) backfillShard(tree *index.Tree, ik indexKey, s int) error {
+	sh := &e.shards[s]
+	sh.commitMu.Lock()
+	defer sh.commitMu.Unlock()
 	var insertErr error
-	err := tx.ScanNodes(func(n NodeSnap) bool {
-		if n.Rec.Label != ik.label {
-			return true
-		}
-		if v, ok := n.Prop(ik.key); ok {
-			if insertErr = tree.Insert(v, n.ID); insertErr != nil {
-				return false
+	n := e.nodes.Chunks()
+	for ci := uint64(s); ci < n; ci += uint64(e.nShards) {
+		e.nodes.ScanChunk(ci, func(id, off uint64) bool {
+			rec := storage.ReadNodeRec(e.dev, off)
+			if rec.Bts == 0 || rec.Label != ik.label {
+				return true // uncommitted insert or different label
 			}
+			if v, ok := storage.PropValue(e.props, rec.Props, ik.key); ok {
+				if insertErr = tree.Insert(v, id); insertErr != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if insertErr != nil {
+			return insertErr
 		}
-		return true
-	})
-	if err != nil {
-		return err
 	}
-	return insertErr
+	sh.idxMu.Lock()
+	if _, dup := sh.indexes[ik]; dup {
+		sh.idxMu.Unlock()
+		return fmt.Errorf("core: index (%d,%d) already exists", ik.label, ik.key)
+	}
+	sh.indexes[ik] = tree
+	sh.idxMu.Unlock()
+	return nil
+}
+
+// unpublishIndex removes a partially created index family from every
+// shard map.
+func (e *Engine) unpublishIndex(ik indexKey) {
+	for s := range e.shards {
+		sh := &e.shards[s]
+		sh.idxMu.Lock()
+		delete(sh.indexes, ik)
+		sh.idxMu.Unlock()
+	}
 }
 
 // RebuildVolatileIndexes recreates every volatile index from scratch —
 // the full-rebuild recovery path that §7.4 measures at 671 ms against the
 // hybrid index's 8 ms.
 func (e *Engine) RebuildVolatileIndexes() error {
-	e.idxMu.Lock()
+	e.idxDDL.Lock()
+	defer e.idxDDL.Unlock()
+	sh0 := &e.shards[0]
+	sh0.idxMu.RLock()
 	var keys []indexKey
-	for ik, t := range e.indexes {
+	for ik, t := range sh0.indexes {
 		if t.Kind() == index.Volatile {
 			keys = append(keys, ik)
 		}
 	}
-	e.idxMu.Unlock()
+	sh0.idxMu.RUnlock()
 	for _, ik := range keys {
-		tree, err := index.Create(index.Volatile, e.pool, index.Options{})
-		if err != nil {
-			return err
+		e.unpublishIndex(ik)
+		for s := 0; s < e.nShards; s++ {
+			tree, err := index.Create(index.Volatile, e.pool, index.Options{})
+			if err != nil {
+				return err
+			}
+			if err := e.backfillShard(tree, ik, s); err != nil {
+				return err
+			}
 		}
-		if err := e.backfillIndex(tree, ik); err != nil {
-			return err
-		}
-		e.idxMu.Lock()
-		e.indexes[ik] = tree
-		e.idxMu.Unlock()
 	}
 	return nil
 }
 
-// LookupIndex returns the index tree for (labelCode, keyCode), if one
-// exists. The query planner uses this to turn scans into IndexScans.
-func (e *Engine) LookupIndex(labelCode, keyCode uint32) (*index.Tree, bool) {
-	e.idxMu.RLock()
-	defer e.idxMu.RUnlock()
-	t, ok := e.indexes[indexKey{labelCode, keyCode}]
-	return t, ok
+// reopenIndexes re-attaches the persistent index families recorded in the
+// directory. A family whose stored shard count differs from the engine's
+// is replaced with empty trees (and the directory rewritten): the
+// partition function changed, so every entry would be in the wrong tree;
+// reconcileIndexes then rebuilds the contents from the primary tables.
+func (e *Engine) reopenIndexes() error {
+	type family struct {
+		kind index.Kind
+		ents []idxDirEnt
+	}
+	order := []indexKey{}
+	fams := map[indexKey]*family{}
+	for _, de := range e.readIndexDir() {
+		ik := indexKey{de.label, de.key}
+		f := fams[ik]
+		if f == nil {
+			f = &family{kind: de.kind}
+			fams[ik] = f
+			order = append(order, ik)
+		}
+		f.ents = append(f.ents, de)
+	}
+	rewrite := false
+	for _, ik := range order {
+		f := fams[ik]
+		ok := len(f.ents) == e.nShards
+		if ok {
+			for s, de := range f.ents {
+				if de.shard != s || de.shardCount != e.nShards || de.kind != f.kind {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			for s, de := range f.ents {
+				tree, err := index.Open(de.kind, e.pool, de.hdr, index.Options{})
+				if err != nil {
+					return fmt.Errorf("core: reopen index (%d,%d) shard %d: %w", ik.label, ik.key, s, err)
+				}
+				e.shards[s].indexes[ik] = tree
+			}
+			continue
+		}
+		// Shard-count (or layout) mismatch: fresh empty trees, rebuilt by
+		// reconcileIndexes. The old trees' blocks leak, as in any rebuild.
+		rewrite = true
+		for s := 0; s < e.nShards; s++ {
+			tree, err := index.Create(f.kind, e.pool, index.Options{})
+			if err != nil {
+				return err
+			}
+			e.shards[s].indexes[ik] = tree
+		}
+	}
+	if rewrite {
+		var ents []idxDirEnt
+		for _, ik := range order {
+			f := fams[ik]
+			for s := 0; s < e.nShards; s++ {
+				ents = append(ents, idxDirEnt{
+					label: ik.label, key: ik.key, kind: f.kind,
+					shard: s, shardCount: e.nShards,
+					hdr: e.shards[s].indexes[ik].Offset(),
+				})
+			}
+		}
+		if err := e.writeIndexDir(ents); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexRef is a resolved secondary index: one tree per shard. Lookups
+// fan out over the shard trees; entries never cross shards, so the union
+// is exact. Entry-level mutations route to the tree of the id's shard
+// (crash tests use them to simulate torn index updates).
+type IndexRef struct {
+	label, key uint32
+	kind       index.Kind
+	nodes      *storage.Table
+	trees      []*index.Tree
+}
+
+// Kind returns the index variant.
+func (r *IndexRef) Kind() index.Kind { return r.kind }
+
+// Lookup returns the node ids indexed under v across all shards.
+func (r *IndexRef) Lookup(v storage.Value) []uint64 {
+	if len(r.trees) == 1 {
+		return r.trees[0].Lookup(v)
+	}
+	var ids []uint64
+	for _, t := range r.trees {
+		ids = append(ids, t.Lookup(v)...)
+	}
+	return ids
+}
+
+// treeFor returns the shard tree owning node id's entries.
+func (r *IndexRef) treeFor(id uint64) *index.Tree {
+	return r.trees[r.nodes.ShardOf(id)]
+}
+
+// Contains reports whether the entry (v, id) is present.
+func (r *IndexRef) Contains(v storage.Value, id uint64) bool {
+	return r.treeFor(id).Contains(v, id)
+}
+
+// Insert adds the entry (v, id) to the id's shard tree.
+func (r *IndexRef) Insert(v storage.Value, id uint64) error {
+	return r.treeFor(id).Insert(v, id)
+}
+
+// Delete removes the entry (v, id), reporting whether it was present.
+func (r *IndexRef) Delete(v storage.Value, id uint64) bool {
+	return r.treeFor(id).Delete(v, id)
+}
+
+// LookupIndex returns the index for (labelCode, keyCode), if one exists.
+// The query planner uses this to turn scans into IndexScans.
+func (e *Engine) LookupIndex(labelCode, keyCode uint32) (*IndexRef, bool) {
+	ik := indexKey{labelCode, keyCode}
+	ref := &IndexRef{label: labelCode, key: keyCode, nodes: e.nodes, trees: make([]*index.Tree, e.nShards)}
+	for s := range e.shards {
+		sh := &e.shards[s]
+		sh.idxMu.RLock()
+		t := sh.indexes[ik]
+		sh.idxMu.RUnlock()
+		if t == nil {
+			return nil, false
+		}
+		ref.trees[s] = t
+	}
+	ref.kind = ref.trees[0].Kind()
+	return ref, true
 }
 
 // IndexFor resolves an index by label and property name.
-func (e *Engine) IndexFor(label, key string) (*index.Tree, bool) {
+func (e *Engine) IndexFor(label, key string) (*IndexRef, bool) {
 	lc, ok1 := e.dict.Lookup(label)
 	kc, ok2 := e.dict.Lookup(key)
 	if !ok1 || !ok2 {
@@ -132,11 +382,11 @@ func (e *Engine) IndexFor(label, key string) (*index.Tree, bool) {
 // IndexedLookup returns the ids of nodes with the given label whose
 // property equals v, using the index, re-validated against the
 // transaction's snapshot.
-func (tx *Tx) IndexedLookup(tree *index.Tree, v storage.Value) ([]NodeSnap, error) {
+func (tx *Tx) IndexedLookup(ref *IndexRef, v storage.Value) ([]NodeSnap, error) {
 	if err := tx.check(); err != nil {
 		return nil, err
 	}
-	ids := tree.Lookup(v)
+	ids := ref.Lookup(v)
 	out := make([]NodeSnap, 0, len(ids))
 	for _, id := range ids {
 		snap, err := tx.GetNode(id)
@@ -151,22 +401,31 @@ func (tx *Tx) IndexedLookup(tree *index.Tree, v storage.Value) ([]NodeSnap, erro
 	return out, nil
 }
 
-// IndexInfo describes one secondary index for introspection (fsck and the
-// crash explorer).
+// IndexInfo describes one shard tree of a secondary index for
+// introspection (fsck and the crash explorer).
 type IndexInfo struct {
-	Label uint32
-	Key   uint32
-	Kind  index.Kind
-	Tree  *index.Tree
+	Label  uint32
+	Key    uint32
+	Kind   index.Kind
+	Shard  int // which shard's entries the tree holds
+	Shards int // the engine's shard count
+	Tree   *index.Tree
 }
 
-// Indexes returns a snapshot of the engine's secondary indexes.
+// Indexes returns a snapshot of the engine's secondary index trees, one
+// IndexInfo per (index, shard).
 func (e *Engine) Indexes() []IndexInfo {
-	e.idxMu.RLock()
-	defer e.idxMu.RUnlock()
-	out := make([]IndexInfo, 0, len(e.indexes))
-	for ik, t := range e.indexes {
-		out = append(out, IndexInfo{Label: ik.label, Key: ik.key, Kind: t.Kind(), Tree: t})
+	var out []IndexInfo
+	for s := range e.shards {
+		sh := &e.shards[s]
+		sh.idxMu.RLock()
+		for ik, t := range sh.indexes {
+			out = append(out, IndexInfo{
+				Label: ik.label, Key: ik.key, Kind: t.Kind(),
+				Shard: s, Shards: e.nShards, Tree: t,
+			})
+		}
+		sh.idxMu.RUnlock()
 	}
 	return out
 }
@@ -177,16 +436,17 @@ type entState struct{ required bool }
 
 // reconcileIndexes repairs persistent indexes against the recovered
 // primary tables. Index maintenance runs after the commit point (step 4 of
-// Commit), so a crash between the two can leave the last commit's entries
-// missing and its superseded entries still present — and commitMu
-// serializes commits, so at most one commit can be torn this way. Damaged
-// trees are rebuilt outright; otherwise the tree is patched entry by
-// entry, preserving the §7.4 recovery asymptotics (one table scan plus
-// work proportional to the damage).
+// Commit), so a crash between the two can leave the last commits' entries
+// missing and their superseded entries still present — at most one torn
+// commit per shard, since each shard's commit lock serializes its index
+// updates. Damaged trees are rebuilt outright; otherwise the tree is
+// patched entry by entry, preserving the §7.4 recovery asymptotics (one
+// table scan plus work proportional to the damage). Entries that sit in
+// the wrong shard's tree (possible only after a shard-count change) are
+// migrated by the same patch logic.
 func (e *Engine) reconcileIndexes() error {
-	e.idxMu.Lock()
-	defer e.idxMu.Unlock()
-	if len(e.indexes) == 0 {
+	sh0 := &e.shards[0]
+	if len(sh0.indexes) == 0 {
 		return nil
 	}
 
@@ -194,8 +454,8 @@ func (e *Engine) reconcileIndexes() error {
 	// set of entries the primary data justifies. Tombstoned nodes keep
 	// their entries until GC (updateIndexes), so they are allowed but not
 	// required; live nodes are required.
-	allowed := make(map[indexKey]map[index.Entry]entState, len(e.indexes))
-	for ik := range e.indexes {
+	allowed := make(map[indexKey]map[index.Entry]entState, len(sh0.indexes))
+	for ik := range sh0.indexes {
 		allowed[ik] = make(map[index.Entry]entState)
 	}
 	e.nodes.Scan(func(id, off uint64) bool {
@@ -215,33 +475,40 @@ func (e *Engine) reconcileIndexes() error {
 		return true
 	})
 
-	for ik, tree := range e.indexes {
-		if probs := tree.CheckIntegrity(); len(probs) > 0 {
-			if err := e.rebuildIndexLocked(ik, tree.Kind(), allowed[ik]); err != nil {
-				return err
+	for ik := range sh0.indexes {
+		for s := range e.shards {
+			tree := e.shards[s].indexes[ik]
+			if tree == nil {
+				return fmt.Errorf("core: index (%d,%d) missing shard %d tree", ik.label, ik.key, s)
 			}
-			continue
-		}
-		// Drop entries the primary data does not justify (the torn
-		// commit's superseded values, or entries for reclaimed slots).
-		var extra []index.Entry
-		tree.WalkLeaves(func(_ uint64, entries []index.Entry, _ uint64) bool {
-			for _, ent := range entries {
-				if _, ok := allowed[ik][ent]; !ok {
-					extra = append(extra, ent)
+			if probs := tree.CheckIntegrity(); len(probs) > 0 {
+				if err := e.rebuildIndexShard(ik, s, tree.Kind(), allowed[ik]); err != nil {
+					return err
 				}
+				continue
 			}
-			return true
-		})
-		for _, ent := range extra {
-			tree.Delete(ent.Key, ent.ID)
-		}
-		// Insert entries live nodes require but the torn commit never got
-		// to write.
-		for ent, st := range allowed[ik] {
-			if st.required && !tree.Contains(ent.Key, ent.ID) {
-				if err := tree.Insert(ent.Key, ent.ID); err != nil {
-					return fmt.Errorf("core: reconcile index (%d,%d): %w", ik.label, ik.key, err)
+			// Drop entries the primary data does not justify (the torn
+			// commit's superseded values, entries for reclaimed slots) or
+			// that belong to another shard.
+			var extra []index.Entry
+			tree.WalkLeaves(func(_ uint64, entries []index.Entry, _ uint64) bool {
+				for _, ent := range entries {
+					if _, ok := allowed[ik][ent]; !ok || e.nodes.ShardOf(ent.ID) != s {
+						extra = append(extra, ent)
+					}
+				}
+				return true
+			})
+			for _, ent := range extra {
+				tree.Delete(ent.Key, ent.ID)
+			}
+			// Insert entries live nodes of this shard require but the torn
+			// commit never got to write.
+			for ent, st := range allowed[ik] {
+				if st.required && e.nodes.ShardOf(ent.ID) == s && !tree.Contains(ent.Key, ent.ID) {
+					if err := tree.Insert(ent.Key, ent.ID); err != nil {
+						return fmt.Errorf("core: reconcile index (%d,%d) shard %d: %w", ik.label, ik.key, s, err)
+					}
 				}
 			}
 		}
@@ -249,35 +516,37 @@ func (e *Engine) reconcileIndexes() error {
 	return nil
 }
 
-// rebuildIndexLocked replaces a structurally damaged index with a fresh
-// tree holding the required entries, and repoints the persistent directory
-// entry at it. The damaged tree's blocks leak (the allocator has no
-// tracing collector), which is the price of surviving arbitrary leaf-chain
-// damage. Caller holds idxMu.
-func (e *Engine) rebuildIndexLocked(ik indexKey, kind index.Kind, entries map[index.Entry]entState) error {
+// rebuildIndexShard replaces a structurally damaged shard tree with a
+// fresh one holding the shard's required entries, and repoints the
+// persistent directory entry at it. The damaged tree's blocks leak (the
+// allocator has no tracing collector), which is the price of surviving
+// arbitrary leaf-chain damage.
+func (e *Engine) rebuildIndexShard(ik indexKey, s int, kind index.Kind, entries map[index.Entry]entState) error {
 	tree, err := index.Create(kind, e.pool, index.Options{})
 	if err != nil {
 		return err
 	}
 	for ent, st := range entries {
-		if !st.required {
+		if !st.required || e.nodes.ShardOf(ent.ID) != s {
 			continue // tombstoned nodes' entries are optional; a rebuild omits them
 		}
 		if err := tree.Insert(ent.Key, ent.ID); err != nil {
-			return fmt.Errorf("core: rebuild index (%d,%d): %w", ik.label, ik.key, err)
+			return fmt.Errorf("core: rebuild index (%d,%d) shard %d: %w", ik.label, ik.key, s, err)
 		}
 	}
 	if kind != index.Volatile {
 		n := e.dev.ReadU64(e.root + rootIdxCount)
 		for i := uint64(0); i < n; i++ {
 			ent := e.root + rootIdxDir + i*idxEntrySize
-			if uint32(e.dev.ReadU64(ent)) == ik.label && uint32(e.dev.ReadU64(ent+8)) == ik.key {
+			w0 := e.dev.ReadU64(ent)
+			w2 := e.dev.ReadU64(ent + 16)
+			if uint32(w0) == ik.label && uint32(e.dev.ReadU64(ent+8)) == ik.key && int(w2>>32) == s {
 				e.dev.WriteU64(ent+24, tree.Offset())
 				e.dev.Persist(ent+24, 8)
 				break
 			}
 		}
 	}
-	e.indexes[ik] = tree
+	e.shards[s].indexes[ik] = tree
 	return nil
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"poseidon/internal/index"
 	"poseidon/internal/storage"
 )
 
@@ -47,21 +46,30 @@ func (tx *Tx) NewNodeIter(labelCode uint32) *NodeIter {
 // a non-nil error aborts the query (lock conflict).
 func (it *NodeIter) Next() (bool, error) {
 	e := it.tx.e
+	cap_ := e.nodes.ChunkCap()
 	for it.next < it.end {
 		id := it.next
-		base := id &^ 63
+		slot := id % cap_
+		// Bitmap words are chunk-relative; chunk starts need not be
+		// 64-aligned in id space, so align on the slot, not the id.
+		base := id - slot%64
 		if !it.haveWord || it.wordBase != base {
 			it.word = e.nodes.BitmapWord(id)
 			it.wordBase = base
 			it.haveWord = true
 		}
 		if it.word == 0 {
-			// Skip the whole empty 64-slot window.
-			it.next = base + 64
+			// Skip the whole empty word, but never past the chunk end:
+			// the next chunk's bitmap starts a fresh word.
+			next := base + 64
+			if chunkEnd := (id/cap_ + 1) * cap_; next > chunkEnd {
+				next = chunkEnd
+			}
+			it.next = next
 			continue
 		}
 		it.next++
-		if it.word&(1<<(id&63)) == 0 {
+		if it.word&(1<<(slot%64)) == 0 {
 			continue
 		}
 		snap, err := it.tx.GetNode(id)
@@ -116,20 +124,26 @@ func (tx *Tx) NewRelIter(labelCode uint32) *RelTableIter {
 // Next advances to the next visible relationship.
 func (it *RelTableIter) Next() (bool, error) {
 	e := it.tx.e
+	cap_ := e.rels.ChunkCap()
 	for it.next < it.end {
 		id := it.next
-		base := id &^ 63
+		slot := id % cap_
+		base := id - slot%64
 		if !it.haveWord || it.wordBase != base {
 			it.word = e.rels.BitmapWord(id)
 			it.wordBase = base
 			it.haveWord = true
 		}
 		if it.word == 0 {
-			it.next = base + 64
+			next := base + 64
+			if chunkEnd := (id/cap_ + 1) * cap_; next > chunkEnd {
+				next = chunkEnd
+			}
+			it.next = next
 			continue
 		}
 		it.next++
-		if it.word&(1<<(id&63)) == 0 {
+		if it.word&(1<<(slot%64)) == 0 {
 			continue
 		}
 		snap, err := it.tx.GetRel(id)
@@ -212,9 +226,9 @@ type IndexIter struct {
 	cur NodeSnap
 }
 
-// NewIndexIter looks up v in tree and iterates the visible hits.
-func (tx *Tx) NewIndexIter(tree *index.Tree, v storage.Value) *IndexIter {
-	return &IndexIter{tx: tx, ids: tree.Lookup(v)}
+// NewIndexIter looks up v in the index and iterates the visible hits.
+func (tx *Tx) NewIndexIter(ref *IndexRef, v storage.Value) *IndexIter {
+	return &IndexIter{tx: tx, ids: ref.Lookup(v)}
 }
 
 // Next advances to the next visible indexed node.

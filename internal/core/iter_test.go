@@ -88,8 +88,9 @@ func TestNodeRangeIterBounds(t *testing.T) {
 	if len(got) != 2 {
 		t.Errorf("clipped range = %d nodes, want 2", len(got))
 	}
-	// Chunk iterator covers everything in chunk 0.
-	got = drainNodes(t, tx.NewNodeChunkIter(0, 0))
+	// Chunk iterator covers everything in the chunk holding the nodes
+	// (one tx places all its nodes in its home shard's chunk).
+	got = drainNodes(t, tx.NewNodeChunkIter(ids[0]/e.Nodes().ChunkCap(), 0))
 	if len(got) != len(ids) {
 		t.Errorf("chunk iter = %d nodes", len(got))
 	}
@@ -109,7 +110,7 @@ func TestRelItersAndRanges(t *testing.T) {
 	if len(mid) != 3 {
 		t.Errorf("rel range = %d, want 3", len(mid))
 	}
-	it3 := tx.NewRelChunkIter(0, 0)
+	it3 := tx.NewRelChunkIter(rels[0]/e.Rels().ChunkCap(), 0)
 	all := drainRels(t, it3.Next, it3.Rel)
 	if len(all) != 9 {
 		t.Errorf("rel chunk iter = %d", len(all))

@@ -71,16 +71,25 @@ func TestMVTOSerializabilityProperty(t *testing.T) {
 		}
 		baseSeed = v
 	}
-	for round := 0; round < rounds; round++ {
-		seed := baseSeed + int64(round)
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runMVTORound(t, seed, goroutines, txPerGo, nodeCount)
-		})
+	// Both core configurations must satisfy the property: the unsharded
+	// single-monitor engine and the sharded core with its cross-shard
+	// commit protocol (ascending lock order, per-shard MVTO state).
+	for _, shards := range []int{1, 4} {
+		for round := 0; round < rounds; round++ {
+			seed := baseSeed + int64(round)
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				runMVTORound(t, seed, goroutines, txPerGo, nodeCount, shards)
+			})
+		}
 	}
 }
 
-func runMVTORound(t *testing.T, seed int64, goroutines, txPerGo, nodeCount int) {
-	e := newTestEngine(t, DRAM)
+func runMVTORound(t *testing.T, seed int64, goroutines, txPerGo, nodeCount, shards int) {
+	e, err := Open(Config{Mode: DRAM, PoolSize: 64 << 20, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
 	key, err := e.dict.Encode("v")
 	if err != nil {
 		t.Fatal(err)

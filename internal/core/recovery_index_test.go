@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"poseidon/internal/index"
@@ -143,5 +145,87 @@ func TestReopenKeepsTombstonedIndexEntries(t *testing.T) {
 	}
 	if len(snaps) != 0 {
 		t.Errorf("deleted node visible through index: %v", snaps)
+	}
+}
+
+// TestOnlineIndexCreationUnderWrites pins the CreateIndex stale-snapshot
+// fix: the backfill quiesces one shard at a time (holding its commit
+// lock), so an index created while writers are committing must exactly
+// cover the committed state — no entries lost to a backfill/commit race,
+// none duplicated. Runs against both the unsharded and the 4-way sharded
+// core, where backfill and publication are per-shard.
+func TestOnlineIndexCreationUnderWrites(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			e, err := Open(Config{Mode: PMem, PoolSize: 64 << 20, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(e.Close)
+
+			setup := e.Begin()
+			for i := 0; i < 50; i++ {
+				mustCreateNode(t, setup, "P", map[string]any{"k": int64(i)})
+			}
+			mustCommit(t, setup)
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						tx := e.Begin()
+						if _, err := tx.CreateNode("P", map[string]any{"k": int64(1000 + g*100000 + i)}); err != nil {
+							tx.Abort()
+							continue
+						}
+						tx.Commit()
+					}
+				}(g)
+			}
+
+			// Create the index mid-write: backfill races the writers.
+			if err := e.CreateIndex("P", "k", index.Hybrid); err != nil {
+				t.Fatal(err)
+			}
+			close(stop)
+			wg.Wait()
+
+			ref, ok := e.IndexFor("P", "k")
+			if !ok {
+				t.Fatal("index missing")
+			}
+			key, err := e.Dict().Encode("k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx := e.Begin()
+			defer tx.Abort()
+			checked := 0
+			if err := tx.ScanNodes(func(s NodeSnap) bool {
+				v, has := s.Prop(uint32(key))
+				if !has {
+					t.Errorf("node %d lost its indexed property", s.ID)
+					return true
+				}
+				if !ref.Contains(v, s.ID) {
+					t.Errorf("committed node %d (k=%d) missing from the online-created index", s.ID, int64(v.Raw))
+				}
+				checked++
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if checked < 50 {
+				t.Fatalf("scan covered only %d nodes", checked)
+			}
+		})
 	}
 }

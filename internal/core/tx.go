@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,13 @@ type Tx struct {
 	order []objKey // deterministic commit order
 }
 
+// maxPropWalk bounds the property-chain walk of a concurrent read: a
+// torn walk over records being recycled underneath the reader could
+// otherwise follow a pointer cycle forever. No legitimate chain comes
+// anywhere near this many records, and a bounded result is discarded by
+// the read's stability bracket.
+const maxPropWalk = 1 << 20
+
 // dirtyObj tracks one object written by the transaction.
 type dirtyObj struct {
 	key      objKey
@@ -62,14 +70,51 @@ type dirtyObj struct {
 }
 
 // Begin starts a transaction, drawing the next timestamp from the global
-// clock.
+// clock. The transaction is registered with its home shard's active set.
+// Draw and registration happen under beginMu's read side so a concurrent
+// GC pass cannot compute a minActive past the new id (see minActive).
 func (e *Engine) Begin() *Tx {
+	e.beginMu.RLock()
 	id := e.clock.Add(1)
-	e.activeMu.Lock()
-	e.active[id] = struct{}{}
-	e.activeMu.Unlock()
+	sh := &e.shards[e.homeShard(id)]
+	sh.activeMu.Lock()
+	sh.active[id] = struct{}{}
+	sh.activeMu.Unlock()
+	e.beginMu.RUnlock()
 	e.tel.TxBegun.Inc()
 	return &Tx{e: e, id: id, dirty: make(map[objKey]*dirtyObj)}
+}
+
+// Per-id accessors for the sharded MVTO state.
+func (e *Engine) nodeChainsOf(id uint64) *chainTable {
+	return e.shards[e.nodes.ShardOf(id)].nodeChains
+}
+func (e *Engine) relChainsOf(id uint64) *chainTable {
+	return e.shards[e.rels.ShardOf(id)].relChains
+}
+func (e *Engine) nodeRTSOf(id uint64) *rtsTable { return e.shards[e.nodes.ShardOf(id)].nodeRTS }
+func (e *Engine) relRTSOf(id uint64) *rtsTable  { return e.shards[e.rels.ShardOf(id)].relRTS }
+
+// withShardSlot runs fn inside shard s's undo-log lane while holding the
+// shard's commit lock, so the persistent ranges fn touches stay covered
+// by exactly one lane (the lane-overlap safety invariant). When the shard
+// runs out of slots the lane transaction rolls back and capacity is
+// reserved via EnsureShardFree — outside every commit lock, because chunk
+// appends mutate global allocator state — before retrying.
+func (e *Engine) withShardSlot(tbl *storage.Table, s int, fn func(*pmemobj.Tx) error) error {
+	sh := &e.shards[s]
+	for {
+		sh.commitMu.Lock()
+		err := e.pool.RunTxLane(sh.lane, fn)
+		sh.commitMu.Unlock()
+		if errors.Is(err, storage.ErrShardFull) {
+			if err := tbl.EnsureShardFree(s); err != nil {
+				return err
+			}
+			continue
+		}
+		return err
+	}
 }
 
 // ID returns the transaction's timestamp identifier.
@@ -139,11 +184,11 @@ func (tx *Tx) fail(reason AbortReason, format string, args ...any) error {
 func (tx *Tx) finish() {
 	tx.done.Store(true)
 	e := tx.e
-	e.activeMu.Lock()
-	delete(e.active, tx.id)
-	quiescent := len(e.active) == 0
-	e.activeMu.Unlock()
-	e.runGC(quiescent)
+	sh := &e.shards[e.homeShard(tx.id)]
+	sh.activeMu.Lock()
+	delete(sh.active, tx.id)
+	sh.activeMu.Unlock()
+	e.runGC(e.ActiveTxs() == 0)
 }
 
 // --- snapshots (read views) ---
@@ -230,23 +275,57 @@ func (tx *Tx) readNode(id uint64) (NodeSnap, error) {
 	if !ok || !e.nodes.Occupied(id) {
 		return NodeSnap{}, ErrNotFound
 	}
-	rec := storage.ReadNodeRec(e.dev, off)
-	if rec.TxnID != 0 {
-		return NodeSnap{}, tx.fail(AbortValidation, "node %d is write-locked by txn %d", id, rec.TxnID)
-	}
-	// Re-validate the lock word after the multi-word read: a committer may
-	// have locked and started rewriting the record underneath us.
-	if e.dev.ReadU64(off+storage.NTxnID) != 0 {
-		return NodeSnap{}, tx.fail(AbortValidation, "node %d was locked during read", id)
+	// Seqlock-style stable read. The record is multi-word, so a committer
+	// can rewrite it underneath us, and the lock word alone cannot detect
+	// a full lock→rewrite→unlock cycle that fits inside a reader
+	// preemption (it returns to zero). Bts/Ets close that hole: every
+	// commit to a live slot advances one of them monotonically, and slot
+	// reuse only happens via quiescent GC, which cannot run while this
+	// transaction is active. The property chain must be captured inside
+	// the same bracket: commits free superseded prop records eagerly (the
+	// slots are zeroed and reusable), so a chain walked after the bracket
+	// could dereference recycled slots. Any free of this record's chain
+	// is part of a commit that also advances the record's Bts or Ets, so
+	// a stable bracket proves the captured props are the committed set.
+	var rec storage.NodeRec
+	var props []storage.Prop
+	for attempt := 0; ; attempt++ {
+		bts1 := e.dev.ReadU64(off + storage.NBts)
+		ets1 := e.dev.ReadU64(off + storage.NEts)
+		rec = storage.ReadNodeRec(e.dev, off)
+		if rec.TxnID != 0 {
+			return NodeSnap{}, tx.fail(AbortValidation, "node %d is write-locked by txn %d", id, rec.TxnID)
+		}
+		propsOK := true
+		if rec.Bts != 0 && rec.Bts <= tx.id && tx.id < rec.Ets {
+			props, propsOK = storage.ReadPropChainN(e.props, rec.Props, maxPropWalk)
+			// Bump rts BEFORE re-reading the lock word. A writer CASes
+			// the lock and then reads rts, so either it observes our bump
+			// (and aborts if we are newer) or its lock lands first and
+			// the check below sees it — one of the two conflicting sides
+			// always yields. A spurious bump from a read that then aborts
+			// or retries is harmless: a stale rts only over-aborts
+			// writers.
+			e.nodeRTSOf(id).bump(id, tx.id) // rts is updated only on latest-version reads
+		}
+		if e.dev.ReadU64(off+storage.NTxnID) != 0 {
+			return NodeSnap{}, tx.fail(AbortValidation, "node %d was locked during read", id)
+		}
+		if propsOK && e.dev.ReadU64(off+storage.NBts) == bts1 && e.dev.ReadU64(off+storage.NEts) == ets1 &&
+			rec.Bts == bts1 && rec.Ets == ets1 {
+			break // no commit overlapped the read
+		}
+		if attempt >= 3 {
+			return NodeSnap{}, tx.fail(AbortValidation, "node %d kept being rewritten during read", id)
+		}
 	}
 	if rec.Bts == 0 {
 		return NodeSnap{}, ErrNotFound
 	}
 	if rec.Bts <= tx.id && tx.id < rec.Ets {
-		e.nodeRTS.bump(id, tx.id) // rts is updated only on latest-version reads
-		return NodeSnap{ID: id, Rec: rec, e: e}, nil
+		return NodeSnap{ID: id, Rec: rec, ver: &version{bts: rec.Bts, ets: rec.Ets, node: &rec, props: props}, e: e}, nil
 	}
-	if c := e.nodeChains.get(id); c != nil {
+	if c := e.nodeChainsOf(id).get(id); c != nil {
 		v, steps := c.findVisible(tx.id)
 		e.tel.ChainWalk.Observe(steps)
 		if v != nil && !v.tombstone {
@@ -276,21 +355,39 @@ func (tx *Tx) readRel(id uint64) (RelSnap, error) {
 	if !ok || !e.rels.Occupied(id) {
 		return RelSnap{}, ErrNotFound
 	}
-	rec := storage.ReadRelRec(e.dev, off)
-	if rec.TxnID != 0 {
-		return RelSnap{}, tx.fail(AbortValidation, "relationship %d is write-locked by txn %d", id, rec.TxnID)
-	}
-	if e.dev.ReadU64(off+storage.RTxnID) != 0 {
-		return RelSnap{}, tx.fail(AbortValidation, "relationship %d was locked during read", id)
+	// Same seqlock-style stable read as readNode — see the comment there.
+	var rec storage.RelRec
+	var props []storage.Prop
+	for attempt := 0; ; attempt++ {
+		bts1 := e.dev.ReadU64(off + storage.RBts)
+		ets1 := e.dev.ReadU64(off + storage.REts)
+		rec = storage.ReadRelRec(e.dev, off)
+		if rec.TxnID != 0 {
+			return RelSnap{}, tx.fail(AbortValidation, "relationship %d is write-locked by txn %d", id, rec.TxnID)
+		}
+		propsOK := true
+		if rec.Bts != 0 && rec.Bts <= tx.id && tx.id < rec.Ets {
+			props, propsOK = storage.ReadPropChainN(e.props, rec.Props, maxPropWalk)
+			e.relRTSOf(id).bump(id, tx.id)
+		}
+		if e.dev.ReadU64(off+storage.RTxnID) != 0 {
+			return RelSnap{}, tx.fail(AbortValidation, "relationship %d was locked during read", id)
+		}
+		if propsOK && e.dev.ReadU64(off+storage.RBts) == bts1 && e.dev.ReadU64(off+storage.REts) == ets1 &&
+			rec.Bts == bts1 && rec.Ets == ets1 {
+			break
+		}
+		if attempt >= 3 {
+			return RelSnap{}, tx.fail(AbortValidation, "relationship %d kept being rewritten during read", id)
+		}
 	}
 	if rec.Bts == 0 {
 		return RelSnap{}, ErrNotFound
 	}
 	if rec.Bts <= tx.id && tx.id < rec.Ets {
-		e.relRTS.bump(id, tx.id)
-		return RelSnap{ID: id, Rec: rec, e: e}, nil
+		return RelSnap{ID: id, Rec: rec, ver: &version{bts: rec.Bts, ets: rec.Ets, rel: &rec, props: props}, e: e}, nil
 	}
-	if c := e.relChains.get(id); c != nil {
+	if c := e.relChainsOf(id).get(id); c != nil {
 		v, steps := c.findVisible(tx.id)
 		e.tel.ChainWalk.Observe(steps)
 		if v != nil && !v.tombstone {
@@ -494,7 +591,7 @@ func (tx *Tx) lockNode(id uint64) (*dirtyObj, error) {
 		node:  &newRec,
 		props: append([]storage.Prop(nil), oldProps...),
 	}
-	e.nodeChains.getOrCreate(id).push(ver)
+	e.nodeChainsOf(id).getOrCreate(id).push(ver)
 	d := &dirtyObj{key: key, ver: ver, hasOld: true, oldNode: rec, oldProps: oldProps}
 	tx.dirty[key] = d
 	tx.order = append(tx.order, key)
@@ -526,7 +623,7 @@ func (tx *Tx) writeChecksNode(off, id uint64, rec storage.NodeRec) error {
 		unlock()
 		return tx.fail(AbortWriteConflict, "node %d has a newer version (bts %d > txn %d)", id, rec.Bts, tx.id)
 	}
-	if rts := e.nodeRTS.get(id); rts > tx.id {
+	if rts := e.nodeRTSOf(id).get(id); rts > tx.id {
 		unlock()
 		return tx.fail(AbortValidation, "node %d was read by txn %d > %d", id, rts, tx.id)
 	}
@@ -571,7 +668,7 @@ func (tx *Tx) lockRel(id uint64) (*dirtyObj, error) {
 		unlock()
 		return nil, tx.fail(AbortWriteConflict, "relationship %d has a newer version", id)
 	}
-	if rts := e.relRTS.get(id); rts > tx.id {
+	if rts := e.relRTSOf(id).get(id); rts > tx.id {
 		unlock()
 		return nil, tx.fail(AbortValidation, "relationship %d was read by txn %d > %d", id, rts, tx.id)
 	}
@@ -583,7 +680,7 @@ func (tx *Tx) lockRel(id uint64) (*dirtyObj, error) {
 		rel:   &newRec,
 		props: append([]storage.Prop(nil), oldProps...),
 	}
-	e.relChains.getOrCreate(id).push(ver)
+	e.relChainsOf(id).getOrCreate(id).push(ver)
 	d := &dirtyObj{key: key, ver: ver, hasOld: true, oldRel: rec, oldProps: oldProps}
 	tx.dirty[key] = d
 	tx.order = append(tx.order, key)
@@ -606,10 +703,14 @@ func (tx *Tx) CreateNode(label string, props map[string]any) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// New nodes are placed in the transaction's home shard so that
+	// single-shard workloads commit without touching any other shard's
+	// lock or lane.
+	home := e.homeShard(tx.id)
 	var id, off uint64
-	err = e.pool.RunTx(func(ptx *pmemobj.Tx) error {
+	err = e.withShardSlot(e.nodes, home, func(ptx *pmemobj.Tx) error {
 		var err error
-		id, off, err = e.nodes.InsertTx(ptx)
+		id, off, err = e.nodes.InsertShardTx(ptx, home)
 		if err != nil {
 			return err
 		}
@@ -625,13 +726,14 @@ func (tx *Tx) CreateNode(label string, props map[string]any) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: create node: %w", err)
 	}
+	e.shards[home].homeInserts.Add(1)
 	rec := storage.NodeRec{
 		Bts: tx.id, Ets: Infinity,
 		Label: uint32(labelCode),
 		Out:   storage.NilID, In: storage.NilID, Props: storage.NilID,
 	}
 	ver := &version{txnID: tx.id, bts: tx.id, ets: Infinity, node: &rec, props: encProps}
-	e.nodeChains.getOrCreate(id).push(ver)
+	e.nodeChainsOf(id).getOrCreate(id).push(ver)
 	key := objKey{kindNode, id}
 	tx.dirty[key] = &dirtyObj{key: key, ver: ver, isInsert: true, propsChanged: true}
 	tx.order = append(tx.order, key)
@@ -668,12 +770,15 @@ func (tx *Tx) CreateRel(src, dst uint64, label string, props map[string]any) (ui
 		}
 	}
 
+	// The relationship record is co-located with its source node's shard,
+	// so a commit that touches src and its out-edges stays single-shard.
+	relShard := e.ShardOfNode(src)
 	var id, off uint64
 	nextSrc := srcD.ver.node.Out
 	nextDst := dstD.ver.node.In
-	err = e.pool.RunTx(func(ptx *pmemobj.Tx) error {
+	err = e.withShardSlot(e.rels, relShard, func(ptx *pmemobj.Tx) error {
 		var err error
-		id, off, err = e.rels.InsertTx(ptx)
+		id, off, err = e.rels.InsertShardTx(ptx, relShard)
 		if err != nil {
 			return err
 		}
@@ -699,7 +804,7 @@ func (tx *Tx) CreateRel(src, dst uint64, label string, props map[string]any) (ui
 		Props: storage.NilID,
 	}
 	ver := &version{txnID: tx.id, bts: tx.id, ets: Infinity, rel: &rec, props: encProps}
-	e.relChains.getOrCreate(id).push(ver)
+	e.relChainsOf(id).getOrCreate(id).push(ver)
 	key := objKey{kindRel, id}
 	tx.dirty[key] = &dirtyObj{key: key, ver: ver, isInsert: true, propsChanged: true}
 	tx.order = append(tx.order, key)

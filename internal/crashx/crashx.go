@@ -46,6 +46,11 @@ type Options struct {
 	MaxPoints int
 	// PoolSize overrides the device size in bytes (default 16 MiB).
 	PoolSize int
+	// Shards sets the engine-core shard count for both the workload run
+	// and every crash-recovery reopen (0 = the engine default). Sharded
+	// runs exercise the per-shard undo-log lanes and the cross-shard
+	// commit protocol under crash schedules.
+	Shards int
 	// Progress, when non-nil, receives progress lines.
 	Progress func(format string, args ...any)
 }
@@ -167,6 +172,7 @@ func newHarness(opts Options) (*harness, error) {
 		Mode:     core.PMem,
 		PoolSize: opts.PoolSize,
 		LogCap:   256 << 10,
+		Shards:   opts.Shards,
 		Profile:  &pmem.Profile{}, // latency model off: exploration is about ordering, not timing
 	}
 	e, err := core.Open(cfg)

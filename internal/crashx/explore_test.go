@@ -41,6 +41,32 @@ func TestExploreLDBCSmoke(t *testing.T) {
 	}
 }
 
+// TestExploreShardedSmoke reruns the smoke sweep with a 4-way sharded
+// core: the workload commits through per-shard undo-log lanes and every
+// crash point must still recover to an fsck-clean image — including
+// crashes landing inside a cross-shard commit's lane transaction.
+func TestExploreShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration is seconds-long; skipped in -short")
+	}
+	res, err := Explore(context.Background(), Options{
+		Persons: 8,
+		Ops:     5,
+		Seed:    7,
+		Random:  80,
+		Shards:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points == 0 {
+		t.Fatal("no crash points explored")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
 func TestExploreExhaustivePrefix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exploration is seconds-long; skipped in -short")

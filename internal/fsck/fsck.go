@@ -314,15 +314,31 @@ func (r *Report) checkIndexes(e *core.Engine) {
 	dev := e.Device()
 	nodes := e.Nodes()
 	props := e.Props()
-	for _, info := range e.Indexes() {
-		name := fmt.Sprintf("index(%d,%d)", info.Label, info.Key)
+	infos := e.Indexes()
+	// Indexes are sharded: tree s of index (label, key) holds entries only
+	// for node ids owned by shard s. The forward pass checks shard
+	// membership per tree; the backward pass looks the node up in its own
+	// shard's tree.
+	type famKey struct{ label, key uint32 }
+	families := make(map[famKey][]*core.IndexInfo)
+	for i := range infos {
+		info := &infos[i]
+		fk := famKey{info.Label, info.Key}
+		families[fk] = append(families[fk], info)
+
+		name := fmt.Sprintf("index(%d,%d) shard %d", info.Label, info.Key, info.Shard)
 		for _, p := range info.Tree.CheckIntegrity() {
 			r.addf(pass, "%s: %s", name, p)
 		}
-		// Forward: every entry must be justified by a stored property.
+		// Forward: every entry must be justified by a stored property of a
+		// node the tree's shard owns.
 		info.Tree.WalkLeaves(func(_ uint64, entries []index.Entry, _ uint64) bool {
 			for _, ent := range entries {
 				r.IndexEntries++
+				if s := nodes.ShardOf(ent.ID); s != info.Shard {
+					r.addf(pass, "%s: entry (%v, %d) belongs to shard %d", name, ent.Key, ent.ID, s)
+					continue
+				}
 				off, ok := nodes.RecordOffset(ent.ID)
 				if !ok || !nodes.Occupied(ent.ID) {
 					r.addf(pass, "%s: entry (%v, %d) references missing node", name, ent.Key, ent.ID)
@@ -340,15 +356,29 @@ func (r *Report) checkIndexes(e *core.Engine) {
 			}
 			return true
 		})
-		// Backward: every live matching node must have its entry.
+	}
+	for fk, fam := range families {
+		name := fmt.Sprintf("index(%d,%d)", fk.label, fk.key)
+		byShard := make(map[int]*core.IndexInfo, len(fam))
+		for _, info := range fam {
+			if dup := byShard[info.Shard]; dup != nil {
+				r.addf(pass, "%s: duplicate tree for shard %d", name, info.Shard)
+			}
+			byShard[info.Shard] = info
+		}
+		// Backward: every live matching node must have its entry in its own
+		// shard's tree.
 		nodes.Scan(func(id, off uint64) bool {
 			rec := storage.ReadNodeRec(dev, off)
-			if rec.Label != info.Label || rec.Ets != core.Infinity {
+			if rec.Label != fk.label || rec.Ets != core.Infinity {
 				return true
 			}
-			if v, ok := storage.PropValue(props, rec.Props, info.Key); ok {
-				if !info.Tree.Contains(v, id) {
-					r.addf(pass, "%s: live node %d with value %v missing from the index", name, id, v)
+			if v, ok := storage.PropValue(props, rec.Props, fk.key); ok {
+				info := byShard[nodes.ShardOf(id)]
+				if info == nil {
+					r.addf(pass, "%s: no tree for shard %d (live node %d)", name, nodes.ShardOf(id), id)
+				} else if !info.Tree.Contains(v, id) {
+					r.addf(pass, "%s: live node %d with value %v missing from shard %d", name, id, v, info.Shard)
 				}
 			}
 			return true

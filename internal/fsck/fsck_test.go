@@ -172,7 +172,7 @@ func TestCheckDetectsMissingIndexEntry(t *testing.T) {
 	wantViolation(t, rep, "indexes")
 	found := false
 	for _, viol := range rep.Violations {
-		if strings.Contains(viol.Detail, "missing from the index") {
+		if strings.Contains(viol.Detail, "missing from shard") {
 			found = true
 		}
 	}

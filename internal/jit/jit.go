@@ -67,6 +67,7 @@ func (j *Engine) InvalidateSession() {
 // flow: derive the query identifier, look up the persistent hash map; on
 // a hit, link the stored code; otherwise generate IR, run the
 // optimization cascade, lower, and persist.
+//
 //poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (j *Engine) Compile(plan *query.Plan) (*Compiled, error) {
 	return j.CompileCtx(context.Background(), plan)
@@ -213,6 +214,7 @@ type RunStats struct {
 
 // Run executes the plan in JIT mode within tx: compile (or fetch), run
 // the compiled pipeline single-threaded, then the breaker tail.
+//
 //poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (j *Engine) Run(tx *core.Tx, plan *query.Plan, params query.Params, emit func(query.Row) bool) (RunStats, error) {
 	return j.RunCtx(context.Background(), tx, plan, params, emit)
@@ -273,6 +275,7 @@ func (j *Engine) runCompiled(c *Compiled, ctx *query.Ctx, emit func(query.Row) b
 // background goroutine compiles the pipeline; once compilation finishes,
 // the task function is swapped and the remaining morsels run compiled.
 // Plans that cannot be parallelized fall back to Run (JIT).
+//
 //poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (j *Engine) RunAdaptive(tx *core.Tx, plan *query.Plan, params query.Params, workers int, emit func(query.Row) bool) (RunStats, error) {
 	return j.RunAdaptiveCtx(context.Background(), tx, plan, params, workers, emit)
@@ -305,9 +308,9 @@ func (j *Engine) RunAdaptiveCtx(cctx context.Context, tx *core.Tx, plan *query.P
 
 	var nchunks uint64
 	if _, isRel := mp.Leaf.(*query.RelScan); isRel {
-		nchunks = query.MorselCount(j.core.Rels().MaxID())
+		nchunks = query.MorselCount(j.core.Rels().MaxID(), j.core.Rels().ChunkCap())
 	} else {
-		nchunks = query.MorselCount(j.core.Nodes().MaxID())
+		nchunks = query.MorselCount(j.core.Nodes().MaxID(), j.core.Nodes().ChunkCap())
 	}
 
 	// Already-linked code is used directly; otherwise compilation runs in
@@ -359,7 +362,7 @@ func (j *Engine) RunAdaptiveCtx(cctx context.Context, tx *core.Tx, plan *query.P
 
 	start := time.Now()
 	var next atomic.Uint64
-	var firstErr atomic.Value
+	var firstErr query.FirstError
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -368,13 +371,13 @@ func (j *Engine) RunAdaptiveCtx(cctx context.Context, tx *core.Tx, plan *query.P
 			var chunk uint64
 			interp, err := mp.PipelineRunner(ctx, &chunk, collect)
 			if err != nil {
-				firstErr.CompareAndSwap(nil, err)
+				firstErr.Set(err)
 				return
 			}
 			var exec *Exec
 			for {
 				c := next.Add(1) - 1
-				if c >= nchunks || firstErr.Load() != nil || cctx.Err() != nil {
+				if c >= nchunks || firstErr.Pending() || cctx.Err() != nil {
 					return
 				}
 				mu.Lock()
@@ -389,7 +392,7 @@ func (j *Engine) RunAdaptiveCtx(cctx context.Context, tx *core.Tx, plan *query.P
 					}
 					compiledMorsels.Add(1)
 					if err := exec.Run(ctx, c, collect); err != nil {
-						firstErr.CompareAndSwap(nil, err)
+						firstErr.Set(err)
 						return
 					}
 					continue
@@ -397,7 +400,7 @@ func (j *Engine) RunAdaptiveCtx(cctx context.Context, tx *core.Tx, plan *query.P
 				interpMorsels.Add(1)
 				chunk = c
 				if err := interp(); err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					firstErr.Set(err)
 					return
 				}
 			}
@@ -427,7 +430,7 @@ func (j *Engine) RunAdaptiveCtx(cctx context.Context, tx *core.Tx, plan *query.P
 	if err := cctx.Err(); err != nil {
 		return st, err
 	}
-	if err, _ := firstErr.Load().(error); err != nil {
+	if err := firstErr.Err(); err != nil {
 		return st, err
 	}
 	if !streaming {

@@ -408,8 +408,8 @@ func lowerInstr(in Instr) (stepFn, error) {
 				m.iters[dst] = emptyIter{}
 				return true
 			}
-			from := uint64(m.vals[a].Int()) * query.MorselGrain
-			m.iters[dst] = m.ctx.Tx.NewNodeRangeIter(from, from+query.MorselGrain, code)
+			from, to := query.MorselRange(uint64(m.vals[a].Int()), m.ctx.E.Nodes().ChunkCap())
+			m.iters[dst] = m.ctx.Tx.NewNodeRangeIter(from, to, code)
 			return true
 		}, nil
 
@@ -421,8 +421,8 @@ func lowerInstr(in Instr) (stepFn, error) {
 				m.iters[dst] = emptyIter{}
 				return true
 			}
-			from := uint64(m.vals[a].Int()) * query.MorselGrain
-			m.iters[dst] = m.ctx.Tx.NewRelRangeIter(from, from+query.MorselGrain, code)
+			from, to := query.MorselRange(uint64(m.vals[a].Int()), m.ctx.E.Rels().ChunkCap())
+			m.iters[dst] = m.ctx.Tx.NewRelRangeIter(from, to, code)
 			return true
 		}, nil
 

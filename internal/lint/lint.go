@@ -70,6 +70,7 @@ func Passes() []*Pass {
 		passTornStore,
 		passCtxThreading,
 		passTelemetryNilSafety,
+		passShardLock,
 	}
 }
 

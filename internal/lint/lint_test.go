@@ -18,6 +18,7 @@ var fixtureCases = []struct {
 	{"tornstore", "torn-store"},
 	{"ctxthreading", "ctx-threading"},
 	{"telemetrysafety", "telemetry-nil-safety"},
+	{"shardlock", "shardlock"},
 }
 
 func loadModule(t *testing.T) *Module {
@@ -188,7 +189,7 @@ func TestPassesAreRegistered(t *testing.T) {
 		names = append(names, p.Name)
 	}
 	sort.Strings(names)
-	want := []string{"ctx-threading", "flush-discipline", "telemetry-nil-safety", "torn-store", "tx-undo-log"}
+	want := []string{"ctx-threading", "flush-discipline", "shardlock", "telemetry-nil-safety", "torn-store", "tx-undo-log"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("registered passes = %v, want %v", names, want)
 	}

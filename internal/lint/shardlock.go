@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// shardlock: the sharded engine core deadlocks unless per-shard commit
+// locks are always taken in ascending shard order, which only
+// lockShards/lockAllShards guarantee. Flag any other function that
+// could hold two commitMu locks at once: two (Try)Lock call sites, or
+// one inside a loop whose body does not also release the lock (so the
+// next iteration would stack a second acquisition on the first).
+var passShardLock = &Pass{
+	Name:    "shardlock",
+	Doc:     "multiple shard commit locks must be acquired through lockShards (ascending order)",
+	Default: true,
+	Run: func(c *Context) {
+		for _, fi := range c.Kit.Funcs(c.Pkg) {
+			if fi.Ignored["shardlock"] {
+				continue
+			}
+			// The blessed acquisition helper: its loop over the sorted
+			// shard set is the one place multi-lock is allowed.
+			if fi.Name == "lockShards" {
+				continue
+			}
+			checkShardLocks(c, fi)
+		}
+	},
+}
+
+// commitMuCall reports whether call is <expr>.commitMu.<method>().
+func commitMuCall(call *ast.CallExpr, methods ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || recv.Sel.Name != "commitMu" {
+		return false
+	}
+	for _, m := range methods {
+		if sel.Sel.Name == m {
+			return true
+		}
+	}
+	return false
+}
+
+// loopReleasesLock reports whether the loop body contains a
+// commitMu.Unlock() outside nested loops/literals — i.e. the lock taken
+// in iteration i is provably released before iteration i+1 acquires.
+func loopReleasesLock(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.CallExpr:
+			if commitMuCall(n, "Unlock") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func checkShardLocks(c *Context, fi FuncInfo) {
+	var acquisitions []*ast.CallExpr
+	flaggedLoop := false
+
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			if n != fi.Lit {
+				return // analyzed as its own FuncInfo
+			}
+		case *ast.ForStmt:
+			looped := !loopReleasesLock(n.Body)
+			if n.Init != nil {
+				walk(n.Init, inLoop)
+			}
+			walk(n.Body, inLoop || looped)
+			return
+		case *ast.RangeStmt:
+			looped := !loopReleasesLock(n.Body)
+			walk(n.Body, inLoop || looped)
+			return
+		case *ast.CallExpr:
+			if commitMuCall(n, "Lock", "TryLock") {
+				if inLoop && !flaggedLoop {
+					flaggedLoop = true
+					c.Reportf(n.Pos(), "shard commit lock acquired in a loop without an in-loop release can hold several commitMu at once in arbitrary order; acquire the set through lockShards")
+				}
+				acquisitions = append(acquisitions, n)
+				if len(acquisitions) == 2 && !flaggedLoop {
+					c.Reportf(n.Pos(), "function takes a second shard commit lock directly; two commitMu held at once must be acquired through lockShards (ascending shard order)")
+				}
+			}
+		}
+		// Recurse into children, preserving loop context.
+		for _, child := range childNodes(n) {
+			walk(child, inLoop)
+		}
+	}
+	walk(fi.Body, false)
+}
+
+// childNodes returns n's immediate children via ast.Inspect's first
+// level (Inspect visits n itself first, then children).
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

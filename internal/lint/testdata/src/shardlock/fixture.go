@@ -1,0 +1,73 @@
+// Golden fixture for the shardlock pass: per-shard commit locks must be
+// acquired through lockShards (ascending shard order) whenever more than
+// one may be held at once.
+package fixture
+
+import "sync"
+
+type shard struct {
+	commitMu sync.Mutex
+}
+
+type engine struct {
+	shards []shard
+}
+
+// lockShards is the blessed multi-lock helper: exempt by name.
+func (e *engine) lockShards(order []int) {
+	for _, s := range order {
+		e.shards[s].commitMu.Lock()
+	}
+}
+
+// badTwoLocks holds two shard commit locks without going through
+// lockShards: nothing enforces ascending order.
+func (e *engine) badTwoLocks(a, b int) {
+	e.shards[a].commitMu.Lock()
+	e.shards[b].commitMu.Lock() // want shardlock
+	e.shards[b].commitMu.Unlock()
+	e.shards[a].commitMu.Unlock()
+}
+
+// badLoopLock accumulates locks across iterations in caller-chosen
+// order.
+func (e *engine) badLoopLock(order []int) {
+	for _, s := range order {
+		e.shards[s].commitMu.Lock() // want shardlock
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		e.shards[order[i]].commitMu.Unlock()
+	}
+}
+
+// badRangeTryLock: TryLock acquisitions stack the same way.
+func (e *engine) badRangeTryLock() {
+	for i := range e.shards {
+		if !e.shards[i].commitMu.TryLock() { // want shardlock
+			e.shards[i].commitMu.Lock()
+		}
+	}
+}
+
+// goodSingleLock takes one shard's lock only.
+func (e *engine) goodSingleLock(s int) {
+	e.shards[s].commitMu.Lock()
+	defer e.shards[s].commitMu.Unlock()
+}
+
+// goodLoopLockUnlock releases within each iteration, so at most one
+// lock is ever held.
+func (e *engine) goodLoopLockUnlock() {
+	for i := range e.shards {
+		e.shards[i].commitMu.Lock()
+		e.shards[i].commitMu.Unlock()
+	}
+}
+
+//poseidonlint:ignore shardlock fixture for the annotated-exception path
+func (e *engine) annotatedMultiLock(a, b int) {
+	e.shards[a].commitMu.Lock()
+	e.shards[b].commitMu.Lock()
+	e.shards[b].commitMu.Unlock()
+	e.shards[a].commitMu.Unlock()
+}

@@ -102,7 +102,14 @@ func (p *Pool) UsableSize(off uint64) (uint64, error) {
 
 // Alloc allocates inside the transaction. If the transaction aborts or the
 // system crashes before commit, the allocation is rolled back.
+//
+// Lane transactions cannot allocate: the heap top and free-list heads are
+// global, and snapshotting them into a lane log would let a concurrent
+// built-in-log transaction's mutation be clobbered by crash rollback.
 func (tx *Tx) Alloc(size uint64) (uint64, error) {
+	if tx.laned {
+		return 0, fmt.Errorf("pmemobj: Alloc inside a lane transaction")
+	}
 	total := align(size+blockHdrSize, pmem.LineSize)
 	class, ok := classFor(total)
 	if !ok {
@@ -151,7 +158,11 @@ func (tx *Tx) Alloc(size uint64) (uint64, error) {
 }
 
 // Free returns a block to its class free list inside the transaction.
+// Like Alloc, it is unavailable to lane transactions.
 func (tx *Tx) Free(off uint64) error {
+	if tx.laned {
+		return fmt.Errorf("pmemobj: Free inside a lane transaction")
+	}
 	p := tx.p
 	dev := p.dev
 	block := off - blockHdrSize

@@ -50,12 +50,65 @@ type Pool struct {
 	dev  *pmem.Device
 	uuid uint64
 
-	// mu serializes transactions and allocator mutations. Plain data
-	// reads/writes through the device do not take it.
+	// mu serializes built-in-log transactions and allocator mutations.
+	// Plain data reads/writes through the device do not take it, and lane
+	// transactions (RunTxLane) serialize on their lane's own mutex.
 	mu sync.Mutex
 
 	logOff uint64
 	logCap uint64
+
+	// laneMu guards the lanes slice during attachment; steady-state lane
+	// lookups read the slice without it (lanes are attached at open time,
+	// before concurrent transactions start).
+	laneMu sync.Mutex
+	lanes  []*poolLane
+}
+
+// poolLane is an additional undo-log region with its own transaction
+// mutex, giving the engine one independent failure-atomic commit pipeline
+// per shard (the Blizzard-style per-shard persistence domain).
+type poolLane struct {
+	mu  sync.Mutex
+	off uint64
+	cap uint64
+}
+
+// AttachLane registers an undo-log lane backed by the caller-allocated
+// region [logOff, logOff+logCap). If the region holds entries from a
+// transaction in flight at a crash, they are rolled back first — callers
+// must therefore attach every lane recorded in their durable metadata
+// before writing any data the lane's pending transaction may cover.
+// Returns the lane id for RunTxLane (≥ 1; lane 0 is the built-in log).
+func (p *Pool) AttachLane(logOff, logCap uint64) (int, error) {
+	if logCap < logDataStart+16 || logOff+logCap > uint64(p.dev.Size()) {
+		return 0, fmt.Errorf("pmemobj: bad lane region [%d,+%d)", logOff, logCap)
+	}
+	if count := p.dev.ReadU64(logOff); count != 0 {
+		p.applyUndoAt(logOff, count)
+	}
+	p.laneMu.Lock()
+	defer p.laneMu.Unlock()
+	p.lanes = append(p.lanes, &poolLane{off: logOff, cap: logCap})
+	return len(p.lanes), nil
+}
+
+// lane returns the attached lane with the given id (≥ 1), or nil.
+func (p *Pool) lane(id int) *poolLane {
+	p.laneMu.Lock()
+	defer p.laneMu.Unlock()
+	if id < 1 || id > len(p.lanes) {
+		return nil
+	}
+	return p.lanes[id-1]
+}
+
+// Lanes returns the number of attached undo-log lanes (excluding the
+// built-in log).
+func (p *Pool) Lanes() int {
+	p.laneMu.Lock()
+	defer p.laneMu.Unlock()
+	return len(p.lanes)
 }
 
 // Device returns the underlying device for direct data access.
@@ -139,6 +192,11 @@ func Open(dev *pmem.Device) (*Pool, error) {
 // Root returns the offset of the root object, or 0 if none was set.
 func (p *Pool) Root() uint64 { return p.dev.ReadU64(hdrRoot) }
 
+// LogCap returns the built-in undo log's capacity in bytes. Callers
+// attaching lanes can size them to match, so any transaction that fits
+// the built-in log fits a lane.
+func (p *Pool) LogCap() uint64 { return p.logCap }
+
 // SetRoot durably points the pool at its root object. The write is 8 bytes
 // and therefore failure-atomic (C4).
 func (p *Pool) SetRoot(off uint64) {
@@ -150,10 +208,19 @@ func (p *Pool) SetRoot(off uint64) {
 func (p *Pool) Close() { unregister(p) }
 
 // LogPending returns the number of undo-log entries currently marked
-// valid. After Open (which rolls back any in-flight transaction) and
-// outside a running transaction it must be zero; the fsck undo-log pass
-// checks exactly that.
-func (p *Pool) LogPending() uint64 { return p.dev.ReadU64(p.logOff) }
+// valid across the built-in log and every attached lane. After Open and
+// AttachLane (which roll back any in-flight transaction) and outside a
+// running transaction it must be zero; the fsck undo-log pass checks
+// exactly that.
+func (p *Pool) LogPending() uint64 {
+	n := p.dev.ReadU64(p.logOff)
+	p.laneMu.Lock()
+	defer p.laneMu.Unlock()
+	for _, l := range p.lanes {
+		n += p.dev.ReadU64(l.off)
+	}
+	return n
+}
 
 func align(v, a uint64) uint64 { return (v + a - 1) / a * a }
 

@@ -28,6 +28,9 @@ const logDataStart = 64
 // the RunTx callback that created it and must not be used concurrently.
 type Tx struct {
 	p       *Pool
+	logOff  uint64 // base of the undo log this transaction writes
+	logCap  uint64
+	laned   bool   // true for lane transactions (no allocator access)
 	logEnd  uint64 // next free byte in the log region (volatile)
 	count   uint64 // entries appended so far (volatile mirror)
 	touched []txRange
@@ -35,16 +38,45 @@ type Tx struct {
 
 type txRange struct{ off, n uint64 }
 
-// RunTx executes fn inside a transaction. If fn returns nil the
-// transaction commits; any error (or panic) rolls back every snapshotted
-// range. Transactions serialize on the pool: nesting RunTx on the same
-// pool deadlocks by design, matching libpmemobj's one-transaction-per-
-// thread rule.
+// RunTx executes fn inside a transaction on the pool's built-in undo log.
+// If fn returns nil the transaction commits; any error (or panic) rolls
+// back every snapshotted range. Transactions serialize on the pool:
+// nesting RunTx on the same pool deadlocks by design, matching
+// libpmemobj's one-transaction-per-thread rule.
 func (p *Pool) RunTx(fn func(*Tx) error) (err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	tx := &Tx{p: p, logEnd: p.logOff + logDataStart}
+	tx := &Tx{p: p, logOff: p.logOff, logCap: p.logCap, logEnd: p.logOff + logDataStart}
+	return tx.run(fn)
+}
 
+// RunTxLane executes fn inside a transaction on an attached undo-log lane
+// (see AttachLane). Lane 0 is the pool's built-in log and behaves exactly
+// like RunTx. Lanes have independent mutexes, so transactions on
+// different lanes run concurrently; the caller must guarantee that ranges
+// touched by concurrent lane transactions never overlap (the engine does
+// this by mapping every persistent range to one shard and requiring the
+// shard's commit lock for the lane transaction that touches it).
+// Otherwise crash rollback, which replays lane logs in arbitrary lane
+// order, could resurrect overwritten data.
+//
+// Lane transactions cannot allocate or free blocks: the allocator's
+// metadata is global and protected by the pool's built-in log only.
+func (p *Pool) RunTxLane(lane int, fn func(*Tx) error) error {
+	if lane == 0 {
+		return p.RunTx(fn)
+	}
+	l := p.lane(lane)
+	if l == nil {
+		return fmt.Errorf("pmemobj: no attached lane %d", lane)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tx := &Tx{p: p, logOff: l.off, logCap: l.cap, laned: true, logEnd: l.off + logDataStart}
+	return tx.run(fn)
+}
+
+func (tx *Tx) run(fn func(*Tx) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			tx.rollback()
@@ -65,7 +97,7 @@ func (p *Pool) RunTx(fn func(*Tx) error) (err error) {
 // Every Begin must be paired with exactly one Commit or Abandon.
 func (p *Pool) Begin() *Tx {
 	p.mu.Lock()
-	return &Tx{p: p, logEnd: p.logOff + logDataStart}
+	return &Tx{p: p, logOff: p.logOff, logCap: p.logCap, logEnd: p.logOff + logDataStart}
 }
 
 // Commit flushes the transaction's ranges, invalidates the undo log and
@@ -96,7 +128,7 @@ func (tx *Tx) Snapshot(off, n uint64) error {
 	p := tx.p
 	dataLen := align(n, 8)
 	need := 16 + dataLen
-	if tx.logEnd+need > p.logOff+p.logCap {
+	if tx.logEnd+need > tx.logOff+tx.logCap {
 		return fmt.Errorf("%w: need %d bytes", ErrLogFull, need)
 	}
 	dev := p.dev
@@ -112,8 +144,8 @@ func (tx *Tx) Snapshot(off, n uint64) error {
 	dev.Flush(entry, need)
 	// The entry becomes valid only once the count is bumped durably.
 	tx.count++
-	dev.WriteU64(p.logOff, tx.count)
-	dev.Persist(p.logOff, 8)
+	dev.WriteU64(tx.logOff, tx.count)
+	dev.Persist(tx.logOff, 8)
 	tx.logEnd += need
 	tx.touched = append(tx.touched, txRange{off, n})
 	// The range is now recoverable even while its stores sit unflushed
@@ -145,28 +177,29 @@ func (tx *Tx) commit() {
 	}
 	dev.Drain()
 	// Single 8-byte store is the commit point (DG4).
-	dev.WriteU64(tx.p.logOff, 0)
-	dev.Persist(tx.p.logOff, 8)
+	dev.WriteU64(tx.logOff, 0)
+	dev.Persist(tx.logOff, 8)
 }
 
 func (tx *Tx) rollback() {
-	tx.p.applyUndo(tx.count)
+	tx.p.applyUndoAt(tx.logOff, tx.count)
 }
 
-// applyUndo restores count undo entries in reverse order and invalidates
-// the log. Used by online aborts and by crash recovery.
-func (p *Pool) applyUndo(count uint64) {
+// applyUndoAt restores count undo entries of the log at logOff in reverse
+// order and invalidates the log. Used by online aborts and by crash
+// recovery (of the built-in log and of attached lanes).
+func (p *Pool) applyUndoAt(logOff, count uint64) {
 	dev := p.dev
 	if count == 0 {
-		dev.WriteU64(p.logOff, 0)
-		dev.Persist(p.logOff, 8)
+		dev.WriteU64(logOff, 0)
+		dev.Persist(logOff, 8)
 		return
 	}
 	// Walk forward to locate the entries, then restore in reverse so the
 	// oldest snapshot of an overlapping range wins.
 	type loc struct{ entry, off, n uint64 }
 	locs := make([]loc, 0, count)
-	pos := p.logOff + logDataStart
+	pos := logOff + logDataStart
 	for i := uint64(0); i < count; i++ {
 		off := dev.ReadU64(pos)
 		n := dev.ReadU64(pos + 8)
@@ -182,8 +215,8 @@ func (p *Pool) applyUndo(count uint64) {
 		dev.Flush(l.off, l.n)
 	}
 	dev.Drain()
-	dev.WriteU64(p.logOff, 0)
-	dev.Persist(p.logOff, 8)
+	dev.WriteU64(logOff, 0)
+	dev.Persist(logOff, 8)
 }
 
 // recover rolls back an in-flight transaction found after a crash.
@@ -192,6 +225,6 @@ func (p *Pool) recover() error {
 	if count == 0 {
 		return nil
 	}
-	p.applyUndo(count)
+	p.applyUndoAt(p.logOff, count)
 	return nil
 }

@@ -93,7 +93,7 @@ func TestCrashMidTxRecoversOldState(t *testing.T) {
 	// flush the modifications (so they are on media!), then crash before
 	// commit. Recovery must roll them back from the undo log.
 	p.mu.Lock()
-	tx := &Tx{p: p, logEnd: p.logOff + logDataStart}
+	tx := &Tx{p: p, logOff: p.logOff, logCap: p.logCap, logEnd: p.logOff + logDataStart}
 	if err := tx.Snapshot(off, 128); err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestCrashMidAllocRollsBackAllocator(t *testing.T) {
 
 	// Allocate inside a tx that never commits, then crash.
 	p.mu.Lock()
-	tx := &Tx{p: p, logEnd: p.logOff + logDataStart}
+	tx := &Tx{p: p, logOff: p.logOff, logCap: p.logCap, logEnd: p.logOff + logDataStart}
 	if _, err := tx.Alloc(4096); err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestTxCrashAtomicityProperty(t *testing.T) {
 		// One transaction that crashes before commit, possibly after
 		// flushing its dirty data.
 		p.mu.Lock()
-		tx := &Tx{p: p, logEnd: p.logOff + logDataStart}
+		tx := &Tx{p: p, logOff: p.logOff, logCap: p.logCap, logEnd: p.logOff + logDataStart}
 		for k := 0; k < rng.Intn(5)+1; k++ {
 			w := uint64(rng.Intn(words))
 			if err := tx.Snapshot(off+w*8, 8); err != nil {

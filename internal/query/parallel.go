@@ -18,6 +18,31 @@ import (
 // tuples. The same machinery powers the adaptive JIT execution (§6.2),
 // which swaps the per-morsel task function once compilation finishes.
 
+// FirstError keeps the first error reported by a pool of workers.
+// atomic.Value cannot hold it directly: CompareAndSwap panics when two
+// workers race with different concrete error types (write-conflict
+// aborts vs wrapped index errors, say), so the error travels boxed in
+// one fixed type.
+type FirstError struct {
+	p atomic.Pointer[firstErrorBox]
+}
+
+type firstErrorBox struct{ err error }
+
+// Set records err if no error has been recorded yet.
+func (f *FirstError) Set(err error) { f.p.CompareAndSwap(nil, &firstErrorBox{err}) }
+
+// Pending reports whether an error has been recorded.
+func (f *FirstError) Pending() bool { return f.p.Load() != nil }
+
+// Err returns the recorded error, or nil.
+func (f *FirstError) Err() error {
+	if b := f.p.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
 // MorselPlan is a plan split for morsel-driven execution.
 type MorselPlan struct {
 	// Pipeline is the streaming subtree: leaf scan up to (excluding) the
@@ -127,9 +152,31 @@ func SplitPipeline(p *Plan) (*MorselPlan, bool) {
 // the §6.1 task model (the paper pins morsels to tasks the same way).
 const MorselGrain = 256
 
-// MorselCount returns the number of morsels covering n record slots.
-func MorselCount(maxID uint64) uint64 {
-	return (maxID + MorselGrain - 1) / MorselGrain
+// morselsPerChunk returns how many morsels cover one chunk.
+func morselsPerChunk(chunkCap uint64) uint64 {
+	return (chunkCap + MorselGrain - 1) / MorselGrain
+}
+
+// MorselCount returns the number of morsels covering a table of maxID
+// slots partitioned into chunks of chunkCap records. Morsels never span
+// a chunk boundary, so every morsel's records live in exactly one engine
+// shard (chunk ownership is chunk index mod shard count) and parallel
+// scans partition along shard boundaries.
+func MorselCount(maxID, chunkCap uint64) uint64 {
+	return (maxID + chunkCap - 1) / chunkCap * morselsPerChunk(chunkCap)
+}
+
+// MorselRange returns the id range [from, to) covered by morsel m. The
+// last morsel of each chunk is clipped to the chunk end.
+func MorselRange(m, chunkCap uint64) (from, to uint64) {
+	per := morselsPerChunk(chunkCap)
+	ci, sub := m/per, m%per
+	from = ci*chunkCap + sub*MorselGrain
+	to = from + MorselGrain
+	if end := (ci + 1) * chunkCap; to > end {
+		to = end
+	}
+	return from, to
 }
 
 // --- internal operators used by the parallel machinery ---
@@ -168,9 +215,8 @@ func buildChunkScan(o *chunkScan, ctx *Ctx, out Sink) (func() error, error) {
 			}
 			labelCode = uint32(code)
 		}
-		from := *o.chunk * MorselGrain
-		to := from + MorselGrain
 		if o.rel {
+			from, to := MorselRange(*o.chunk, ctx.E.Rels().ChunkCap())
 			it := ctx.Tx.NewRelRangeIter(from, to, labelCode)
 			for {
 				ok, err := it.Next()
@@ -186,6 +232,7 @@ func buildChunkScan(o *chunkScan, ctx *Ctx, out Sink) (func() error, error) {
 				}
 			}
 		}
+		from, to := MorselRange(*o.chunk, ctx.E.Nodes().ChunkCap())
 		it := ctx.Tx.NewNodeRangeIter(from, to, labelCode)
 		for {
 			ok, err := it.Next()
@@ -354,6 +401,7 @@ func (mp *MorselPlan) RunTail(ctx *Ctx, tuples []Tuple, emit func(Row) bool) err
 // given number of workers (0 = GOMAXPROCS). Plans that cannot be
 // parallelized fall back to single-threaded interpretation. Result order
 // is nondeterministic across morsels.
+//
 //poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (pr *Prepared) RunParallel(tx *core.Tx, params Params, workers int, emit func(Row) bool) error {
 	return pr.RunParallelCtx(context.Background(), tx, params, workers, emit)
@@ -385,9 +433,9 @@ func (pr *Prepared) RunParallelCtx(cctx context.Context, tx *core.Tx, params Par
 
 	var nchunks uint64
 	if _, isRel := mp.Leaf.(*RelScan); isRel {
-		nchunks = MorselCount(pr.E.Rels().MaxID())
+		nchunks = MorselCount(pr.E.Rels().MaxID(), pr.E.Rels().ChunkCap())
 	} else {
-		nchunks = MorselCount(pr.E.Nodes().MaxID())
+		nchunks = MorselCount(pr.E.Nodes().MaxID(), pr.E.Nodes().ChunkCap())
 	}
 
 	var mu sync.Mutex
@@ -412,7 +460,7 @@ func (pr *Prepared) RunParallelCtx(cctx context.Context, tx *core.Tx, params Par
 	}
 
 	var next atomic.Uint64
-	var firstErr atomic.Value
+	var firstErr FirstError
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -421,12 +469,12 @@ func (pr *Prepared) RunParallelCtx(cctx context.Context, tx *core.Tx, params Par
 			var chunk uint64
 			run, err := mp.PipelineRunner(ctx, &chunk, collect)
 			if err != nil {
-				firstErr.CompareAndSwap(nil, err)
+				firstErr.Set(err)
 				return
 			}
 			for {
 				c := next.Add(1) - 1
-				if c >= nchunks || firstErr.Load() != nil || cctx.Err() != nil {
+				if c >= nchunks || firstErr.Pending() || cctx.Err() != nil {
 					return
 				}
 				mu.Lock()
@@ -437,7 +485,7 @@ func (pr *Prepared) RunParallelCtx(cctx context.Context, tx *core.Tx, params Par
 				}
 				chunk = c
 				if err := run(); err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					firstErr.Set(err)
 					return
 				}
 			}
@@ -449,7 +497,7 @@ func (pr *Prepared) RunParallelCtx(cctx context.Context, tx *core.Tx, params Par
 	if err := cctx.Err(); err != nil {
 		return err
 	}
-	if err, _ := firstErr.Load().(error); err != nil {
+	if err := firstErr.Err(); err != nil {
 		return err
 	}
 	if streaming {

@@ -10,8 +10,20 @@ import "poseidon/internal/pmemobj"
 
 // WritePropChainTx stores props as a chain of property records, returning
 // the head record id (or NilID for an empty set). Slots are allocated
-// within tx.
+// within tx from any shard.
 func WritePropChainTx(tx *pmemobj.Tx, tbl *Table, owner uint64, props []Prop) (uint64, error) {
+	return writePropChainTx(tx, tbl, owner, props, -1)
+}
+
+// WritePropChainShardTx is WritePropChainTx constrained to slots owned by
+// shard s, so the chain's records stay covered by s's commit lock (the
+// lane-overlap safety invariant). Fails with ErrShardFull when the shard
+// has no capacity; the caller reserves via EnsureShardFree and retries.
+func WritePropChainShardTx(tx *pmemobj.Tx, tbl *Table, owner uint64, props []Prop, s int) (uint64, error) {
+	return writePropChainTx(tx, tbl, owner, props, s)
+}
+
+func writePropChainTx(tx *pmemobj.Tx, tbl *Table, owner uint64, props []Prop, s int) (uint64, error) {
 	if len(props) == 0 {
 		return NilID, nil
 	}
@@ -19,7 +31,13 @@ func WritePropChainTx(tx *pmemobj.Tx, tbl *Table, owner uint64, props []Prop) (u
 	head := NilID
 	var prevOff uint64
 	for i := 0; i < len(props); i += PItemsMax {
-		id, off, err := tbl.InsertTx(tx)
+		var id, off uint64
+		var err error
+		if s < 0 {
+			id, off, err = tbl.InsertTx(tx)
+		} else {
+			id, off, err = tbl.InsertShardTx(tx, s)
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -51,12 +69,27 @@ func WritePropChainTx(tx *pmemobj.Tx, tbl *Table, owner uint64, props []Prop) (u
 
 // ReadPropChain decodes the property chain starting at record id head.
 func ReadPropChain(tbl *Table, head uint64) []Prop {
+	props, _ := ReadPropChainN(tbl, head, 0)
+	return props
+}
+
+// ReadPropChainN is ReadPropChain with a bound on the number of chain
+// records walked (0 = unbounded). Concurrent readers pass a bound so
+// that a torn walk over records being recycled underneath them cannot
+// follow a pointer cycle forever; ok=false reports that the bound was
+// hit, meaning the result must be discarded and the read revalidated.
+func ReadPropChainN(tbl *Table, head uint64, maxRecs int) ([]Prop, bool) {
 	if head == NilID {
-		return nil
+		return nil, true
 	}
 	dev := tbl.dev
 	var props []Prop
+	walked := 0
 	for id := head; id != NilID; {
+		if maxRecs > 0 && walked >= maxRecs {
+			return props, false
+		}
+		walked++
 		off, ok := tbl.RecordOffset(id)
 		if !ok {
 			break
@@ -73,7 +106,7 @@ func ReadPropChain(tbl *Table, head uint64) []Prop {
 		}
 		id = dev.ReadU64(off + PNext)
 	}
-	return props
+	return props, true
 }
 
 // PropValue looks up a single key in the chain without materializing the

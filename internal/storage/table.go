@@ -28,6 +28,10 @@ import (
 var (
 	ErrTableFull = errors.New("storage: chunk directory full")
 	ErrBadRecord = errors.New("storage: record id out of range or slot free")
+	// ErrShardFull reports that a shard-constrained insert found no free
+	// slot in any chunk owned by the shard. Callers reserve capacity with
+	// EnsureShardFree (outside the failing transaction) and retry.
+	ErrShardFull = errors.New("storage: no free slot in shard")
 )
 
 // Table header layout (persistent).
@@ -79,10 +83,16 @@ type Table struct {
 	bitmapLen uint64 // bitmap bytes (multiple of 8)
 	dataStart uint64 // first record offset within a chunk
 
-	mu         sync.Mutex
-	dir        []uint64 // volatile chunk-offset mirror; len fixed to dirCap
-	nChunks    atomic.Uint64
-	freeChunks []uint64 // chunk indexes that may have free slots
+	mu      sync.Mutex
+	dir     []uint64 // volatile chunk-offset mirror; len fixed to dirCap
+	nChunks atomic.Uint64
+
+	// Shard ownership is volatile and purely positional: chunk ci belongs
+	// to shard ci % shards, so id → shard is re-derivable at open with any
+	// shard count and the on-disk format is unchanged. free holds, per
+	// shard, the chunk indexes that may have free slots.
+	shards int
+	free   [][]uint64
 }
 
 func chunkGeometry(recSize, chunkBytes uint64) (chunkCap, bitmapLen, dataStart uint64) {
@@ -118,6 +128,7 @@ func CreateTable(pool *pmemobj.Pool, recSize uint64, opts Options) (*Table, erro
 		pool: pool, dev: pool.Device(),
 		recSize: recSize, chunkCap: chunkCap,
 		dirCap: dirCap, bitmapLen: bitmapLen, dataStart: dataStart,
+		shards: 1, free: make([][]uint64, 1),
 	}
 	err := pool.RunTx(func(tx *pmemobj.Tx) error {
 		hdr, err := tx.Alloc(tHeaderSize)
@@ -167,13 +178,54 @@ func OpenTable(pool *pmemobj.Pool, hdr uint64) (*Table, error) {
 		t.dir[i] = dev.ReadU64(t.dirOff + i*8)
 	}
 	t.nChunks.Store(n)
-	// Rebuild the volatile free-chunk list from the persistent bitmaps.
+	// Rebuild the volatile free-chunk lists from the persistent bitmaps.
+	t.shards = 1
+	t.free = make([][]uint64, 1)
+	t.rebucketLocked()
+	return t, nil
+}
+
+// rebucketLocked rebuilds the per-shard free-chunk lists from the
+// persistent bitmaps. Caller holds t.mu (or has exclusive access).
+func (t *Table) rebucketLocked() {
+	for s := range t.free {
+		t.free[s] = t.free[s][:0]
+	}
+	n := t.nChunks.Load()
 	for ci := uint64(0); ci < n; ci++ {
 		if t.chunkFreeSlot(t.dir[ci]) >= 0 {
-			t.freeChunks = append(t.freeChunks, ci)
+			s := int(ci) % t.shards
+			t.free[s] = append(t.free[s], ci)
 		}
 	}
-	return t, nil
+}
+
+// SetShards repartitions chunk ownership over n shards (chunk ci belongs
+// to shard ci % n). Ownership is volatile; any shard count is valid for
+// any existing image. Must be called while the table is quiescent.
+func (t *Table) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shards = n
+	t.free = make([][]uint64, n)
+	t.rebucketLocked()
+}
+
+// Shards returns the current shard count.
+func (t *Table) Shards() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.shards
+}
+
+// ShardOf returns the shard owning record id's chunk. The result is valid
+// for any id addressable under the current chunk count or beyond: shard
+// ownership is positional (chunk index mod shard count).
+func (t *Table) ShardOf(id uint64) int {
+	return int(id/t.chunkCap) % t.shards
 }
 
 // Offset returns the table header offset for persisting in a root object.
@@ -269,19 +321,14 @@ func (t *Table) InsertTx(tx *pmemobj.Tx) (uint64, uint64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
-	for len(t.freeChunks) > 0 {
-		ci := t.freeChunks[len(t.freeChunks)-1]
-		chunk := t.dir[ci]
-		slot := t.chunkFreeSlot(chunk)
-		if slot < 0 {
-			t.freeChunks = t.freeChunks[:len(t.freeChunks)-1]
-			continue
-		}
-		if err := t.setBitmapTx(tx, chunk, uint64(slot), true); err != nil {
+	for s := range t.free {
+		id, off, ok, err := t.popFreeLocked(tx, s)
+		if err != nil {
 			return 0, 0, err
 		}
-		id := ci*t.chunkCap + uint64(slot)
-		return id, chunk + t.dataStart + uint64(slot)*t.recSize, nil
+		if ok {
+			return id, off, nil
+		}
 	}
 
 	ci, err := t.appendChunkTx(tx)
@@ -292,8 +339,145 @@ func (t *Table) InsertTx(tx *pmemobj.Tx) (uint64, uint64, error) {
 	if err := t.setBitmapTx(tx, chunk, 0, true); err != nil {
 		return 0, 0, err
 	}
-	t.freeChunks = append(t.freeChunks, ci)
+	t.free[int(ci)%t.shards] = append(t.free[int(ci)%t.shards], ci)
 	return ci * t.chunkCap, chunk + t.dataStart, nil
+}
+
+// popFreeLocked takes the first free slot from shard s's chunk list.
+// Caller holds t.mu.
+func (t *Table) popFreeLocked(tx *pmemobj.Tx, s int) (uint64, uint64, bool, error) {
+	list := t.free[s]
+	for len(list) > 0 {
+		ci := list[len(list)-1]
+		chunk := t.dir[ci]
+		slot := t.chunkFreeSlot(chunk)
+		if slot < 0 {
+			list = list[:len(list)-1]
+			continue
+		}
+		t.free[s] = list
+		if err := t.setBitmapTx(tx, chunk, uint64(slot), true); err != nil {
+			return 0, 0, false, err
+		}
+		id := ci*t.chunkCap + uint64(slot)
+		return id, chunk + t.dataStart + uint64(slot)*t.recSize, true, nil
+	}
+	t.free[s] = list
+	return 0, 0, false, nil
+}
+
+// InsertShardTx allocates a record slot from a chunk owned by shard s. It
+// never appends chunks (lane transactions cannot allocate); when the
+// shard's chunks are exhausted it fails with ErrShardFull and the caller
+// must reserve capacity via EnsureShardFree outside the transaction and
+// retry.
+func (t *Table) InsertShardTx(tx *pmemobj.Tx, s int) (uint64, uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s < 0 || s >= t.shards {
+		return 0, 0, fmt.Errorf("storage: insert into unknown shard %d of %d", s, t.shards)
+	}
+	id, off, ok, err := t.popFreeLocked(tx, s)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("%w %d", ErrShardFull, s)
+	}
+	return id, off, nil
+}
+
+// EnsureShardFree guarantees shard s owns at least one free record slot,
+// appending chunks in a pool transaction on the built-in log if needed.
+// Appended chunks that land in other shards are registered in their
+// owners' free lists, so capacity reservation is batched across shards
+// (DG5: group allocation).
+func (t *Table) EnsureShardFree(s int) error {
+	return t.EnsureShardFreeN(s, 1)
+}
+
+// EnsureShardFreeN guarantees shard s owns at least n free record slots.
+// Commit retries use it after ErrShardFull: a single commit may write
+// several property records into one shard, so reserving one slot at a
+// time could loop forever.
+func (t *Table) EnsureShardFreeN(s, n int) error {
+	t.mu.Lock()
+	has := t.shardFreeSlotsLocked(s, n) >= n
+	t.mu.Unlock()
+	if has {
+		return nil
+	}
+	return t.pool.RunTx(func(tx *pmemobj.Tx) error {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		for t.shardFreeSlotsLocked(s, n) < n {
+			ci, err := t.appendChunkTx(tx)
+			if err != nil {
+				return err
+			}
+			owner := int(ci) % t.shards
+			t.free[owner] = append(t.free[owner], ci)
+		}
+		return nil
+	})
+}
+
+// shardFreeSlotsLocked counts free slots across shard s's chunks, stopping
+// once limit is reached. Caller holds t.mu. Unlike shardHasFreeLocked it
+// rescans the shard's whole chunk set, so it also repairs a free list that
+// lost entries to a rolled-back lane transaction.
+func (t *Table) shardFreeSlotsLocked(s, limit int) int {
+	if s < 0 || s >= t.shards {
+		return 0
+	}
+	t.free[s] = t.free[s][:0]
+	total := 0
+	n := t.nChunks.Load()
+	for ci := uint64(s); ci < n; ci += uint64(t.shards) {
+		c := t.chunkFreeCount(t.dir[ci])
+		if c > 0 {
+			t.free[s] = append(t.free[s], ci)
+			total += c
+			if total >= limit {
+				break
+			}
+		}
+	}
+	return total
+}
+
+// chunkFreeCount returns the number of free slots in the chunk.
+func (t *Table) chunkFreeCount(chunkOff uint64) int {
+	total := 0
+	for w := uint64(0); w < t.bitmapLen/8; w++ {
+		bits := t.dev.ReadU64(chunkOff + cBitmap + w*8)
+		hi := (w + 1) * 64
+		if hi > t.chunkCap {
+			// Mask out the padding bits beyond the chunk's capacity.
+			bits |= ^uint64(0) << (t.chunkCap - w*64)
+		}
+		total += 64 - mathbits.OnesCount64(bits)
+	}
+	return total
+}
+
+// shardHasFreeLocked reports whether shard s has a chunk with a free
+// slot, pruning exhausted chunks from its list. Caller holds t.mu.
+func (t *Table) shardHasFreeLocked(s int) bool {
+	if s < 0 || s >= t.shards {
+		return false
+	}
+	list := t.free[s]
+	for len(list) > 0 {
+		ci := list[len(list)-1]
+		if t.chunkFreeSlot(t.dir[ci]) >= 0 {
+			t.free[s] = list
+			return true
+		}
+		list = list[:len(list)-1]
+	}
+	t.free[s] = list
+	return false
 }
 
 // InsertAtTx marks a specific id occupied, for recovery and bulk-load
@@ -349,7 +533,8 @@ func (t *Table) ReleaseTx(tx *pmemobj.Tx, id uint64) error {
 	if err := t.setBitmapTx(tx, chunk, slot, false); err != nil {
 		return err
 	}
-	t.freeChunks = append(t.freeChunks, ci)
+	s := int(ci) % t.shards
+	t.free[s] = append(t.free[s], ci)
 	return nil
 }
 
@@ -425,12 +610,7 @@ func (t *Table) ResyncVolatile() {
 		t.dir[i] = t.dev.ReadU64(t.dirOff + i*8)
 	}
 	t.nChunks.Store(n)
-	t.freeChunks = t.freeChunks[:0]
-	for ci := uint64(0); ci < n; ci++ {
-		if t.chunkFreeSlot(t.dir[ci]) >= 0 {
-			t.freeChunks = append(t.freeChunks, ci)
-		}
-	}
+	t.rebucketLocked()
 }
 
 // Scan visits every occupied record in id order, stopping early if fn

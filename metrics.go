@@ -2,6 +2,7 @@ package poseidon
 
 import (
 	"net/http"
+	"strconv"
 	"time"
 
 	"poseidon/internal/core"
@@ -90,6 +91,47 @@ func newDBTelemetry(db *DB, cfg TelemetryConfig) *dbTelemetry {
 	}
 	reg.GaugeFunc("poseidon_txs_active", "Transactions currently in flight.",
 		func() float64 { return float64(db.engine.ActiveTxs()) })
+
+	// Sharded-core contention and balance series, sampled from the
+	// engine's per-shard atomics at scrape time. The shard count is fixed
+	// at open, so one labelled series per shard is known up front.
+	reg.GaugeFunc("poseidon_shards", "Configured shard count of the engine core.",
+		func() float64 { return float64(db.engine.Shards()) })
+	reg.CounterFunc("poseidon_shard_cross_commits_total",
+		"Commits whose lock set spanned more than one shard.",
+		func() uint64 { _, cross := db.engine.ShardStatsSnapshot(); return cross })
+	for s := 0; s < db.engine.Shards(); s++ {
+		s := s
+		lbl := telemetry.Label{Key: "shard", Value: strconv.Itoa(s)}
+		reg.CounterFunc("poseidon_shard_commits_total",
+			"Commits whose lock set included the shard.",
+			func() uint64 { st, _ := db.engine.ShardStatsSnapshot(); return st[s].Commits }, lbl)
+		reg.CounterFunc("poseidon_shard_lock_wait_ns_total",
+			"Cumulative wait for the shard's commit lock, in nanoseconds.",
+			func() uint64 { st, _ := db.engine.ShardStatsSnapshot(); return st[s].LockWaitNs }, lbl)
+		reg.CounterFunc("poseidon_shard_lock_contended_total",
+			"Commit-lock acquisitions that found the lock held (TryLock miss).",
+			func() uint64 { st, _ := db.engine.ShardStatsSnapshot(); return st[s].LockContended }, lbl)
+		reg.CounterFunc("poseidon_shard_inserts_total",
+			"Records placed in the shard at operation time.",
+			func() uint64 { st, _ := db.engine.ShardStatsSnapshot(); return st[s].HomeInserts }, lbl)
+	}
+	reg.GaugeFunc("poseidon_shard_commit_imbalance",
+		"Max-over-mean per-shard commit count (1.0 = perfectly balanced, 0 = no commits).",
+		func() float64 {
+			st, _ := db.engine.ShardStatsSnapshot()
+			var total, max uint64
+			for _, s := range st {
+				total += s.Commits
+				if s.Commits > max {
+					max = s.Commits
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			return float64(max) * float64(len(st)) / float64(total)
+		})
 	t.coreTel.ChainWalk = reg.Histogram("poseidon_mvto_chain_walk_length",
 		"Versions inspected per DRAM version-chain lookup.",
 		telemetry.LengthBuckets(64), 1)
@@ -220,10 +262,23 @@ type JITMetrics struct {
 	Switchovers          uint64                      `json:"switchovers"`
 }
 
+// ShardMetrics is one core shard's slice of a Metrics snapshot.
+type ShardMetrics struct {
+	// Commits counts commits whose lock set included the shard.
+	Commits uint64 `json:"commits"`
+	// LockWaitNs is the cumulative wait for the shard's commit lock.
+	LockWaitNs uint64 `json:"lock_wait_ns"`
+	// LockContended counts commit-lock acquisitions that found the lock
+	// held (TryLock misses) — a scheduling-independent contention measure.
+	LockContended uint64 `json:"lock_contended"`
+	// Inserts counts records placed in the shard at operation time.
+	Inserts uint64 `json:"inserts"`
+}
+
 // Metrics is a structured snapshot of every engine counter. PMem device
-// stats, statement-cache stats and graph sizes are live regardless of
-// TelemetryConfig.Enabled; the rest require telemetry (Enabled reports
-// which case this snapshot is).
+// stats, statement-cache stats, graph sizes and shard stats are live
+// regardless of TelemetryConfig.Enabled; the rest require telemetry
+// (Enabled reports which case this snapshot is).
 type Metrics struct {
 	Enabled        bool               `json:"enabled"`
 	PMem           pmem.StatsSnapshot `json:"pmem"`
@@ -234,6 +289,11 @@ type Metrics struct {
 	SessionsActive int64              `json:"sessions_active"`
 	Nodes          uint64             `json:"nodes"`
 	Rels           uint64             `json:"rels"`
+	// Shards holds per-shard contention and balance counters; its length
+	// is the engine's configured shard count.
+	Shards []ShardMetrics `json:"shards"`
+	// CrossShardCommits counts commits spanning more than one shard.
+	CrossShardCommits uint64 `json:"cross_shard_commits"`
 }
 
 // Metrics returns a structured snapshot of the engine's counters. It is
@@ -248,6 +308,15 @@ func (db *DB) Metrics() Metrics {
 		Rels:      db.engine.RelCount(),
 	}
 	m.Tx.Active = db.engine.ActiveTxs()
+	shardStats, cross := db.engine.ShardStatsSnapshot()
+	m.Shards = make([]ShardMetrics, len(shardStats))
+	for s, st := range shardStats {
+		m.Shards[s] = ShardMetrics{
+			Commits: st.Commits, LockWaitNs: st.LockWaitNs,
+			LockContended: st.LockContended, Inserts: st.HomeInserts,
+		}
+	}
+	m.CrossShardCommits = cross
 	t := db.tel
 	if t == nil {
 		return m

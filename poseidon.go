@@ -123,6 +123,10 @@ type Config struct {
 	PoolSize int
 	// Workers bounds Parallel/Adaptive execution (0 = GOMAXPROCS).
 	Workers int
+	// Shards is the engine-core shard count: per-shard MVTO state,
+	// secondary-index slices and commit locks (0 = GOMAXPROCS, capped at
+	// 64; 1 = the unsharded single-monitor engine). See core.Config.
+	Shards int
 	// StmtCacheSize bounds the shared prepared-statement LRU cache
 	// (0 = default 256, negative = unbounded).
 	StmtCacheSize int
@@ -164,7 +168,7 @@ func stmtCacheCap(cfg Config) int {
 
 // Open creates a new database.
 func Open(cfg Config) (*DB, error) {
-	e, err := core.Open(core.Config{Mode: cfg.Mode, PoolSize: cfg.PoolSize})
+	e, err := core.Open(core.Config{Mode: cfg.Mode, PoolSize: cfg.PoolSize, Shards: cfg.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +186,7 @@ func Open(cfg Config) (*DB, error) {
 // running crash recovery. Use db.Device() to obtain the device before a
 // crash.
 func Reopen(dev *pmem.Device, cfg Config) (*DB, error) {
-	e, err := core.Reopen(dev, core.Config{Mode: cfg.Mode, PoolSize: cfg.PoolSize})
+	e, err := core.Reopen(dev, core.Config{Mode: cfg.Mode, PoolSize: cfg.PoolSize, Shards: cfg.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +231,7 @@ func (db *DB) CreateIndex(label, key string, kind IndexKind) error {
 // containing updates are rejected with ErrUpdatePlan — the transaction
 // is always rolled back, so the updates would silently vanish; use Exec
 // instead.
+//
 //poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) Query(plan *query.Plan, params query.Params) ([][]any, error) {
 	return db.QueryModeCtx(context.Background(), plan, params, Interpret)
@@ -240,6 +245,7 @@ func (db *DB) QueryCtx(ctx context.Context, plan *query.Plan, params query.Param
 
 // QueryMode runs a plan with an explicit execution mode. Like Query it
 // rejects update plans with ErrUpdatePlan.
+//
 //poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) QueryMode(plan *query.Plan, params query.Params, mode ExecMode) ([][]any, error) {
 	return db.QueryModeCtx(context.Background(), plan, params, mode)
@@ -258,6 +264,7 @@ func (db *DB) QueryModeCtx(ctx context.Context, plan *query.Plan, params query.P
 // QueryTx runs a plan inside an existing transaction, so updates observe
 // and join the transaction's effects; committing remains the caller's
 // job.
+//
 //poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) QueryTx(tx *Tx, plan *query.Plan, params query.Params, mode ExecMode) ([][]any, error) {
 	return db.QueryTxCtx(context.Background(), tx, plan, params, mode)
@@ -299,6 +306,7 @@ func (db *DB) collect(ctx context.Context, tx *Tx, stmt *Stmt, params query.Para
 
 // Exec runs an update plan inside a fresh transaction and commits it,
 // returning the number of result rows.
+//
 //poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) Exec(plan *query.Plan, params query.Params) (int, error) {
 	return db.ExecCtx(context.Background(), plan, params)
@@ -331,6 +339,7 @@ func (db *DB) ExecCtx(ctx context.Context, plan *query.Plan, params query.Params
 //
 //	rows, err := db.Cypher(`MATCH (p:Person {name: $n})-[:knows]->(f)
 //	                        RETURN f.name ORDER BY f.name`, query.Params{"n": "ada"})
+//
 //poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) Cypher(src string, params query.Params) ([][]any, error) {
 	return db.CypherModeCtx(context.Background(), src, params, Interpret)
@@ -344,6 +353,7 @@ func (db *DB) CypherCtx(ctx context.Context, src string, params query.Params) ([
 // CypherMode runs a Cypher-like statement with an explicit execution
 // mode. Read-only statements may use any mode; updates run reliably under
 // Interpret and JIT.
+//
 //poseidonlint:ignore ctx-threading legacy pre-session shim; kept per the CHANGES.md migration table
 func (db *DB) CypherMode(src string, params query.Params, mode ExecMode) ([][]any, error) {
 	return db.CypherModeCtx(context.Background(), src, params, mode)
