@@ -1,0 +1,119 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Get after Close.
+var ErrPoolClosed = errors.New("client: pool is closed")
+
+// Pool is a bounded pool of connections to one server. Get hands out
+// an idle connection or dials a new one up to MaxConns, blocking when
+// the pool is exhausted; Put returns healthy connections and discards
+// broken or in-transaction ones.
+type Pool struct {
+	addr string
+	opts Options
+
+	// sem bounds total live connections (idle + checked out).
+	sem  chan struct{}
+	mu   sync.Mutex
+	idle []*Conn
+	done bool
+}
+
+// NewPool builds a pool of at most maxConns connections to addr.
+// Connections are dialed lazily.
+func NewPool(addr string, maxConns int, opts Options) *Pool {
+	if maxConns <= 0 {
+		maxConns = 8
+	}
+	return &Pool{addr: addr, opts: opts, sem: make(chan struct{}, maxConns)}
+}
+
+// Get checks out a connection, dialing if no idle one exists. It
+// blocks while the pool is at capacity until a connection is returned
+// or ctx is cancelled.
+func (p *Pool) Get(ctx context.Context) (*Conn, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		<-p.sem
+		return nil, ErrPoolClosed
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := Dial(p.addr, p.opts)
+	if err != nil {
+		<-p.sem
+		return nil, err
+	}
+	return c, nil
+}
+
+// Put returns a connection to the pool. Broken connections and
+// connections holding an open transaction are closed instead of
+// recycled (a leaked transaction on a pooled connection would bleed
+// into an unrelated caller).
+func (p *Pool) Put(c *Conn) {
+	defer func() { <-p.sem }()
+	if c == nil {
+		return
+	}
+	if c.Broken() || c.InTx() {
+		c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Close closes every idle connection and fails future Gets.
+// Checked-out connections are closed by their holders.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return
+	}
+	p.done = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// Do checks out a connection, runs fn, and returns it, resetting the
+// connection first if fn left a transaction open.
+func (p *Pool) Do(ctx context.Context, fn func(*Conn) error) error {
+	c, err := p.Get(ctx)
+	if err != nil {
+		return err
+	}
+	defer p.Put(c)
+	err = fn(c)
+	if c.InTx() && !c.Broken() {
+		_ = c.Reset()
+	}
+	return err
+}

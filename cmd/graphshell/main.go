@@ -16,11 +16,17 @@
 //	:metrics                              telemetry snapshot + slow queries
 //	crash                                 simulate power failure + recover
 //	help / quit
+//
+// With -connect host:port the shell runs against a remote poseidond
+// over the wire protocol instead of an embedded database: cypher and
+// "ldbc:" statements, plus begin/commit/rollback, execute server-side
+// (see remote.go for the reduced command set).
 package main
 
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -49,6 +55,15 @@ func (sh *shell) reset(db *poseidon.DB) {
 }
 
 func main() {
+	connect := flag.String("connect", "", "run against a remote poseidond at this host:port instead of an embedded database")
+	flag.Parse()
+	if *connect != "" {
+		if err := remoteShell(*connect); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	db, err := poseidon.Open(poseidon.Config{Mode: poseidon.PMem, PoolSize: 256 << 20, Telemetry: shellTelemetry})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"poseidon/client"
+)
+
+// remoteShell is graphshell's -connect mode: a REPL over the wire
+// protocol against a running poseidond. The command set is the
+// statement-level subset — everything executes server-side, so the
+// embedded-mode commands that poke engine internals (crash, stats,
+// find) do not apply.
+//
+//	cypher <stmt>        run a Cypher statement (bare lines work too)
+//	ldbc:<name>          run a built-in workload statement, e.g. ldbc:sr1 id=42
+//	begin/commit/rollback  explicit transaction control
+//	reset                discard server-side statement state
+//	info                 server name, version and default mode
+//	help / quit
+func remoteShell(addr string) error {
+	conn, err := client.Dial(addr, client.Options{UserAgent: "graphshell"})
+	if err != nil {
+		return fmt.Errorf("connect %s: %w", addr, err)
+	}
+	defer conn.Close()
+	info := conn.ServerInfo()
+	fmt.Printf("connected to %v %v at %s (mode %v). Type 'help' for commands.\n",
+		info["server"], info["version"], addr, info["mode"])
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return nil
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := remoteCommand(conn, line); err != nil {
+			if err == errQuit {
+				return nil
+			}
+			fmt.Println("error:", err)
+			if conn.Broken() {
+				fmt.Println("connection lost; reconnecting...")
+				if conn, err = client.Dial(addr, client.Options{UserAgent: "graphshell"}); err != nil {
+					return fmt.Errorf("reconnect %s: %w", addr, err)
+				}
+			}
+		}
+	}
+}
+
+func remoteCommand(conn *client.Conn, line string) error {
+	word := strings.ToLower(strings.Fields(line)[0])
+	switch word {
+	case "help":
+		fmt.Println("cypher <statement>     e.g. cypher MATCH (p:Person) RETURN p.name LIMIT 5")
+		fmt.Println("ldbc:<name> [k=v ...]  built-in workload statement, e.g. ldbc:sr1 id=42")
+		fmt.Println("begin commit rollback  explicit transaction control")
+		fmt.Println("reset info quit")
+		return nil
+	case "quit", "exit":
+		return errQuit
+	case "begin":
+		if err := conn.Begin(); err != nil {
+			return err
+		}
+		fmt.Println("(transaction open)")
+		return nil
+	case "commit":
+		if err := conn.Commit(); err != nil {
+			return err
+		}
+		fmt.Println("(committed)")
+		return nil
+	case "rollback":
+		if err := conn.Rollback(); err != nil {
+			return err
+		}
+		fmt.Println("(rolled back)")
+		return nil
+	case "reset":
+		return conn.Reset()
+	case "info":
+		fmt.Printf("%v\n", conn.ServerInfo())
+		return nil
+	}
+
+	// Statement forms: "cypher <stmt>", "ldbc:<name> [k=v ...]", or a
+	// bare statement line.
+	stmt := line
+	var params map[string]any
+	if rest, ok := cutPrefixFold(line, "cypher "); ok {
+		stmt = rest
+	} else if strings.HasPrefix(line, "ldbc:") {
+		fields := strings.Fields(line)
+		stmt = fields[0]
+		params = parseProps(fields[1:])
+	}
+	return remoteRun(conn, stmt, params)
+}
+
+// remoteRun prepares the statement (the server reports whether it
+// updates), executes it, and prints rows or the committed summary.
+func remoteRun(conn *client.Conn, stmt string, params map[string]any) error {
+	start := time.Now()
+	st, err := conn.Prepare(stmt)
+	if err != nil {
+		return err
+	}
+	if st.HasUpdates && !conn.InTx() {
+		n, err := conn.Exec(st, params)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(%d rows, committed, %v)\n", n, time.Since(start).Round(time.Microsecond))
+		return nil
+	}
+	rows, err := conn.Query(st, params)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	fmt.Printf("(%d rows, %v)\n", len(rows), time.Since(start).Round(time.Microsecond))
+	return nil
+}

@@ -390,6 +390,18 @@ func (pg *ParamGen) pick(ids []int64) int64 {
 	return ids[pg.rng.Intn(len(ids))]
 }
 
+// Partition moves the generator's fresh-entity id counters into the
+// i-th disjoint block, so any number of concurrent generators (one per
+// simulated load client) insert non-colliding business ids. Call it
+// once, right after NewParamGen.
+func (pg *ParamGen) Partition(i int) {
+	off := int64(i) << 32
+	pg.nextPerson += off
+	pg.nextForum += off
+	pg.nextPost += off
+	pg.nextComment += off
+}
+
 // SRParams draws the input parameter for an SR query.
 func (pg *ParamGen) SRParams(q QueryID) query.Params {
 	switch q.Num {

@@ -1,0 +1,431 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"poseidon"
+	"poseidon/internal/query"
+	"poseidon/internal/wire"
+)
+
+// handshakeTimeout bounds how long a fresh connection may take to
+// complete the handshake before the server gives up on it.
+const handshakeTimeout = 10 * time.Second
+
+// readAhead bounds how many pipelined requests the reader goroutine
+// buffers ahead of the processor, so a fire-hose client cannot make
+// the server queue unbounded frames in memory.
+const readAhead = 16
+
+// conn is one client connection: a reader goroutine that decodes
+// frames (and whose EOF cancels the connection context, aborting any
+// statement running on behalf of a vanished client), and a processor
+// that drives the request state machine. Requests on one connection
+// are processed strictly in order; pipelining is just write-ahead.
+type conn struct {
+	srv    *Server
+	nc     net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// sessions holds one Session per execution mode, created lazily:
+	// the public Session pins its mode at creation, and RUN may
+	// override the connection default per statement.
+	sessions [4]*poseidon.Session
+	defMode  poseidon.ExecMode
+
+	// tx is the connection's explicit transaction, if BEGIN is open.
+	tx *poseidon.Tx
+	// rows is the currently streaming result; while non-nil the
+	// connection holds one admission slot.
+	rows *poseidon.Rows
+
+	stmts    map[uint32]*poseidon.Stmt
+	nextStmt uint32
+	helloed  bool
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	base := s.cfg.BaseContext
+	if base == nil {
+		//poseidonlint:ignore ctx-threading connection root context; no caller exists to thread one from
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	return &conn{
+		srv:     s,
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 16<<10),
+		bw:      bufio.NewWriterSize(nc, 32<<10),
+		ctx:     ctx,
+		cancel:  cancel,
+		defMode: s.cfg.Mode,
+		stmts:   make(map[uint32]*poseidon.Stmt),
+	}
+}
+
+// shutdown force-closes the connection from the drain path.
+func (c *conn) shutdown() {
+	c.cancel()
+	c.nc.Close()
+}
+
+// serve runs the connection to completion and releases every resource
+// it holds: the open result's admission slot, the explicit
+// transaction, and the per-mode sessions.
+func (c *conn) serve() {
+	defer func() {
+		c.cancel()
+		c.closeRows()
+		if c.tx != nil {
+			c.tx.Abort()
+			c.tx = nil
+		}
+		for _, sess := range c.sessions {
+			if sess != nil {
+				sess.Close()
+			}
+		}
+		c.nc.Close()
+	}()
+
+	if err := c.handshake(); err != nil {
+		c.srv.logf("handshake %s: %v", c.nc.RemoteAddr(), err)
+		return
+	}
+
+	// The reader goroutine turns client disconnects into context
+	// cancellation even while the processor is mid-statement.
+	type incoming struct {
+		msg wire.Message
+		err error
+	}
+	msgs := make(chan incoming, readAhead)
+	go func() {
+		defer close(msgs)
+		for {
+			m, err := wire.ReadMessage(c.br)
+			select {
+			case msgs <- incoming{m, err}:
+			case <-c.ctx.Done():
+				return
+			}
+			if err != nil {
+				c.cancel()
+				return
+			}
+		}
+	}()
+
+	for in := range msgs {
+		if in.err != nil {
+			// Framing is unrecoverable after a decode error; tell the
+			// client why if the error was structural, then hang up.
+			if in.err != nil && c.ctx.Err() == nil {
+				_ = wire.WriteMessage(c.bw, &wire.Error{
+					Code: wire.CodeProtocol, Message: in.err.Error()})
+				_ = c.bw.Flush()
+			}
+			return
+		}
+		start := time.Now()
+		ok := c.handle(in.msg)
+		c.srv.tel.Observe(wire.MsgName(in.msg.Type()), time.Since(start))
+		// Flush before honoring a close decision: a terminal error frame
+		// must still reach the client.
+		if err := c.bw.Flush(); err != nil || !ok {
+			return
+		}
+	}
+}
+
+// handshake negotiates the protocol version under a deadline.
+func (c *conn) handshake() error {
+	c.nc.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer c.nc.SetDeadline(time.Time{})
+	versions, err := wire.ReadClientHandshake(c.br)
+	if err != nil {
+		return err
+	}
+	v := wire.ChooseVersion(versions)
+	if err := wire.WriteServerHandshake(c.bw, v); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	if v == 0 {
+		return wire.ErrVersionMismatch
+	}
+	return nil
+}
+
+// handle dispatches one request; false means close the connection.
+func (c *conn) handle(m wire.Message) bool {
+	if !c.helloed {
+		h, ok := m.(*wire.Hello)
+		if !ok {
+			return c.reply(&wire.Error{Code: wire.CodeProtocol,
+				Message: fmt.Sprintf("expected HELLO, got %s", wire.MsgName(m.Type()))}) && false
+		}
+		return c.handleHello(h)
+	}
+	switch t := m.(type) {
+	case *wire.Hello:
+		return c.reply(&wire.Error{Code: wire.CodeProtocol, Message: "duplicate HELLO"})
+	case *wire.Prepare:
+		return c.handlePrepare(t)
+	case *wire.Run:
+		return c.handleRun(t)
+	case *wire.Pull:
+		return c.handlePull(t)
+	case *wire.Discard:
+		return c.handleDiscard()
+	case *wire.Begin:
+		return c.handleBegin()
+	case *wire.Commit:
+		return c.handleCommit()
+	case *wire.Rollback:
+		return c.handleRollback()
+	case *wire.Reset:
+		return c.handleReset()
+	case *wire.Goodbye:
+		return false
+	default:
+		return c.reply(&wire.Error{Code: wire.CodeProtocol,
+			Message: fmt.Sprintf("unexpected %s", wire.MsgName(m.Type()))})
+	}
+}
+
+// reply writes one response frame; false means the connection is dead.
+func (c *conn) reply(m wire.Message) bool {
+	return wire.WriteMessage(c.bw, m) == nil
+}
+
+// sessFor returns the connection's session pinned to mode, creating it
+// on first use. Every session shares the statement deadline and the
+// per-connection transaction bound.
+func (c *conn) sessFor(mode poseidon.ExecMode) *poseidon.Session {
+	if c.sessions[mode] == nil {
+		c.sessions[mode] = c.srv.db.NewSession(poseidon.SessionConfig{
+			Mode:    mode,
+			Timeout: c.srv.cfg.StmtTimeout,
+			MaxTxs:  c.srv.cfg.SessionMaxTxs,
+		})
+	}
+	return c.sessions[mode]
+}
+
+func (c *conn) handleHello(h *wire.Hello) bool {
+	if h.Mode != wire.ModeDefault && h.Mode <= uint8(poseidon.Adaptive) {
+		c.defMode = poseidon.ExecMode(h.Mode)
+	}
+	c.helloed = true
+	return c.reply(&wire.Success{Meta: map[string]any{
+		"server":  "poseidond",
+		"version": c.srv.cfg.Version,
+		"mode":    c.defMode.String(),
+	}})
+}
+
+func (c *conn) handlePrepare(p *wire.Prepare) bool {
+	stmt, err := c.srv.prepare(p.Text)
+	if err != nil {
+		return c.reply(&wire.Error{Code: wire.CodeSyntax, Message: err.Error()})
+	}
+	c.nextStmt++
+	id := c.nextStmt
+	c.stmts[id] = stmt
+	return c.reply(&wire.Success{Meta: map[string]any{
+		"stmt_id":     int64(id),
+		"has_updates": stmt.Plan().HasUpdates(),
+	}})
+}
+
+// runMode resolves a RUN's effective execution mode.
+func (c *conn) runMode(m uint8) (poseidon.ExecMode, error) {
+	if m == wire.ModeDefault {
+		return c.defMode, nil
+	}
+	if m > uint8(poseidon.Adaptive) {
+		return 0, fmt.Errorf("unknown execution mode %d", m)
+	}
+	return poseidon.ExecMode(m), nil
+}
+
+func (c *conn) handleRun(r *wire.Run) bool {
+	if c.srv.draining.Load() {
+		return c.reply(errorFrame(errDraining))
+	}
+	if c.rows != nil {
+		return c.reply(&wire.Error{Code: wire.CodeProtocol,
+			Message: "a result is still streaming; PULL or DISCARD it first"})
+	}
+	var stmt *poseidon.Stmt
+	if r.StmtID != 0 {
+		stmt = c.stmts[r.StmtID]
+		if stmt == nil {
+			return c.reply(&wire.Error{Code: wire.CodeUnknownStmt,
+				Message: fmt.Sprintf("statement %d was never prepared on this connection", r.StmtID)})
+		}
+	} else {
+		var err error
+		if stmt, err = c.srv.prepare(r.Text); err != nil {
+			return c.reply(&wire.Error{Code: wire.CodeSyntax, Message: err.Error()})
+		}
+	}
+	mode, err := c.runMode(r.Mode)
+	if err != nil {
+		return c.reply(&wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
+	}
+	if err := c.srv.admit(c.ctx); err != nil {
+		return c.reply(errorFrame(err))
+	}
+	sess := c.sessFor(mode)
+	params := query.Params(r.Params)
+
+	// Inside an explicit transaction every statement — reads and
+	// updates alike — joins it; committing stays with the client.
+	if c.tx != nil {
+		rows, err := sess.QueryTx(c.ctx, c.tx, stmt, params)
+		if err != nil {
+			c.srv.release()
+			return c.reply(errorFrame(err))
+		}
+		c.rows = rows
+		return c.reply(&wire.Success{Meta: map[string]any{"streaming": true}})
+	}
+
+	// Auto-commit: updates run to completion and commit before the
+	// SUCCESS; reads open a streaming result the client PULLs.
+	if stmt.Plan().HasUpdates() {
+		n, err := sess.Exec(c.ctx, stmt, params)
+		c.srv.release()
+		if err != nil {
+			return c.reply(errorFrame(err))
+		}
+		return c.reply(&wire.Success{Meta: map[string]any{
+			"rows_affected": int64(n),
+			"committed":     true,
+		}})
+	}
+	rows, err := sess.Query(c.ctx, stmt, params)
+	if err != nil {
+		c.srv.release()
+		return c.reply(errorFrame(err))
+	}
+	c.rows = rows
+	return c.reply(&wire.Success{Meta: map[string]any{"streaming": true}})
+}
+
+// closeRows closes the open result, if any, and returns its admission
+// slot.
+func (c *conn) closeRows() error {
+	if c.rows == nil {
+		return nil
+	}
+	err := c.rows.Close()
+	c.rows = nil
+	c.srv.release()
+	return err
+}
+
+func (c *conn) handlePull(p *wire.Pull) bool {
+	if c.rows == nil {
+		return c.reply(&wire.Error{Code: wire.CodeProtocol, Message: "no open result to PULL"})
+	}
+	sent := int64(0)
+	for p.N < 0 || sent < p.N {
+		if !c.rows.Next() {
+			err := c.rows.Err()
+			if cerr := c.closeRows(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return c.reply(errorFrame(err))
+			}
+			return c.reply(&wire.Success{Meta: map[string]any{"has_more": false}})
+		}
+		vals, err := c.rows.Values()
+		if err != nil {
+			c.closeRows()
+			return c.reply(errorFrame(err))
+		}
+		if !c.reply(&wire.Record{Values: vals}) {
+			return false
+		}
+		sent++
+	}
+	return c.reply(&wire.Success{Meta: map[string]any{"has_more": true}})
+}
+
+func (c *conn) handleDiscard() bool {
+	if c.rows == nil {
+		return c.reply(&wire.Error{Code: wire.CodeProtocol, Message: "no open result to DISCARD"})
+	}
+	if err := c.closeRows(); err != nil {
+		return c.reply(errorFrame(err))
+	}
+	return c.reply(&wire.Success{})
+}
+
+func (c *conn) handleBegin() bool {
+	if c.srv.draining.Load() {
+		return c.reply(errorFrame(errDraining))
+	}
+	if c.tx != nil {
+		return c.reply(&wire.Error{Code: wire.CodeProtocol, Message: "transaction already open"})
+	}
+	tx, err := c.sessFor(c.defMode).Begin()
+	if err != nil {
+		return c.reply(errorFrame(err))
+	}
+	c.tx = tx
+	return c.reply(&wire.Success{})
+}
+
+func (c *conn) handleCommit() bool {
+	if c.tx == nil {
+		return c.reply(&wire.Error{Code: wire.CodeProtocol, Message: "no open transaction"})
+	}
+	if c.rows != nil {
+		// The producer goroutine shares the transaction; committing
+		// under a live cursor would race it.
+		return c.reply(&wire.Error{Code: wire.CodeProtocol,
+			Message: "a result is still streaming; PULL or DISCARD it before COMMIT"})
+	}
+	tx := c.tx
+	c.tx = nil
+	if err := tx.Commit(); err != nil {
+		return c.reply(errorFrame(err))
+	}
+	return c.reply(&wire.Success{Meta: map[string]any{"committed": true}})
+}
+
+func (c *conn) handleRollback() bool {
+	if c.tx == nil {
+		return c.reply(&wire.Error{Code: wire.CodeProtocol, Message: "no open transaction"})
+	}
+	if c.rows != nil {
+		return c.reply(&wire.Error{Code: wire.CodeProtocol,
+			Message: "a result is still streaming; PULL or DISCARD it before ROLLBACK"})
+	}
+	c.tx.Abort()
+	c.tx = nil
+	return c.reply(&wire.Success{})
+}
+
+func (c *conn) handleReset() bool {
+	c.closeRows()
+	if c.tx != nil {
+		c.tx.Abort()
+		c.tx = nil
+	}
+	return c.reply(&wire.Success{})
+}

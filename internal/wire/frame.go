@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WriteFrame writes one message frame: the type byte, the body split
+// into chunks of at most maxChunk bytes, and the zero-length terminator.
+// The caller owns buffering and flushing (bufio on both sides).
+func WriteFrame(w io.Writer, typ byte, body []byte) error {
+	var hdr [3]byte
+	hdr[0] = typ
+	if _, err := w.Write(hdr[:1]); err != nil {
+		return err
+	}
+	rest := body
+	for len(rest) > 0 {
+		n := len(rest)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		binary.BigEndian.PutUint16(hdr[1:3], uint16(n))
+		if _, err := w.Write(hdr[1:3]); err != nil {
+			return err
+		}
+		if _, err := w.Write(rest[:n]); err != nil {
+			return err
+		}
+		rest = rest[n:]
+	}
+	// Zero-length terminator chunk.
+	binary.BigEndian.PutUint16(hdr[1:3], 0)
+	_, err := w.Write(hdr[1:3])
+	return err
+}
+
+// ReadFrame reads one message frame, enforcing max on the accumulated
+// body size incrementally: the body buffer grows chunk by chunk and
+// decoding stops with ErrTooLarge the moment the declared data crosses
+// the cap, so a hostile stream cannot force a large allocation up
+// front. Returns the type byte and the reassembled body.
+func ReadFrame(r io.Reader, max int) (byte, []byte, error) {
+	var hdr [3]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err
+	}
+	typ := hdr[0]
+	var body []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[1:3]); err != nil {
+			return 0, nil, unexpectedEOF(err)
+		}
+		n := int(binary.BigEndian.Uint16(hdr[1:3]))
+		if n == 0 {
+			return typ, body, nil
+		}
+		if len(body)+n > max {
+			return 0, nil, fmt.Errorf("%w: body exceeds %d bytes", ErrTooLarge, max)
+		}
+		off := len(body)
+		body = append(body, make([]byte, n)...)
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return 0, nil, unexpectedEOF(err)
+		}
+	}
+}
+
+// unexpectedEOF normalizes a mid-frame EOF: the frame was truncated,
+// which is a malformed stream, not a clean end of input.
+func unexpectedEOF(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: truncated frame", ErrMalformed)
+	}
+	return err
+}

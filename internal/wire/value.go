@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Value tags. The vocabulary matches what the engine's DecodeValue can
+// produce (nil, bool, int64, float64, string) plus lists and string-
+// keyed maps for parameter bindings and response metadata.
+const (
+	tagNil    byte = 0x00
+	tagTrue   byte = 0x01
+	tagFalse  byte = 0x02
+	tagInt    byte = 0x03
+	tagFloat  byte = 0x04
+	tagString byte = 0x05
+	tagList   byte = 0x06
+	tagMap    byte = 0x07
+)
+
+// appendValue encodes one Go value. Integers of any width are widened
+// to int64 so clients can pass untyped literals.
+func appendValue(buf []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, tagNil), nil
+	case bool:
+		if x {
+			return append(buf, tagTrue), nil
+		}
+		return append(buf, tagFalse), nil
+	case int:
+		return appendInt(buf, int64(x)), nil
+	case int32:
+		return appendInt(buf, int64(x)), nil
+	case int64:
+		return appendInt(buf, x), nil
+	case uint64:
+		return appendInt(buf, int64(x)), nil
+	case float64:
+		buf = append(buf, tagFloat)
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(x)), nil
+	case float32:
+		buf = append(buf, tagFloat)
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(float64(x))), nil
+	case string:
+		buf = append(buf, tagString)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...), nil
+	case []any:
+		buf = append(buf, tagList)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+		var err error
+		for _, e := range x {
+			if buf, err = appendValue(buf, e); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case map[string]any:
+		buf = append(buf, tagMap)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+		var err error
+		for k, e := range x {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(k)))
+			buf = append(buf, k...)
+			if buf, err = appendValue(buf, e); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("wire: unsupported value type %T", v)
+	}
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	buf = append(buf, tagInt)
+	return binary.BigEndian.AppendUint64(buf, uint64(v))
+}
+
+// decoder is a bounds-checked cursor over one message body. Every size
+// field is validated against the bytes actually remaining before any
+// allocation sized by it, so truncated or hostile payloads error with
+// ErrMalformed/ErrTooLarge instead of panicking or over-allocating.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) byte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, ErrMalformed
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, ErrMalformed
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, ErrMalformed
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// str reads a u32-length-prefixed string. The length is checked against
+// the remaining bytes, so the allocation is always backed by real data.
+func (d *decoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if int64(n) > int64(d.remaining()) {
+		return "", fmt.Errorf("%w: string length %d exceeds remaining %d", ErrTooLarge, n, d.remaining())
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// value decodes one tagged value. depth bounds nesting so a recursive
+// list/map bomb cannot blow the stack.
+func (d *decoder) value(depth int) (any, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("%w: value nesting too deep", ErrMalformed)
+	}
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagNil:
+		return nil, nil
+	case tagTrue:
+		return true, nil
+	case tagFalse:
+		return false, nil
+	case tagInt:
+		v, err := d.u64()
+		return int64(v), err
+	case tagFloat:
+		v, err := d.u64()
+		return math.Float64frombits(v), err
+	case tagString:
+		return d.str()
+	case tagList:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		// Each element takes at least one tag byte; a count beyond the
+		// remaining bytes is a lie, so reject before allocating.
+		if int64(n) > int64(d.remaining()) {
+			return nil, fmt.Errorf("%w: list count %d exceeds remaining %d", ErrTooLarge, n, d.remaining())
+		}
+		out := make([]any, n)
+		for i := range out {
+			if out[i], err = d.value(depth - 1); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case tagMap:
+		return d.strMap(depth - 1)
+	default:
+		return nil, fmt.Errorf("%w: unknown value tag 0x%02x", ErrMalformed, tag)
+	}
+}
+
+// strMap decodes a string-keyed map (count, then key/value pairs).
+func (d *decoder) strMap(depth int) (map[string]any, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	// A pair costs at least 5 bytes (u32 key length + value tag).
+	if int64(n)*5 > int64(d.remaining()) {
+		return nil, fmt.Errorf("%w: map count %d exceeds remaining %d", ErrTooLarge, n, d.remaining())
+	}
+	out := make(map[string]any, n)
+	for i := uint32(0); i < n; i++ {
+		k, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.value(depth)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// maxValueDepth bounds nesting of lists/maps in a single value.
+const maxValueDepth = 16

@@ -2,6 +2,7 @@ package poseidon
 
 import (
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -49,6 +50,10 @@ type dbTelemetry struct {
 	// them without reaching into the subsystems.
 	coreTel core.Telemetry
 	jitTel  jit.Telemetry
+
+	// server holds the network-front-door handles once RegisterServer
+	// has been called (nil on an in-process-only DB).
+	server *ServerTelemetry
 }
 
 // newDBTelemetry builds the registry, registers every metric family in
@@ -230,6 +235,80 @@ func (t *dbTelemetry) observeQuery(queryText string, mode ExecMode, start time.T
 	}
 }
 
+// ServerTelemetry is the handle set a network front door (poseidond)
+// records into: connection and in-flight-statement gauges, the
+// admission-control reject counter, and one latency histogram per
+// request message type. The handles are nil-safe — a server on a
+// telemetry-disabled DB records into no-ops — so the server code never
+// branches on whether telemetry is on.
+type ServerTelemetry struct {
+	// ConnsOpen gauges currently open client connections
+	// (poseidon_conns_open).
+	ConnsOpen *telemetry.Gauge
+	// InflightStmts gauges statements admitted and not yet finished —
+	// the occupancy of the server's bounded in-flight semaphore
+	// (poseidon_inflight_stmts).
+	InflightStmts *telemetry.Gauge
+	// AdmissionRejects counts requests shed with QUEUE_FULL
+	// (poseidon_admission_rejects).
+	AdmissionRejects *telemetry.Counter
+	// MsgLatency holds per-request-type handle latency histograms
+	// (poseidon_server_message_seconds{type=...}).
+	MsgLatency map[string]*telemetry.Histogram
+}
+
+// Observe records one handled request of the given message type.
+func (t *ServerTelemetry) Observe(msgType string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.MsgLatency[msgType].ObserveDuration(d)
+}
+
+// RegisterServer registers the network-server metric series on the
+// DB's telemetry registry and returns the handles poseidond records
+// into: poseidon_conns_open, poseidon_inflight_stmts,
+// poseidon_admission_rejects, poseidon_server_message_seconds{type=...}
+// (one per name in msgTypes) and a constant poseidon_build_info gauge
+// carrying the build's version as a label. On a telemetry-disabled DB
+// the returned handles are valid no-ops. Call it once per DB.
+func (db *DB) RegisterServer(version string, msgTypes []string) *ServerTelemetry {
+	var reg *telemetry.Registry
+	if db.tel != nil {
+		reg = db.tel.reg
+	}
+	st := &ServerTelemetry{
+		ConnsOpen:        reg.Gauge("poseidon_conns_open", "Client connections currently open on the network server."),
+		InflightStmts:    reg.Gauge("poseidon_inflight_stmts", "Statements admitted and executing on the network server."),
+		AdmissionRejects: reg.Counter("poseidon_admission_rejects", "Requests shed with QUEUE_FULL by admission control."),
+		MsgLatency:       make(map[string]*telemetry.Histogram, len(msgTypes)),
+	}
+	reg.GaugeFunc("poseidon_build_info",
+		"Constant 1; the labels identify the running build.",
+		func() float64 { return 1 },
+		telemetry.Label{Key: "version", Value: version},
+		telemetry.Label{Key: "go", Value: runtime.Version()})
+	for _, mt := range msgTypes {
+		st.MsgLatency[mt] = reg.Histogram("poseidon_server_message_seconds",
+			"Server-side handle latency, by request message type.",
+			telemetry.LatencyBuckets(), 1e9,
+			telemetry.Label{Key: "type", Value: mt})
+	}
+	if db.tel != nil {
+		db.tel.server = st
+	}
+	return st
+}
+
+// ServerMetrics is the network-server slice of a Metrics snapshot,
+// present once RegisterServer has been called on an instrumented DB.
+type ServerMetrics struct {
+	ConnsOpen        int64                                  `json:"conns_open"`
+	InflightStmts    int64                                  `json:"inflight_stmts"`
+	AdmissionRejects uint64                                 `json:"admission_rejects"`
+	MsgLatency       map[string]telemetry.HistogramSnapshot `json:"msg_latency"`
+}
+
 // TxMetrics is the MVTO transaction slice of a Metrics snapshot.
 type TxMetrics struct {
 	Begun   uint64            `json:"begun"`
@@ -294,6 +373,9 @@ type Metrics struct {
 	Shards []ShardMetrics `json:"shards"`
 	// CrossShardCommits counts commits spanning more than one shard.
 	CrossShardCommits uint64 `json:"cross_shard_commits"`
+	// Server holds the network-server counters when a front door has
+	// registered itself (see RegisterServer); nil otherwise.
+	Server *ServerMetrics `json:"server,omitempty"`
 }
 
 // Metrics returns a structured snapshot of the engine's counters. It is
@@ -347,6 +429,18 @@ func (db *DB) Metrics() Metrics {
 	m.JIT.MorselsInterpreted = t.jitTel.MorselsInterpreted.Value()
 	m.JIT.MorselsCompiled = t.jitTel.MorselsCompiled.Value()
 	m.JIT.Switchovers = t.jitTel.Switchovers.Value()
+	if sv := t.server; sv != nil {
+		sm := &ServerMetrics{
+			ConnsOpen:        sv.ConnsOpen.Value(),
+			InflightStmts:    sv.InflightStmts.Value(),
+			AdmissionRejects: sv.AdmissionRejects.Value(),
+			MsgLatency:       make(map[string]telemetry.HistogramSnapshot, len(sv.MsgLatency)),
+		}
+		for mt, h := range sv.MsgLatency {
+			sm.MsgLatency[mt] = h.Snapshot()
+		}
+		m.Server = sm
+	}
 	return m
 }
 

@@ -13,6 +13,13 @@ import (
 // ErrSessionClosed is returned by operations on a closed Session.
 var ErrSessionClosed = errors.New("poseidon: session is closed")
 
+// ErrSessionLimit is returned by Begin/Query/Exec when the session
+// already owns SessionConfig.MaxTxs live transactions. Callers holding
+// open Rows cursors or explicit transactions must end some before
+// starting more — the backpressure signal poseidond turns into a
+// SESSION_LIMIT error frame.
+var ErrSessionLimit = errors.New("poseidon: session transaction limit reached")
+
 // ErrUpdatePlan is returned when an update plan reaches a read-only
 // entry point (Query, QueryMode, Session.Query): their transaction is
 // always rolled back, so the updates would silently vanish. Use Exec,
@@ -29,6 +36,12 @@ type SessionConfig struct {
 	Timeout time.Duration
 	// Workers bounds Parallel/Adaptive execution (0 = the DB default).
 	Workers int
+	// MaxTxs, when positive, bounds how many transactions the session
+	// may own at once — explicit Begins plus the implicit transactions
+	// behind unfinished Query/Exec calls. Beyond the bound, Begin and
+	// the statement entry points return ErrSessionLimit instead of
+	// piling more work onto the engine (0 = unbounded).
+	MaxTxs int
 }
 
 // Session is a lightweight execution scope over a DB: it pins an
@@ -61,23 +74,32 @@ func (db *DB) NewSession(cfg SessionConfig) *Session {
 
 // Begin starts a session-owned transaction. It behaves like DB.Begin,
 // but Session.Close will roll it back if the caller has not ended it.
+// With MaxTxs set, a session already at its bound gets ErrSessionLimit
+// and no transaction is started.
 func (s *Session) Begin() (*Tx, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
+	if s.cfg.MaxTxs > 0 && len(s.txs) >= s.cfg.MaxTxs {
+		return nil, ErrSessionLimit
+	}
 	tx := s.db.engine.Begin()
 	s.txs[tx] = struct{}{}
 	return tx, nil
 }
 
-// track registers a transaction the session should reap on Close.
+// track registers a transaction the session should reap on Close,
+// enforcing the same MaxTxs bound as Begin.
 func (s *Session) track(tx *core.Tx) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrSessionClosed
+	}
+	if s.cfg.MaxTxs > 0 && len(s.txs) >= s.cfg.MaxTxs {
+		return ErrSessionLimit
 	}
 	s.txs[tx] = struct{}{}
 	return nil

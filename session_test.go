@@ -5,6 +5,8 @@ import (
 	"errors"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -317,5 +319,136 @@ func TestSessionQueryTx(t *testing.T) {
 	}
 	if db.NodeCount() != 4 {
 		t.Fatalf("node count = %d", db.NodeCount())
+	}
+}
+
+// TestSessionCloseWithInflightRows: closing the session under a cursor
+// that is mid-stream aborts the backing transaction; the cursor
+// surfaces ErrTxDone (or session-closed) at its next record rather
+// than wedging or leaking the transaction.
+func TestSessionCloseWithInflightRows(t *testing.T) {
+	db := openTestDB(t, DRAM)
+	seedSocial(t, db)
+	sess := db.NewSession(SessionConfig{})
+	stmt := mustPrepare(t, db, `MATCH (p:Person) RETURN p.name`)
+	rows, err := sess.Query(context.Background(), stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pull one record so the producer goroutine is demonstrably live.
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain whatever was already in flight; the stream must terminate.
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil && !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("rows.Err after session close = %v", err)
+	}
+	if err := rows.Close(); err != nil && !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("rows.Close after session close = %v", err)
+	}
+}
+
+// TestSessionMaxTxs: the transaction bound rejects Begin, Query and
+// Exec with ErrSessionLimit once the session owns MaxTxs live
+// transactions, and frees capacity when one ends.
+func TestSessionMaxTxs(t *testing.T) {
+	db := openTestDB(t, DRAM)
+	seedSocial(t, db)
+	sess := db.NewSession(SessionConfig{MaxTxs: 2})
+	defer sess.Close()
+
+	tx1, err := sess.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := mustPrepare(t, db, `MATCH (p:Person) RETURN p.name`)
+	rows, err := sess.Query(context.Background(), stmt, nil) // second tx
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Begin(); !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("Begin over limit = %v, want ErrSessionLimit", err)
+	}
+	if _, err := sess.Query(context.Background(), stmt, nil); !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("Query over limit = %v, want ErrSessionLimit", err)
+	}
+	if _, err := sess.Exec(context.Background(), stmt, nil); !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("Exec over limit = %v, want ErrSessionLimit", err)
+	}
+	// Finishing the cursor releases its transaction: capacity returns.
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := sess.Begin()
+	if err != nil {
+		t.Fatalf("Begin after release: %v", err)
+	}
+	tx2.Abort()
+	tx1.Abort()
+}
+
+// TestSessionMaxTxsConcurrentBegin: hammering Begin from many
+// goroutines never lets the session exceed its bound — successes plus
+// the live set stay consistent under the race.
+func TestSessionMaxTxsConcurrentBegin(t *testing.T) {
+	db := openTestDB(t, DRAM)
+	const limit = 4
+	sess := db.NewSession(SessionConfig{MaxTxs: limit})
+	defer sess.Close()
+
+	const goroutines = 32
+	var (
+		mu   sync.Mutex
+		held []*Tx
+	)
+	var wg sync.WaitGroup
+	var limited atomic.Uint64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tx, err := sess.Begin()
+				if errors.Is(err, ErrSessionLimit) {
+					limited.Add(1)
+					// Free capacity so other goroutines make progress.
+					mu.Lock()
+					if n := len(held); n > 0 {
+						victim := held[n-1]
+						held = held[:n-1]
+						mu.Unlock()
+						victim.Abort()
+					} else {
+						mu.Unlock()
+					}
+					continue
+				}
+				if err != nil {
+					t.Errorf("Begin: %v", err)
+					return
+				}
+				mu.Lock()
+				if len(held) >= limit {
+					mu.Unlock()
+					t.Errorf("session exceeded MaxTxs: %d live", len(held)+1)
+					tx.Abort()
+					return
+				}
+				held = append(held, tx)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if limited.Load() == 0 {
+		t.Fatal("ErrSessionLimit never observed under contention")
+	}
+	for _, tx := range held {
+		tx.Abort()
 	}
 }
