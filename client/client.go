@@ -12,6 +12,7 @@ import (
 	"net"
 	"time"
 
+	"poseidon/internal/trace"
 	"poseidon/internal/wire"
 )
 
@@ -44,6 +45,12 @@ type Options struct {
 	// MaxMessage caps the size of a received frame body (default
 	// wire.MaxMessage).
 	MaxMessage int
+	// Tracer, when set, roots a client-side span around every request
+	// and propagates the trace identity to the server, which continues
+	// the same trace through admission, execution and commit. The
+	// metadata rides protocol version 2; against a v1 server the
+	// request is still traced locally but nothing is propagated.
+	Tracer *trace.Tracer
 }
 
 func (o *Options) fill() {
@@ -78,6 +85,11 @@ type Conn struct {
 	broken bool
 	inTx   bool
 	srv    map[string]any
+
+	// version is the protocol version the handshake negotiated.
+	version uint32
+	// lastTraceID identifies the most recent traced request (0 = none).
+	lastTraceID uint64
 }
 
 // Dial connects, handshakes, and says HELLO.
@@ -103,25 +115,63 @@ func Dial(addr string, opts Options) (*Conn, error) {
 }
 
 func (c *Conn) handshakeHello() error {
-	if err := wire.WriteClientHandshake(c.bw, wire.Version1); err != nil {
+	// Preference order: v2 (trace metadata) first, v1 for old servers.
+	if err := wire.WriteClientHandshake(c.bw, wire.Version2, wire.Version1); err != nil {
 		return err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return err
 	}
-	if _, err := wire.ReadServerHandshake(c.br); err != nil {
+	v, err := wire.ReadServerHandshake(c.br)
+	if err != nil {
 		return err
 	}
+	c.version = v
 	mode := uint8(wire.ModeDefault)
 	if c.opts.Mode != nil {
 		mode = *c.opts.Mode
 	}
-	meta, err := c.request(&wire.Hello{UserAgent: c.opts.UserAgent, Mode: mode})
+	sp, tc := c.traceStart("client.hello")
+	meta, err := c.request(&wire.Hello{UserAgent: c.opts.UserAgent, Mode: mode, Trace: tc})
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
 		return err
 	}
 	c.srv = meta
 	return nil
+}
+
+// ProtocolVersion returns the wire version the handshake negotiated.
+func (c *Conn) ProtocolVersion() uint32 { return c.version }
+
+// traceStart roots a client span for one request, recording its trace
+// ID on the connection. The returned wire context is nil when tracing
+// is off — or when the server only speaks v1, which has no metadata
+// slot; the request is still traced locally in that case.
+func (c *Conn) traceStart(name string) (*trace.Span, *wire.TraceContext) {
+	if c.opts.Tracer == nil {
+		return nil, nil
+	}
+	//poseidonlint:ignore ctx-threading the driver API is context-free; the span roots its own trace
+	_, sp := c.opts.Tracer.Start(context.Background(), name, trace.KindClient)
+	c.lastTraceID = sp.TraceID()
+	if c.version < wire.Version2 {
+		return sp, nil
+	}
+	sc := sp.Context()
+	return sp, &wire.TraceContext{TraceID: sc.TraceID, SpanID: sc.SpanID}
+}
+
+// LastTraceID returns the trace ID of the most recent traced request in
+// the hex form /debug/traces accepts, or "" when tracing is off. The
+// server retains the same ID for propagated traces, so this is the
+// handle to look up a slow request's server-side spans.
+func (c *Conn) LastTraceID() string {
+	if c.lastTraceID == 0 {
+		return ""
+	}
+	return trace.FormatID(c.lastTraceID)
 }
 
 // ServerInfo returns the metadata from the HELLO response (server
@@ -214,7 +264,19 @@ func (c *Conn) run(stmt *Stmt, text string, params map[string]any) (map[string]a
 	if stmt != nil {
 		r.StmtID = stmt.ID
 	}
-	return c.request(r)
+	sp, tc := c.traceStart("client.request")
+	r.Trace = tc
+	if sp != nil {
+		if text != "" {
+			sp.SetAttr("text", text)
+		} else if stmt != nil {
+			sp.SetAttr("text", stmt.text)
+		}
+	}
+	meta, err := c.request(r)
+	sp.SetError(err)
+	sp.End()
+	return meta, err
 }
 
 // pullAll drains the open result with PULL(-1).
@@ -320,6 +382,15 @@ func (c *Conn) ExecText(text string, params map[string]any) (int64, error) {
 	}
 	n, _ := meta["rows_affected"].(int64)
 	return n, nil
+}
+
+// Sys runs a "sys:<name>" introspection statement and returns its
+// response metadata: Sys("profile") is the profile of the connection's
+// most recent traced request, Sys("traces") the retained trace
+// summaries as JSON, and Sys("trace:<id>") one trace as Chrome
+// trace-event JSON.
+func (c *Conn) Sys(name string) (map[string]any, error) {
+	return c.run(nil, "sys:"+name, nil)
 }
 
 // Begin opens an explicit transaction on the connection.

@@ -14,6 +14,8 @@
 //	del <id>                              detach-delete a node
 //	stats                                 device statistics
 //	:metrics                              telemetry snapshot + slow queries
+//	:profile                              stage breakdown of the last statement
+//	:trace [id]                           retained traces / Chrome JSON export
 //	crash                                 simulate power failure + recover
 //	help / quit
 //
@@ -36,6 +38,7 @@ import (
 	"poseidon"
 	"poseidon/internal/core"
 	"poseidon/internal/query"
+	"poseidon/internal/trace"
 )
 
 // shell bundles the database with the session every statement runs in.
@@ -154,11 +157,14 @@ var errQuit = fmt.Errorf("quit")
 
 // shellTelemetry instruments the shell's DB so :metrics has data; the
 // 50ms threshold keeps the slow-query log to statements a human would
-// actually call slow at interactive scale.
+// actually call slow at interactive scale. Tracing retains every trace
+// (sample rate 1) because an interactive shell issues statements at
+// human rates — :profile and :trace always have the last one.
 var shellTelemetry = poseidon.TelemetryConfig{
 	Enabled:            true,
 	SlowQueryThreshold: 50 * time.Millisecond,
 	SlowQueryLogSize:   32,
+	Trace:              poseidon.TraceConfig{Enabled: true, SampleRate: 1},
 }
 
 // printMetrics pretty-prints the DB.Metrics() snapshot and the most
@@ -208,10 +214,14 @@ func printMetrics(db *poseidon.DB) error {
 			fmt.Printf("  ... %d more\n", len(slow)-5)
 			break
 		}
-		fmt.Printf("  [%s] %v total (compile %v, exec %v) rows=%d mode=%s  %s\n",
+		link := ""
+		if q.TraceID != "" {
+			link = "  trace=" + q.TraceID
+		}
+		fmt.Printf("  [%s] %v total (compile %v, exec %v) rows=%d mode=%s  %s%s\n",
 			q.Start.Format("15:04:05"), q.Total.Round(time.Microsecond),
 			q.Compile.Round(time.Microsecond), q.Execute.Round(time.Microsecond),
-			q.Rows, q.Mode, q.Query)
+			q.Rows, q.Mode, q.Query, link)
 	}
 	return nil
 }
@@ -260,6 +270,8 @@ func run(sh *shell, cmd string, args []string, indexed map[[2]string]bool) error
 		fmt.Println("cypher <statement>   e.g. cypher MATCH (p:Person) RETURN p.name LIMIT 5")
 		fmt.Println("explain <statement>  show plan signature, JIT and parallelism info")
 		fmt.Println(":metrics             engine telemetry snapshot and recent slow queries")
+		fmt.Println(":profile             stage-by-stage breakdown of the last statement")
+		fmt.Println(":trace [id]          list retained traces, or export one as Chrome JSON")
 		return nil
 	case "quit", "exit":
 		return errQuit
@@ -447,6 +459,51 @@ func run(sh *shell, cmd string, args []string, indexed map[[2]string]bool) error
 
 	case "metrics":
 		return printMetrics(db)
+
+	case "profile":
+		out := sh.sess.LastProfile().Format()
+		if !strings.HasSuffix(out, "\n") {
+			out += "\n"
+		}
+		fmt.Print(out)
+		return nil
+
+	case "trace":
+		if len(args) == 1 {
+			id, err := trace.ParseID(args[0])
+			if err != nil {
+				return err
+			}
+			tr := db.Tracer().Trace(id)
+			if tr == nil {
+				return fmt.Errorf("trace %s not retained (evicted, or tracing disabled)", args[0])
+			}
+			buf, err := trace.ChromeJSON([]*trace.Trace{tr})
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(buf))
+			return nil
+		}
+		traces := db.Traces()
+		if len(traces) == 0 {
+			fmt.Println("no traces retained")
+			return nil
+		}
+		fmt.Printf("%-16s %10s %6s %-6s %s\n", "id", "total", "spans", "", "root / kinds")
+		for _, tr := range traces {
+			s := trace.Summarize(tr)
+			flag := ""
+			if s.Err != "" {
+				flag = "ERR"
+			} else if s.Pinned {
+				flag = "slow"
+			}
+			fmt.Printf("%-16s %9.3fms %6d %-6s %s [%s]\n",
+				s.ID, s.DurationMS, s.Spans, flag, s.Root, strings.Join(s.Kinds, " "))
+		}
+		fmt.Println("(':trace <id>' exports Chrome trace-event JSON for chrome://tracing)")
+		return nil
 
 	case "crash":
 		fmt.Println("simulating power failure...")

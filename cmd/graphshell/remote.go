@@ -2,12 +2,14 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
 	"poseidon/client"
+	"poseidon/internal/trace"
 )
 
 // remoteShell is graphshell's -connect mode: a REPL over the wire
@@ -21,9 +23,19 @@ import (
 //	begin/commit/rollback  explicit transaction control
 //	reset                discard server-side statement state
 //	info                 server name, version and default mode
+//	:profile             server-side stage breakdown of the last statement
+//	:trace [id]          server-retained traces / Chrome JSON export
 //	help / quit
+//
+// The shell always attaches a tracer so each statement mints a trace ID
+// that propagates to the server (v2 peers); :profile and :trace then
+// read the server's view of this connection's requests.
 func remoteShell(addr string) error {
-	conn, err := client.Dial(addr, client.Options{UserAgent: "graphshell"})
+	// Sample rate 0: the shell only mints and propagates IDs — the
+	// server retains the traces, so nothing needs to be kept locally.
+	tracer := trace.New(trace.Config{RingSize: 16, SampleRate: 0})
+	opts := client.Options{UserAgent: "graphshell", Tracer: tracer}
+	conn, err := client.Dial(addr, opts)
 	if err != nil {
 		return fmt.Errorf("connect %s: %w", addr, err)
 	}
@@ -49,7 +61,7 @@ func remoteShell(addr string) error {
 			fmt.Println("error:", err)
 			if conn.Broken() {
 				fmt.Println("connection lost; reconnecting...")
-				if conn, err = client.Dial(addr, client.Options{UserAgent: "graphshell"}); err != nil {
+				if conn, err = client.Dial(addr, opts); err != nil {
 					return fmt.Errorf("reconnect %s: %w", addr, err)
 				}
 			}
@@ -58,12 +70,17 @@ func remoteShell(addr string) error {
 }
 
 func remoteCommand(conn *client.Conn, line string) error {
-	word := strings.ToLower(strings.Fields(line)[0])
+	fields := strings.Fields(line)
+	// ":profile" and "profile" are the same command, matching the
+	// embedded shell's leading-colon convention.
+	word := strings.TrimPrefix(strings.ToLower(fields[0]), ":")
 	switch word {
 	case "help":
 		fmt.Println("cypher <statement>     e.g. cypher MATCH (p:Person) RETURN p.name LIMIT 5")
 		fmt.Println("ldbc:<name> [k=v ...]  built-in workload statement, e.g. ldbc:sr1 id=42")
 		fmt.Println("begin commit rollback  explicit transaction control")
+		fmt.Println(":profile               server-side stage breakdown of the last statement")
+		fmt.Println(":trace [id]            server-retained traces, or one as Chrome JSON")
 		fmt.Println("reset info quit")
 		return nil
 	case "quit", "exit":
@@ -91,6 +108,19 @@ func remoteCommand(conn *client.Conn, line string) error {
 	case "info":
 		fmt.Printf("%v\n", conn.ServerInfo())
 		return nil
+	case "profile":
+		meta, err := conn.Sys("profile")
+		if err != nil {
+			return err
+		}
+		out, _ := meta["profile"].(string)
+		if !strings.HasSuffix(out, "\n") {
+			out += "\n"
+		}
+		fmt.Print(out)
+		return nil
+	case "trace":
+		return remoteTrace(conn, fields[1:])
 	}
 
 	// Statement forms: "cypher <stmt>", "ldbc:<name> [k=v ...]", or a
@@ -107,8 +137,49 @@ func remoteCommand(conn *client.Conn, line string) error {
 	return remoteRun(conn, stmt, params)
 }
 
+// remoteTrace lists the server's retained traces (sys:traces), or with
+// an ID argument prints that trace's Chrome trace-event JSON.
+func remoteTrace(conn *client.Conn, args []string) error {
+	if len(args) == 1 {
+		meta, err := conn.Sys("trace:" + args[0])
+		if err != nil {
+			return err
+		}
+		out, _ := meta["trace"].(string)
+		fmt.Println(out)
+		return nil
+	}
+	meta, err := conn.Sys("traces")
+	if err != nil {
+		return err
+	}
+	raw, _ := meta["traces"].(string)
+	var sums []trace.Summary
+	if err := json.Unmarshal([]byte(raw), &sums); err != nil {
+		return fmt.Errorf("decode sys:traces: %w", err)
+	}
+	if len(sums) == 0 {
+		fmt.Println("no traces retained server-side")
+		return nil
+	}
+	fmt.Printf("%-16s %10s %6s %-6s %s\n", "id", "total", "spans", "", "root / kinds")
+	for _, s := range sums {
+		flag := ""
+		if s.Err != "" {
+			flag = "ERR"
+		} else if s.Pinned {
+			flag = "slow"
+		}
+		fmt.Printf("%-16s %9.3fms %6d %-6s %s [%s]\n",
+			s.ID, s.DurationMS, s.Spans, flag, s.Root, strings.Join(s.Kinds, " "))
+	}
+	fmt.Println("(':trace <id>' exports Chrome trace-event JSON for chrome://tracing)")
+	return nil
+}
+
 // remoteRun prepares the statement (the server reports whether it
-// updates), executes it, and prints rows or the committed summary.
+// updates), executes it, and prints rows or the committed summary with
+// the statement's trace ID (feed it to :trace <id>).
 func remoteRun(conn *client.Conn, stmt string, params map[string]any) error {
 	start := time.Now()
 	st, err := conn.Prepare(stmt)
@@ -120,7 +191,7 @@ func remoteRun(conn *client.Conn, stmt string, params map[string]any) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("(%d rows, committed, %v)\n", n, time.Since(start).Round(time.Microsecond))
+		fmt.Printf("(%d rows, committed, %v%s)\n", n, time.Since(start).Round(time.Microsecond), traceSuffix(conn))
 		return nil
 	}
 	rows, err := conn.Query(st, params)
@@ -130,6 +201,13 @@ func remoteRun(conn *client.Conn, stmt string, params map[string]any) error {
 	for _, r := range rows {
 		fmt.Println(r)
 	}
-	fmt.Printf("(%d rows, %v)\n", len(rows), time.Since(start).Round(time.Microsecond))
+	fmt.Printf("(%d rows, %v%s)\n", len(rows), time.Since(start).Round(time.Microsecond), traceSuffix(conn))
 	return nil
+}
+
+func traceSuffix(conn *client.Conn) string {
+	if id := conn.LastTraceID(); id != "" {
+		return ", trace " + id
+	}
+	return ""
 }

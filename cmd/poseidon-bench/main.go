@@ -7,7 +7,9 @@
 //	               [-json out.json] [-checkjson out.json]
 //
 // The extra "stream" figure compares materialized vs streamed result
-// delivery through the public session API (not part of the paper).
+// delivery through the public session API, and "traceoverhead" measures
+// the cost of request tracing against the nil-handle disabled path
+// (neither is part of the paper).
 //
 // -json writes a machine-readable result (schema poseidon-bench/v1):
 // the configuration, every regenerated figure with mean/p50/p95/min/max
@@ -40,7 +42,7 @@ func main() {
 	persons := flag.Int("persons", 500, "dataset scale (number of persons; SNB ratios derive the rest)")
 	runs := flag.Int("runs", 20, "measured repetitions per query (the paper uses 50)")
 	workers := flag.Int("workers", 0, "parallel/adaptive workers (0 = GOMAXPROCS)")
-	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, 10, ablations, stream, saturation or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, 10, ablations, stream, saturation, traceoverhead or all")
 	seed := flag.Int64("seed", 42, "dataset and parameter seed")
 	jsonPath := flag.String("json", "", "also write a machine-readable result to this path")
 	checkPath := flag.String("checkjson", "", "validate a previously written -json file and exit")
@@ -78,11 +80,12 @@ func main() {
 
 	figures := map[string]func() (*bench.Table, error){
 		"5": s.Fig5, "6": s.Fig6, "7": s.Fig7, "8": s.Fig8, "9": s.Fig9, "10": s.Fig10,
-		"ablations":  s.Ablations,
-		"stream":     func() (*bench.Table, error) { return streamFigure(*runs) },
-		"saturation": func() (*bench.Table, error) { return bench.Saturation(s.Opts) },
+		"ablations":     s.Ablations,
+		"stream":        func() (*bench.Table, error) { return streamFigure(*runs) },
+		"saturation":    func() (*bench.Table, error) { return bench.Saturation(s.Opts) },
+		"traceoverhead": func() (*bench.Table, error) { return traceFigure(*runs) },
 	}
-	order := []string{"5", "6", "7", "8", "9", "10", "ablations", "stream", "saturation"}
+	order := []string{"5", "6", "7", "8", "9", "10", "ablations", "stream", "saturation", "traceoverhead"}
 
 	var collected []*bench.Table
 	run := func(name string) {
@@ -205,6 +208,127 @@ func telemetryProbe() (*poseidon.Metrics, error) {
 	}
 	m := db.Metrics()
 	return &m, nil
+}
+
+// traceFigure measures request-tracing overhead through the public
+// session API. Three identically loaded DRAM databases run the same
+// prepared scan: tracing disabled (the production default — every
+// instrumented call site no-ops through a nil handle), enabled at the
+// default 0.1 tail-sampling rate, and enabled retaining every trace.
+// Rounds interleave across the variants so GC and scheduler noise
+// spread evenly instead of penalizing whichever runs last. The "off"
+// row is the baseline CI guards against: overhead_pct must stay ~0 for
+// off (by construction) and bounded for the enabled rows.
+func traceFigure(runs int) (*bench.Table, error) {
+	variants := []struct {
+		name string
+		cfg  poseidon.TraceConfig
+	}{
+		{"off", poseidon.TraceConfig{}},
+		{"sampled", poseidon.TraceConfig{Enabled: true, SampleRate: 0.1}},
+		{"full", poseidon.TraceConfig{Enabled: true, SampleRate: 1, RingSize: 256}},
+	}
+	const nodes = 2000
+	type instance struct {
+		db    *poseidon.DB
+		sess  *poseidon.Session
+		stmt  *poseidon.Stmt
+		total time.Duration
+		ops   int
+	}
+	insts := make([]*instance, len(variants))
+	for i, v := range variants {
+		db, err := poseidon.Open(poseidon.Config{
+			Mode:      poseidon.DRAM,
+			PoolSize:  256 << 20,
+			Telemetry: poseidon.TelemetryConfig{Enabled: true, Trace: v.cfg},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer db.Close()
+		tx := db.Begin()
+		for j := 0; j < nodes; j++ {
+			if _, err := tx.CreateNode("Person", map[string]any{"v": int64(j)}); err != nil {
+				return nil, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+		stmt, err := db.PreparePlan(&query.Plan{Root: &query.Project{
+			Input: &query.NodeScan{Label: "Person"},
+			Cols:  []query.Expr{&query.Prop{Col: 0, Key: "v"}},
+		}})
+		if err != nil {
+			return nil, err
+		}
+		sess := db.NewSession(poseidon.SessionConfig{})
+		defer sess.Close()
+		insts[i] = &instance{db: db, sess: sess, stmt: stmt}
+	}
+
+	ctx := context.Background()
+	once := func(in *instance) error {
+		rows, err := in.sess.Query(ctx, in.stmt, nil)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for rows.Next() {
+			_ = rows.Row()
+			n++
+		}
+		if err := rows.Close(); err != nil {
+			return err
+		}
+		if n != nodes {
+			return fmt.Errorf("scanned %d of %d rows", n, nodes)
+		}
+		return nil
+	}
+	// Scale rounds so the smoke config (-runs 2) still takes long enough
+	// to measure: each round is opsPerRound queries per variant.
+	const opsPerRound = 20
+	rounds := runs
+	if rounds < 2 {
+		rounds = 2
+	}
+	for r := 0; r < rounds; r++ {
+		for _, in := range insts {
+			t0 := time.Now()
+			for k := 0; k < opsPerRound; k++ {
+				if err := once(in); err != nil {
+					return nil, err
+				}
+			}
+			in.total += time.Since(t0)
+			in.ops += opsPerRound
+		}
+	}
+
+	t := &bench.Table{
+		Name:    fmt.Sprintf("request-tracing overhead (queries/s, %d-node scan via Session)", nodes),
+		Columns: []string{"queries/s", "overhead_pct"},
+		Notes: []string{
+			"off: tracing disabled — instrumented call sites no-op through a nil *trace.Tracer",
+			"sampled: tracing on, default 0.1 tail-sampling rate (production shape)",
+			"full: tracing on, every trace retained (sample rate 1)",
+			"overhead_pct is relative to the off row; rounds interleave across variants",
+		},
+	}
+	base := float64(insts[0].ops) / insts[0].total.Seconds()
+	for i, v := range variants {
+		qps := float64(insts[i].ops) / insts[i].total.Seconds()
+		t.Rows = append(t.Rows, bench.TableRow{
+			Query: v.name,
+			Cells: map[string]float64{
+				"queries/s":    qps,
+				"overhead_pct": 100 * (base - qps) / base,
+			},
+		})
+	}
+	return t, nil
 }
 
 // streamFigure compares materialized ([][]any via DB.Query) against

@@ -8,7 +8,13 @@
 //	poseidon-load -addr host:7687 [-clients 1000] [-duration 15s]
 //	              [-mix sr=80,iu=20] [-think 0] [-persons 1000] [-seed 42]
 //	              [-mode default] [-warmup 2s] [-reconnect] [-strict]
-//	              [-json BENCH_PR7.json]
+//	              [-trace] [-json BENCH_PR7.json]
+//
+// With -trace every request carries a propagated trace ID; the report
+// lists the top-5 slowest ops per class with their IDs (look them up at
+// the server's /debug/traces or via "sys:trace:<id>") and verifies the
+// server can still export them, counting trace_export_failures in the
+// error taxonomy.
 //
 // Closed loop by default: each client issues its next request as soon
 // as the previous one completes; -think inserts an exponentially
@@ -47,6 +53,7 @@ import (
 	"poseidon/client"
 	"poseidon/internal/ldbc"
 	"poseidon/internal/query"
+	"poseidon/internal/trace"
 	"poseidon/internal/wire"
 )
 
@@ -62,7 +69,35 @@ type cfg struct {
 	mode      string
 	reconnect bool
 	strict    bool
+	traceOn   bool
 	jsonPath  string
+}
+
+// slowOp is one of the slowest requests of a class: its latency, the
+// statement it ran, and (with -trace) the trace ID the server retains
+// it under — the handle into /debug/traces or "sys:trace:<id>".
+type slowOp struct {
+	LatMs   float64 `json:"lat_ms"`
+	Stmt    string  `json:"stmt"`
+	TraceID string  `json:"trace_id,omitempty"`
+}
+
+// slowTop is how many slowest ops are kept per class.
+const slowTop = 5
+
+// addSlow inserts op into the descending-by-latency top-k list.
+func addSlow(list []slowOp, op slowOp) []slowOp {
+	i := sort.Search(len(list), func(i int) bool { return list[i].LatMs < op.LatMs })
+	if i >= slowTop {
+		return list
+	}
+	list = append(list, slowOp{})
+	copy(list[i+1:], list[i:])
+	list[i] = op
+	if len(list) > slowTop {
+		list = list[:slowTop]
+	}
+	return list
 }
 
 // counters aggregates one client's outcomes; merged after the run.
@@ -76,6 +111,7 @@ type counters struct {
 	reconnects uint64
 	protocol   uint64
 	lat        [2][]float64 // seconds, by class
+	slow       [2][]slowOp  // top slowTop by class, descending
 }
 
 const (
@@ -143,6 +179,7 @@ func main() {
 	flag.StringVar(&c.mode, "mode", "default", "execution mode pin: default, interpret, parallel, jit, adaptive")
 	flag.BoolVar(&c.reconnect, "reconnect", false, "redial on connection loss (survives a server drain/restart)")
 	flag.BoolVar(&c.strict, "strict", false, "exit 1 on any protocol error")
+	flag.BoolVar(&c.traceOn, "trace", false, "propagate trace IDs and report the slowest ops per class with theirs")
 	flag.StringVar(&c.jsonPath, "json", "", "write the machine-readable result here")
 	flag.Parse()
 
@@ -166,6 +203,12 @@ func main() {
 	opts := client.Options{UserAgent: "poseidon-load"}
 	if mb != wire.ModeDefault {
 		opts.Mode = &mb
+	}
+	if c.traceOn {
+		// One tracer shared by every simulated client: the harness only
+		// needs it to mint and propagate IDs, so the local ring is tiny
+		// and the sample rate irrelevant to what the server retains.
+		opts.Tracer = trace.New(trace.Config{RingSize: 16, SampleRate: 0})
 	}
 
 	fmt.Printf("poseidon-load: addr=%s clients=%d duration=%v mix=sr:%d/iu:%d think=%v persons=%d\n",
@@ -192,7 +235,41 @@ func main() {
 	close(stop)
 	wg.Wait()
 
-	report(&c, results, elapsed)
+	report(&c, opts, results, elapsed)
+}
+
+// verifyTraceExports asks the server for each slow op's trace via
+// "sys:trace:<id>" on a fresh connection. Traces the server no longer
+// retains — or a failed export request — count as export failures.
+func verifyTraceExports(c *cfg, opts client.Options, slow [2][]slowOp) uint64 {
+	var ids []string
+	for cl := 0; cl < 2; cl++ {
+		for _, s := range slow[cl] {
+			if s.TraceID != "" {
+				ids = append(ids, s.TraceID)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return 0
+	}
+	conn, err := client.Dial(c.addr, opts)
+	if err != nil {
+		return uint64(len(ids))
+	}
+	defer conn.Close()
+	var failed uint64
+	for _, id := range ids {
+		meta, err := conn.Sys("trace:" + id)
+		if err != nil {
+			failed++
+			continue
+		}
+		if s, _ := meta["trace"].(string); s == "" {
+			failed++
+		}
+	}
+	return failed
 }
 
 // runClient is one simulated client: dial, then issue requests until
@@ -259,6 +336,9 @@ func runClient(c *cfg, id int, ds *ldbc.Dataset, srQ, iuQ []ldbc.QueryID,
 			if record {
 				out.ops[class]++
 				out.lat[class] = append(out.lat[class], lat.Seconds())
+				out.slow[class] = addSlow(out.slow[class], slowOp{
+					LatMs: lat.Seconds() * 1e3, Stmt: stmt, TraceID: conn.LastTraceID(),
+				})
 			}
 		case client.IsCode(err, wire.CodeConflict):
 			if record {
@@ -367,6 +447,16 @@ type result struct {
 	TransportErrs  uint64 `json:"transport_errors"`
 	Reconnects     uint64 `json:"reconnects"`
 	ProtocolErrors uint64 `json:"protocol_errors"`
+	// TraceExportFailures counts traced slow ops whose server-side trace
+	// could not be exported afterwards (evicted, sampled out, or the
+	// export request itself failed). Part of the error taxonomy so a
+	// traced run that loses its evidence is visibly degraded, but not a
+	// protocol error: eviction under pressure is by design.
+	TraceExportFailures uint64 `json:"trace_export_failures"`
+
+	// Slowest lists the slowTop slowest successful ops per class with
+	// their trace IDs (with -trace), newest-run data only.
+	Slowest map[string][]slowOp `json:"slowest,omitempty"`
 }
 
 func percentile(sorted []float64, p float64) float64 {
@@ -383,7 +473,7 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
-func report(c *cfg, results []counters, elapsed time.Duration) {
+func report(c *cfg, opts client.Options, results []counters, elapsed time.Duration) {
 	var total counters
 	lat := [2][]float64{}
 	for i := range results {
@@ -391,6 +481,9 @@ func report(c *cfg, results []counters, elapsed time.Duration) {
 		for cl := 0; cl < 2; cl++ {
 			total.ops[cl] += r.ops[cl]
 			lat[cl] = append(lat[cl], r.lat[cl]...)
+			for _, s := range r.slow[cl] {
+				total.slow[cl] = addSlow(total.slow[cl], s)
+			}
 		}
 		total.conflicts += r.conflicts
 		total.shed += r.shed
@@ -437,15 +530,38 @@ func report(c *cfg, results []counters, elapsed time.Duration) {
 		out.Classes[classNames[cl]] = st
 	}
 
+	// With -trace, check the slowest ops' traces are still exportable
+	// from the server; every one that is not counts as an export failure.
+	out.Slowest = map[string][]slowOp{}
+	for cl := 0; cl < 2; cl++ {
+		if len(total.slow[cl]) > 0 {
+			out.Slowest[classNames[cl]] = total.slow[cl]
+		}
+	}
+	if c.traceOn {
+		out.TraceExportFailures = verifyTraceExports(c, opts, total.slow)
+	}
+
 	fmt.Printf("\n%-6s %10s %10s %9s %9s %9s %9s\n", "class", "ops", "ops/s", "p50 ms", "p95 ms", "p99 ms", "mean ms")
 	for _, name := range classNames {
 		st := out.Classes[name]
 		fmt.Printf("%-6s %10d %10.0f %9.2f %9.2f %9.2f %9.2f\n",
 			name, st.Ops, st.Throughput, st.P50Ms, st.P95Ms, st.P99Ms, st.MeanMs)
 	}
-	fmt.Printf("total  %10d %10.0f  conflicts=%d queue_full=%d draining=%d server_errs=%d transport=%d reconnects=%d protocol=%d\n",
+	fmt.Printf("total  %10d %10.0f  conflicts=%d queue_full=%d draining=%d server_errs=%d transport=%d reconnects=%d protocol=%d trace_export_failures=%d\n",
 		out.Ops, out.Throughput, out.Conflicts, out.QueueFull, out.Draining,
-		out.ServerErrors, out.TransportErrs, out.Reconnects, out.ProtocolErrors)
+		out.ServerErrors, out.TransportErrs, out.Reconnects, out.ProtocolErrors,
+		out.TraceExportFailures)
+	for cl := 0; cl < 2; cl++ {
+		for i, s := range total.slow[cl] {
+			id := s.TraceID
+			if id == "" {
+				id = "-"
+			}
+			fmt.Printf("slowest %s #%d: %8.2f ms  %-16s trace=%s\n",
+				classNames[cl], i+1, s.LatMs, s.Stmt, id)
+		}
+	}
 
 	if c.jsonPath != "" {
 		data, err := json.MarshalIndent(&out, "", "  ")

@@ -7,6 +7,7 @@
 //	          [-dram] [-shards N] [-persons N] [-seed S]
 //	          [-max-inflight N] [-max-queue N] [-queue-timeout D]
 //	          [-stmt-timeout D] [-drain-timeout D] [-session-max-txs N]
+//	          [-trace] [-trace-sample P] [-trace-ring N] [-trace-slow D]
 //
 // With -persons > 0 the server preloads an LDBC-style SNB dataset (and
 // its workload indexes) before listening, so remote load harnesses can
@@ -69,6 +70,10 @@ func main() {
 	stmtTimeout := flag.Duration("stmt-timeout", 30*time.Second, "per-statement deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
 	sessionMaxTxs := flag.Int("session-max-txs", 8, "live transactions per connection before SESSION_LIMIT")
+	traceOn := flag.Bool("trace", false, "enable request tracing (spans wire→commit; export at /debug/traces)")
+	traceSample := flag.Float64("trace-sample", 0.1, "tail-sampling keep probability for unremarkable traces")
+	traceRing := flag.Int("trace-ring", 0, "retained-trace ring size (0 = default 256)")
+	traceSlow := flag.Duration("trace-slow", 0, "pin traces at least this slow (0 = slow-query threshold)")
 	flag.Parse()
 
 	execMode, err := parseMode(*mode)
@@ -81,11 +86,19 @@ func main() {
 		dbMode = poseidon.DRAM
 	}
 	db, err := poseidon.Open(poseidon.Config{
-		Mode:      dbMode,
-		PoolSize:  *poolMB << 20,
-		Workers:   *workers,
-		Shards:    *shards,
-		Telemetry: poseidon.TelemetryConfig{Enabled: true},
+		Mode:     dbMode,
+		PoolSize: *poolMB << 20,
+		Workers:  *workers,
+		Shards:   *shards,
+		Telemetry: poseidon.TelemetryConfig{
+			Enabled: true,
+			Trace: poseidon.TraceConfig{
+				Enabled:       *traceOn,
+				RingSize:      *traceRing,
+				SampleRate:    *traceSample,
+				SlowThreshold: *traceSlow,
+			},
+		},
 	})
 	if err != nil {
 		log.Fatalf("poseidond: open: %v", err)

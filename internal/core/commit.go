@@ -6,8 +6,10 @@ import (
 	"sort"
 	"time"
 
+	"poseidon/internal/pmem"
 	"poseidon/internal/pmemobj"
 	"poseidon/internal/storage"
+	"poseidon/internal/trace"
 )
 
 // --- shard lock ordering ---
@@ -21,8 +23,9 @@ import (
 
 // lockShards acquires the commit locks of the given shards, which must be
 // sorted in ascending order. Contention is charged to each shard's
-// lock-wait gauge.
-func (e *Engine) lockShards(order []int) {
+// lock-wait gauge and, when a commit span is supplied, attributed to the
+// individual shard on the span (sp may be nil).
+func (e *Engine) lockShards(order []int, sp *trace.Span) {
 	for _, s := range order {
 		sh := &e.shards[s]
 		// TryLock first: the uncontended fast path pays no clock reads,
@@ -37,6 +40,9 @@ func (e *Engine) lockShards(order []int) {
 		sh.commitMu.Lock()
 		if w := time.Since(start); w > 0 {
 			sh.lockWaitNs.Add(uint64(w.Nanoseconds()))
+			if sp != nil {
+				sp.SetAttr(fmt.Sprintf("lock_wait_shard%d_ns", s), w.Nanoseconds())
+			}
 		}
 	}
 }
@@ -51,7 +57,7 @@ func (e *Engine) unlockShards(order []int) {
 // lockAllShards takes every shard commit lock (ascending); used by
 // physical GC, whose adjacency rewrites touch records in arbitrary
 // shards, and by online index creation's quiesce step.
-func (e *Engine) lockAllShards()   { e.lockShards(e.allShards) }
+func (e *Engine) lockAllShards()   { e.lockShards(e.allShards, nil) }
 func (e *Engine) unlockAllShards() { e.unlockShards(e.allShards) }
 
 // commitShards returns the sorted set of shards whose commit locks this
@@ -154,7 +160,16 @@ func (tx *Tx) Commit() error {
 	}
 	e := tx.e
 	shardOrder := tx.commitShards()
-	e.lockShards(shardOrder)
+	// Request tracing: Session.Exec (and the server's explicit COMMIT
+	// path) attach their span to the transaction's context; with tracing
+	// off the handles are nil and every span call below no-ops.
+	cspan := trace.FromContext(tx.Context()).Child("core.commit", trace.KindCommit)
+	cspan.SetAttr("shards", int64(len(shardOrder)))
+	cspan.SetAttr("writes", int64(len(tx.order)))
+	if len(shardOrder) > 1 {
+		cspan.SetAttr("cross_shard", true)
+	}
+	e.lockShards(shardOrder, cspan)
 	locked := true
 	defer func() {
 		if locked {
@@ -194,6 +209,12 @@ func (tx *Tx) Commit() error {
 	// runs out of property-record slots rolls the lane back; capacity is
 	// reserved outside every commit lock (chunk appends mutate global
 	// allocator state) and the persist retried.
+	var psp *trace.Span
+	var preDev pmem.StatsSnapshot
+	if cspan != nil {
+		psp = cspan.Child("pmem.persist", trace.KindPMem)
+		preDev = e.dev.Stats.Snapshot()
+	}
 	var err error
 	for {
 		err = e.pool.RunTxLane(lane, func(ptx *pmemobj.Tx) error {
@@ -220,7 +241,8 @@ func (tx *Tx) Commit() error {
 			err = rerr
 			break
 		}
-		e.lockShards(shardOrder)
+		psp.SetAttr("shard_full_retries", int64(1))
+		e.lockShards(shardOrder, cspan)
 		locked = true
 	}
 	if err != nil {
@@ -238,7 +260,12 @@ func (tx *Tx) Commit() error {
 		}
 		tx.setAbortReason(AbortCommitFailed)
 		_ = tx.abortLocked()
-		return fmt.Errorf("core: commit failed: %w", err)
+		err = fmt.Errorf("core: commit failed: %w", err)
+		psp.SetError(err)
+		psp.End()
+		cspan.SetError(err)
+		cspan.End()
+		return err
 	}
 
 	// Step 3: release the write locks. The commit point has passed; these
@@ -250,6 +277,16 @@ func (tx *Tx) Commit() error {
 		e.dev.Flush(off, 8)
 	}
 	e.dev.Drain()
+	if psp != nil {
+		// The device delta over-attributes under concurrency (commits on
+		// other shards share the device); it is a locality signal, not an
+		// exact charge.
+		d := e.dev.Stats.Snapshot().Sub(preDev)
+		psp.SetAttr("line_flushes", int64(d.LineFlushes))
+		psp.SetAttr("block_writes", int64(d.BlockWrites))
+		psp.SetAttr("drains", int64(d.Drains))
+		psp.End()
+	}
 
 	// The dirty versions are now redundant: the PMem records carry the
 	// committed state. Deleted objects keep a committed tombstone version
@@ -273,6 +310,7 @@ func (tx *Tx) Commit() error {
 	locked = false
 	e.tel.TxCommits.Inc()
 	tx.finish()
+	cspan.End()
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"poseidon/internal/core"
 	"poseidon/internal/query"
+	"poseidon/internal/trace"
 )
 
 // Engine is the JIT query engine wrapping a graph engine: it compiles
@@ -83,11 +84,25 @@ func (j *Engine) CompileCtx(ctx context.Context, plan *query.Plan) (*Compiled, e
 		//poseidonlint:ignore ctx-threading nil-ctx compatibility guard for legacy callers
 		ctx = context.Background()
 	}
+	ctx, sp := trace.StartSpan(ctx, "jit.compile", trace.KindJIT)
+	c, err := j.compileCtx(ctx, plan)
+	if c != nil {
+		sp.SetAttr("from_cache", c.FromCache)
+		sp.SetAttr("compile_ns", int64(c.CompileTime))
+	}
+	sp.SetError(err)
+	sp.End()
+	return c, err
+}
+
+// compileCtx is CompileCtx without the tracing envelope.
+func (j *Engine) compileCtx(ctx context.Context, plan *query.Plan) (*Compiled, error) {
 	sig := plan.Signature()
 	j.mu.Lock()
 	if c, ok := j.mem[sig]; ok {
 		j.mu.Unlock()
 		j.tel.MemHits.Inc()
+		trace.FromContext(ctx).SetAttr("source", "mem")
 		return c, nil
 	}
 	j.mu.Unlock()
@@ -113,6 +128,7 @@ func (j *Engine) CompileCtx(ctx context.Context, plan *query.Plan) (*Compiled, e
 				}
 				j.remember(c)
 				j.tel.PersistHits.Inc()
+				trace.FromContext(ctx).SetAttr("source", "pmem")
 				return c, nil
 			}
 		}
@@ -153,6 +169,7 @@ func (j *Engine) CompileCtx(ctx context.Context, plan *query.Plan) (*Compiled, e
 	j.remember(c)
 	j.tel.Compiles.Inc()
 	j.tel.CompileTime.ObserveDuration(c.CompileTime)
+	trace.FromContext(ctx).SetAttr("source", "compile")
 	return c, nil
 }
 
@@ -246,9 +263,13 @@ func (j *Engine) RunCtx(cctx context.Context, tx *core.Tx, plan *query.Plan, par
 	defer tx.WithContext(prev)
 	ctx := &query.Ctx{E: j.core, Tx: tx, Params: bound, Context: cctx}
 
+	_, esp := trace.StartSpan(cctx, "jit.exec", trace.KindJIT)
+	esp.SetAttr("from_cache", c.FromCache)
 	start := time.Now()
 	err = j.runCompiled(c, ctx, emit)
 	st.ExecTime = time.Since(start)
+	esp.SetError(err)
+	esp.End()
 	return st, err
 }
 
@@ -304,6 +325,11 @@ func (j *Engine) RunAdaptiveCtx(cctx context.Context, tx *core.Tx, plan *query.P
 	}
 	prev := tx.WithContext(cctx)
 	defer tx.WithContext(prev)
+	// The adaptive span parents the background jit.compile span (it
+	// compiles under cctx), so a trace shows exactly when the tier switch
+	// became possible.
+	cctx, asp := trace.StartSpan(cctx, "jit.adaptive", trace.KindJIT)
+	asp.SetAttr("workers", int64(workers))
 	ctx := &query.Ctx{E: j.core, Tx: tx, Params: bound, Context: cctx}
 
 	var nchunks uint64
@@ -423,21 +449,31 @@ func (j *Engine) RunAdaptiveCtx(cctx context.Context, tx *core.Tx, plan *query.P
 	st.Adaptive.CompiledMorsels = int(compiledMorsels.Load())
 	j.tel.MorselsInterpreted.Add(uint64(st.Adaptive.InterpretedMorsels))
 	j.tel.MorselsCompiled.Add(uint64(st.Adaptive.CompiledMorsels))
+	asp.SetAttr("morsels_interpreted", int64(st.Adaptive.InterpretedMorsels))
+	asp.SetAttr("morsels_compiled", int64(st.Adaptive.CompiledMorsels))
 	if st.Adaptive.InterpretedMorsels > 0 && st.Adaptive.CompiledMorsels > 0 {
 		j.tel.Switchovers.Inc()
+		asp.SetAttr("switchover", true)
 	}
 
 	if err := cctx.Err(); err != nil {
+		asp.SetError(err)
+		asp.End()
 		return st, err
 	}
 	if err := firstErr.Err(); err != nil {
+		asp.SetError(err)
+		asp.End()
 		return st, err
 	}
 	if !streaming {
 		if err := mp.RunTail(ctx, collected, emit); err != nil {
+			asp.SetError(err)
+			asp.End()
 			return st, err
 		}
 	}
 	st.ExecTime = time.Since(start)
+	asp.End()
 	return st, nil
 }

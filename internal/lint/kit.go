@@ -49,6 +49,7 @@ type Kit struct {
 	pmemPath  string
 	pmobjPath string
 	telePath  string
+	tracePath string
 	facts     map[*types.Func]*funcFacts
 	lineIgn   map[string]map[int]map[string]bool
 }
@@ -59,6 +60,7 @@ func newKit(m *Module) *Kit {
 		pmemPath:  m.Path + "/internal/pmem",
 		pmobjPath: m.Path + "/internal/pmemobj",
 		telePath:  m.Path + "/internal/telemetry",
+		tracePath: m.Path + "/internal/trace",
 		facts:     map[*types.Func]*funcFacts{},
 		lineIgn:   map[string]map[int]map[string]bool{},
 	}

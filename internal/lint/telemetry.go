@@ -12,17 +12,24 @@ var telemetryHandles = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true, "SlowQueryLog": true,
 }
 
-// telemetry-nil-safety: internal/telemetry handles are nil when
-// telemetry is disabled, and every method is nil-safe. Dereferencing a
-// handle or holding one by value defeats that (panics on the disabled
-// path, copies the atomics/mutex) — flag both outside the telemetry
-// package itself.
+// trace handle types follow the same contract: a nil *trace.Tracer or
+// *trace.Span is the "tracing disabled" path, and every method no-ops
+// on nil.
+var traceHandles = map[string]bool{
+	"Tracer": true, "Span": true,
+}
+
+// telemetry-nil-safety: internal/telemetry and internal/trace handles
+// are nil when the subsystem is disabled, and every method is nil-safe.
+// Dereferencing a handle or holding one by value defeats that (panics
+// on the disabled path, copies the atomics/mutex) — flag both outside
+// the owning packages themselves.
 var passTelemetryNilSafety = &Pass{
 	Name:    "telemetry-nil-safety",
-	Doc:     "telemetry handles must stay pointers and be used via their nil-safe methods",
+	Doc:     "telemetry and trace handles must stay pointers and be used via their nil-safe methods",
 	Default: true,
 	Run: func(c *Context) {
-		if c.Pkg.Path == c.Kit.telePath {
+		if c.Pkg.Path == c.Kit.telePath || c.Pkg.Path == c.Kit.tracePath {
 			return
 		}
 		for _, fi := range c.Kit.Funcs(c.Pkg) {
@@ -35,15 +42,24 @@ var passTelemetryNilSafety = &Pass{
 	},
 }
 
-func (k *Kit) teleHandle(t types.Type) (string, bool) {
+// nilSafeHandle reports whether t is one of the nil-when-disabled
+// handle types, returning its package-qualified name.
+func (k *Kit) nilSafeHandle(t types.Type) (string, bool) {
 	n, ok := t.(*types.Named)
 	if !ok || n.Obj().Pkg() == nil {
 		return "", false
 	}
-	if n.Obj().Pkg().Path() != k.telePath || !telemetryHandles[n.Obj().Name()] {
-		return "", false
+	switch n.Obj().Pkg().Path() {
+	case k.telePath:
+		if telemetryHandles[n.Obj().Name()] {
+			return "telemetry." + n.Obj().Name(), true
+		}
+	case k.tracePath:
+		if traceHandles[n.Obj().Name()] {
+			return "trace." + n.Obj().Name(), true
+		}
 	}
-	return n.Obj().Name(), true
+	return "", false
 }
 
 func checkTelemetryUse(c *Context, fi FuncInfo) {
@@ -62,14 +78,14 @@ func checkTelemetryUse(c *Context, fi FuncInfo) {
 				return true
 			}
 			if ptr, ok := tv.Type.(*types.Pointer); ok {
-				if name, hit := c.Kit.teleHandle(ptr.Elem()); hit {
-					c.Reportf(n.Pos(), "dereferencing *telemetry.%s panics when telemetry is disabled (nil handle) and copies its atomics; call the nil-safe methods instead", name)
+				if name, hit := c.Kit.nilSafeHandle(ptr.Elem()); hit {
+					c.Reportf(n.Pos(), "dereferencing *%s panics when the subsystem is disabled (nil handle) and copies its internals; call the nil-safe methods instead", name)
 				}
 			}
 		case *ast.CompositeLit:
 			if tv, ok := info.Types[n]; ok {
-				if name, hit := c.Kit.teleHandle(tv.Type); hit {
-					c.Reportf(n.Pos(), "telemetry.%s composite literal bypasses the Registry and creates a by-value handle; use telemetry.Registry constructors", name)
+				if name, hit := c.Kit.nilSafeHandle(tv.Type); hit {
+					c.Reportf(n.Pos(), "%s composite literal bypasses its constructor and creates a by-value handle; use the package constructors", name)
 				}
 			}
 		}
@@ -78,8 +94,8 @@ func checkTelemetryUse(c *Context, fi FuncInfo) {
 }
 
 // checkTelemetryDecls flags by-value handle types in declarations:
-// struct fields, vars, params, and results typed telemetry.X instead
-// of *telemetry.X.
+// struct fields, vars, params, and results typed telemetry.X or
+// trace.X instead of the pointer form.
 func checkTelemetryDecls(c *Context) {
 	report := func(typeExpr ast.Expr) {
 		if typeExpr == nil {
@@ -94,8 +110,8 @@ func checkTelemetryDecls(c *Context) {
 		if !ok {
 			return
 		}
-		if name, hit := c.Kit.teleHandle(tv.Type); hit {
-			c.Reportf(typeExpr.Pos(), "telemetry.%s held by value breaks the nil-when-disabled pattern and copies atomics; declare it *telemetry.%s", name, name)
+		if name, hit := c.Kit.nilSafeHandle(tv.Type); hit {
+			c.Reportf(typeExpr.Pos(), "%s held by value breaks the nil-when-disabled pattern and copies its internals; declare it *%s", name, name)
 		}
 	}
 	for _, f := range c.Pkg.Files {

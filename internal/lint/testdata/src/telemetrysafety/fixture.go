@@ -1,9 +1,12 @@
-// Golden fixture for the telemetry-nil-safety pass: handles are nil
-// when telemetry is disabled, so they must stay pointers and be used
-// through their nil-safe methods.
+// Golden fixture for the telemetry-nil-safety pass: telemetry and
+// trace handles are nil when their subsystem is disabled, so they must
+// stay pointers and be used through their nil-safe methods.
 package fixture
 
-import "poseidon/internal/telemetry"
+import (
+	"poseidon/internal/telemetry"
+	"poseidon/internal/trace"
+)
 
 type badHolder struct {
 	c telemetry.Counter // want telemetry-nil-safety
@@ -31,4 +34,25 @@ func goodUse(g goodHolder) {
 //poseidonlint:ignore telemetry-nil-safety fixture for the annotated-exception path
 func annotatedDeref(c *telemetry.Counter) {
 	_ = *c
+}
+
+type badTraceHolder struct {
+	sp trace.Span   // want telemetry-nil-safety
+	tr trace.Tracer // want telemetry-nil-safety
+}
+
+func badTracerDeref(t *trace.Tracer) {
+	_ = *t // want telemetry-nil-safety
+}
+
+func badSpanLiteral() {
+	sp := trace.Span{} // want telemetry-nil-safety
+	_ = sp
+}
+
+func goodTraceUse(t *trace.Tracer, sp *trace.Span) {
+	child := sp.Child("stage", trace.KindExec) // nil-safe when tracing is off
+	child.SetAttr("rows", int64(1))
+	child.End()
+	_ = t.Trace(0)
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"poseidon/internal/core"
+	"poseidon/internal/trace"
 )
 
 // Morsel-driven parallelism (§6.1): scans are split into chunk-granular
@@ -459,6 +460,11 @@ func (pr *Prepared) RunParallelCtx(cctx context.Context, tx *core.Tx, params Par
 		return true, nil
 	}
 
+	// With tracing on, each worker gets its own span under the caller's
+	// query.parallel span, carrying the number of morsels it claimed —
+	// the skew between workers is the load-balance signal. parent is nil
+	// with tracing off and every span call no-ops.
+	parent := trace.FromContext(cctx)
 	var next atomic.Uint64
 	var firstErr FirstError
 	var wg sync.WaitGroup
@@ -466,9 +472,17 @@ func (pr *Prepared) RunParallelCtx(cctx context.Context, tx *core.Tx, params Par
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wsp := parent.Child("query.worker", trace.KindExec)
+			wsp.SetAttr("worker", int64(w))
+			var morsels int64
+			defer func() {
+				wsp.SetAttr("morsels", morsels)
+				wsp.End()
+			}()
 			var chunk uint64
 			run, err := mp.PipelineRunner(ctx, &chunk, collect)
 			if err != nil {
+				wsp.SetError(err)
 				firstErr.Set(err)
 				return
 			}
@@ -484,7 +498,9 @@ func (pr *Prepared) RunParallelCtx(cctx context.Context, tx *core.Tx, params Par
 					return
 				}
 				chunk = c
+				morsels++
 				if err := run(); err != nil {
+					wsp.SetError(err)
 					firstErr.Set(err)
 					return
 				}

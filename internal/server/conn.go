@@ -3,12 +3,16 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"poseidon"
 	"poseidon/internal/query"
+	"poseidon/internal/trace"
 	"poseidon/internal/wire"
 )
 
@@ -49,6 +53,15 @@ type conn struct {
 	stmts    map[uint32]*poseidon.Stmt
 	nextStmt uint32
 	helloed  bool
+
+	// version is the wire version the handshake negotiated.
+	version uint32
+	// wireSpan is the server.run root span of the currently streaming
+	// result; it ends (sealing the trace) when the result closes.
+	wireSpan *trace.Span
+	// lastTrace is the most recent finished trace rooted by this
+	// connection — the backing store for the sys:profile statement.
+	lastTrace atomic.Pointer[trace.Trace]
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -163,7 +176,29 @@ func (c *conn) handshake() error {
 	if v == 0 {
 		return wire.ErrVersionMismatch
 	}
+	c.version = v
 	return nil
+}
+
+// startRun roots the wire-level span for one RUN. A v2 client that
+// propagated its trace context continues that trace (the client span
+// becomes the remote parent); otherwise a fresh trace is rooted here.
+// Returns ctx unchanged and a nil span when tracing is disabled.
+func (c *conn) startRun(r *wire.Run) (context.Context, *trace.Span) {
+	tracer := c.srv.db.Tracer()
+	if tracer == nil {
+		return c.ctx, nil
+	}
+	var sc trace.SpanContext
+	if r.Trace != nil {
+		sc = trace.SpanContext{TraceID: r.Trace.TraceID, SpanID: r.Trace.SpanID}
+	}
+	ctx := trace.WithFinishSink(c.ctx, func(tr *trace.Trace) { c.lastTrace.Store(tr) })
+	ctx, sp := tracer.StartRemote(ctx, sc, "server.run", trace.KindWire)
+	if sc.Valid() {
+		sp.SetAttr("remote", true)
+	}
+	return ctx, sp
 }
 
 // handle dispatches one request; false means close the connection.
@@ -227,10 +262,20 @@ func (c *conn) handleHello(h *wire.Hello) bool {
 		c.defMode = poseidon.ExecMode(h.Mode)
 	}
 	c.helloed = true
+	// A traced HELLO records the connection setup as a (tiny) trace of
+	// its own — tail sampling keeps it only if it was slow or errored.
+	if tracer := c.srv.db.Tracer(); tracer != nil && h.Trace != nil {
+		_, sp := tracer.StartRemote(c.ctx,
+			trace.SpanContext{TraceID: h.Trace.TraceID, SpanID: h.Trace.SpanID},
+			"server.hello", trace.KindWire)
+		sp.SetAttr("user_agent", h.UserAgent)
+		sp.End()
+	}
 	return c.reply(&wire.Success{Meta: map[string]any{
-		"server":  "poseidond",
-		"version": c.srv.cfg.Version,
-		"mode":    c.defMode.String(),
+		"server":   "poseidond",
+		"version":  c.srv.cfg.Version,
+		"mode":     c.defMode.String(),
+		"protocol": int64(c.version),
 	}})
 }
 
@@ -267,6 +312,11 @@ func (c *conn) handleRun(r *wire.Run) bool {
 		return c.reply(&wire.Error{Code: wire.CodeProtocol,
 			Message: "a result is still streaming; PULL or DISCARD it first"})
 	}
+	// Introspection statements bypass prepare and admission: they read
+	// volatile telemetry, not the graph.
+	if r.StmtID == 0 && strings.HasPrefix(r.Text, "sys:") {
+		return c.handleSys(r.Text)
+	}
 	var stmt *poseidon.Stmt
 	if r.StmtID != 0 {
 		stmt = c.stmts[r.StmtID]
@@ -284,8 +334,21 @@ func (c *conn) handleRun(r *wire.Run) bool {
 	if err != nil {
 		return c.reply(&wire.Error{Code: wire.CodeProtocol, Message: err.Error()})
 	}
-	if err := c.srv.admit(c.ctx); err != nil {
-		return c.reply(errorFrame(err))
+	ctx, rspan := c.startRun(r)
+	rspan.SetAttr("mode", mode.String())
+	if text := stmt.Text(); text != "" {
+		rspan.SetAttr("text", text)
+	} else if r.Text != "" {
+		rspan.SetAttr("text", r.Text)
+	}
+	asp := rspan.Child("server.admit", trace.KindAdmission)
+	aerr := c.srv.admit(c.ctx)
+	asp.SetError(aerr)
+	asp.End()
+	if aerr != nil {
+		rspan.SetError(aerr)
+		rspan.End()
+		return c.reply(errorFrame(aerr))
 	}
 	sess := c.sessFor(mode)
 	params := query.Params(r.Params)
@@ -293,20 +356,25 @@ func (c *conn) handleRun(r *wire.Run) bool {
 	// Inside an explicit transaction every statement — reads and
 	// updates alike — joins it; committing stays with the client.
 	if c.tx != nil {
-		rows, err := sess.QueryTx(c.ctx, c.tx, stmt, params)
+		rows, err := sess.QueryTx(ctx, c.tx, stmt, params)
 		if err != nil {
 			c.srv.release()
+			rspan.SetError(err)
+			rspan.End()
 			return c.reply(errorFrame(err))
 		}
 		c.rows = rows
+		c.wireSpan = rspan
 		return c.reply(&wire.Success{Meta: map[string]any{"streaming": true}})
 	}
 
 	// Auto-commit: updates run to completion and commit before the
 	// SUCCESS; reads open a streaming result the client PULLs.
 	if stmt.Plan().HasUpdates() {
-		n, err := sess.Exec(c.ctx, stmt, params)
+		n, err := sess.Exec(ctx, stmt, params)
 		c.srv.release()
+		rspan.SetError(err)
+		rspan.End()
 		if err != nil {
 			return c.reply(errorFrame(err))
 		}
@@ -315,13 +383,64 @@ func (c *conn) handleRun(r *wire.Run) bool {
 			"committed":     true,
 		}})
 	}
-	rows, err := sess.Query(c.ctx, stmt, params)
+	rows, err := sess.Query(ctx, stmt, params)
 	if err != nil {
 		c.srv.release()
+		rspan.SetError(err)
+		rspan.End()
 		return c.reply(errorFrame(err))
 	}
 	c.rows = rows
+	// The wire span covers the full streaming lifetime; closeRows seals
+	// the trace after the session span (owned by the Rows cleanup) ends.
+	c.wireSpan = rspan
 	return c.reply(&wire.Success{Meta: map[string]any{"streaming": true}})
+}
+
+// handleSys serves the sys:* introspection statements added alongside
+// protocol v2 (plain RUN text, so they work over v1 framing too).
+func (c *conn) handleSys(name string) bool {
+	switch {
+	case name == "sys:profile":
+		// The per-connection equivalent of Session.LastProfile: the
+		// profile of the most recent trace this connection rooted.
+		return c.reply(&wire.Success{Meta: map[string]any{
+			"profile": trace.BuildProfile(c.lastTrace.Load()).Format(),
+		}})
+	case name == "sys:traces":
+		trs := c.srv.db.Traces()
+		sums := make([]trace.Summary, 0, len(trs))
+		for _, tr := range trs {
+			sums = append(sums, trace.Summarize(tr))
+		}
+		b, err := json.Marshal(sums)
+		if err != nil {
+			return c.reply(&wire.Error{Code: wire.CodeInternal, Message: err.Error()})
+		}
+		return c.reply(&wire.Success{Meta: map[string]any{"traces": string(b)}})
+	case strings.HasPrefix(name, "sys:trace:"):
+		tracer := c.srv.db.Tracer()
+		if tracer == nil {
+			return c.reply(&wire.Error{Code: wire.CodeInternal, Message: "tracing is disabled"})
+		}
+		id, err := trace.ParseID(strings.TrimPrefix(name, "sys:trace:"))
+		if err != nil {
+			return c.reply(&wire.Error{Code: wire.CodeSyntax, Message: err.Error()})
+		}
+		tr := tracer.Trace(id)
+		if tr == nil {
+			return c.reply(&wire.Error{Code: wire.CodeSyntax,
+				Message: fmt.Sprintf("trace %s is not retained (evicted or sampled out)", trace.FormatID(id))})
+		}
+		b, err := trace.ChromeJSON([]*trace.Trace{tr})
+		if err != nil {
+			return c.reply(&wire.Error{Code: wire.CodeInternal, Message: err.Error()})
+		}
+		return c.reply(&wire.Success{Meta: map[string]any{"trace": string(b)}})
+	default:
+		return c.reply(&wire.Error{Code: wire.CodeSyntax,
+			Message: fmt.Sprintf("unknown sys statement %q (want sys:profile, sys:traces or sys:trace:<id>)", name)})
+	}
 }
 
 // closeRows closes the open result, if any, and returns its admission
@@ -332,6 +451,13 @@ func (c *conn) closeRows() error {
 	}
 	err := c.rows.Close()
 	c.rows = nil
+	// Close ran the Rows cleanup, which ended the session span; ending
+	// the wire root now seals the trace and hands it to tail sampling.
+	if c.wireSpan != nil {
+		c.wireSpan.SetError(err)
+		c.wireSpan.End()
+		c.wireSpan = nil
+	}
 	c.srv.release()
 	return err
 }
@@ -402,7 +528,19 @@ func (c *conn) handleCommit() bool {
 	}
 	tx := c.tx
 	c.tx = nil
-	if err := tx.Commit(); err != nil {
+	// Root a trace for the explicit COMMIT and ride it on the
+	// transaction's context so the core commit spans (lock wait, pmem
+	// persist) attach under it.
+	var sp *trace.Span
+	if tracer := c.srv.db.Tracer(); tracer != nil {
+		ctx := trace.WithFinishSink(c.ctx, func(tr *trace.Trace) { c.lastTrace.Store(tr) })
+		ctx, sp = tracer.Start(ctx, "server.commit", trace.KindWire)
+		tx.WithContext(ctx)
+	}
+	err := tx.Commit()
+	sp.SetError(err)
+	sp.End()
+	if err != nil {
 		return c.reply(errorFrame(err))
 	}
 	return c.reply(&wire.Success{Meta: map[string]any{"committed": true}})

@@ -10,6 +10,7 @@ import (
 // (rows, PMem accesses) and which execution mode served it.
 type QueryTrace struct {
 	Query      string        `json:"query,omitempty"`      // Cypher text or plan signature
+	TraceID    string        `json:"trace_id,omitempty"`   // request-trace link (/debug/traces?id=...), "" when tracing is off
 	Mode       string        `json:"mode"`                 // interpret | parallel | jit | adaptive
 	Start      time.Time     `json:"start"`                // wall-clock start of execution
 	Total      time.Duration `json:"total"`                // end-to-end latency

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). Load
+// the exported JSON in chrome://tracing or https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  uint64         `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	DisplayUnit string         `json:"displayTimeUnit"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// kindLane maps each span kind to a stable Chrome "thread" row so the
+// layers stack top-to-bottom in request order.
+var kindLane = map[Kind]int{
+	KindClient:    0,
+	KindWire:      1,
+	KindAdmission: 2,
+	KindSession:   3,
+	KindExec:      4,
+	KindJIT:       5,
+	KindCommit:    6,
+	KindPMem:      7,
+}
+
+// ChromeJSON renders traces in Chrome trace-event format. Each trace
+// becomes one "process" (pid = low 32 bits of the trace ID) and each
+// span kind one "thread" row within it.
+func ChromeJSON(traces []*Trace) ([]byte, error) {
+	var events []chromeEvent
+	var base time.Time
+	for _, tr := range traces {
+		if base.IsZero() || tr.Start.Before(base) {
+			base = tr.Start
+		}
+	}
+	for _, tr := range traces {
+		pid := tr.ID & 0xffffffff
+		for i := range tr.Spans {
+			sp := &tr.Spans[i]
+			lane, ok := kindLane[sp.Kind]
+			if !ok {
+				lane = len(kindLane)
+			}
+			args := map[string]any{
+				"trace_id": FormatID(tr.ID),
+				"span_id":  FormatID(sp.ID),
+				"parent":   FormatID(sp.Parent),
+			}
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Value
+			}
+			if sp.Err != "" {
+				args["error"] = sp.Err
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Ts:   float64(sp.Start.Sub(base)) / float64(time.Microsecond),
+				Dur:  float64(sp.Duration) / float64(time.Microsecond),
+				Pid:  pid,
+				Tid:  lane,
+				Cat:  string(sp.Kind),
+				Args: args,
+			})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	return json.Marshal(chromeFile{
+		TraceEvents: events,
+		DisplayUnit: "ms",
+		Metadata:    map[string]any{"generator": "poseidon /debug/traces"},
+	})
+}
+
+// Summary is the /debug/traces listing entry for one retained trace.
+type Summary struct {
+	ID         string   `json:"id"`
+	Root       string   `json:"root"`
+	Start      string   `json:"start"`
+	DurationMS float64  `json:"duration_ms"`
+	Spans      int      `json:"spans"`
+	Kinds      []string `json:"kinds"`
+	Err        string   `json:"err,omitempty"`
+	Pinned     bool     `json:"pinned"`
+}
+
+// Summarize builds the listing entry for a trace.
+func Summarize(tr *Trace) Summary {
+	kinds := tr.Kinds()
+	ks := make([]string, len(kinds))
+	for i, k := range kinds {
+		ks[i] = string(k)
+	}
+	return Summary{
+		ID:         FormatID(tr.ID),
+		Root:       tr.Root().Name,
+		Start:      tr.Start.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(tr.Duration) / float64(time.Millisecond),
+		Spans:      len(tr.Spans),
+		Kinds:      ks,
+		Err:        tr.Err,
+		Pinned:     tr.Pinned,
+	}
+}
+
+// Handler serves the /debug/traces endpoint:
+//
+//	GET /debug/traces            → JSON summaries of retained traces
+//	GET /debug/traces?id=<hex>   → that trace, Chrome trace-event JSON
+//	GET /debug/traces?format=chrome → all retained traces, Chrome JSON
+//
+// With a nil tracer every request answers 503, mirroring the metrics
+// endpoint's disabled behaviour.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		if idStr := req.URL.Query().Get("id"); idStr != "" {
+			id, err := ParseID(idStr)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			tr := t.Trace(id)
+			if tr == nil {
+				http.Error(w, "trace not retained (evicted or sampled out)", http.StatusNotFound)
+				return
+			}
+			writeChrome(w, []*Trace{tr})
+			return
+		}
+		traces := t.Traces()
+		if req.URL.Query().Get("format") == "chrome" {
+			writeChrome(w, traces)
+			return
+		}
+		started, kept, sampledOut, dropped := t.Stats()
+		sums := make([]Summary, len(traces))
+		for i, tr := range traces {
+			sums[i] = Summarize(tr)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"traces":      sums,
+			"started":     started,
+			"kept":        kept,
+			"sampled_out": sampledOut,
+			"dropped":     dropped,
+		})
+	})
+}
+
+func writeChrome(w http.ResponseWriter, traces []*Trace) {
+	buf, err := ChromeJSON(traces)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="poseidon-trace.json"`)
+	_, _ = w.Write(buf)
+}

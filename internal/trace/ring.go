@@ -1,0 +1,56 @@
+package trace
+
+import "sync"
+
+// ring retains finished traces with tail-sampling eviction semantics:
+//
+//   - pinned traces (errored or slow) may evict the oldest sampled
+//     trace, or — when only pinned traces remain — the oldest pinned
+//     one, so the ring always accepts fresh evidence of failure;
+//   - sampled traces may only evict other sampled traces. A sampled
+//     insert into a ring full of pinned traces is dropped: ordinary
+//     traffic can never wash out retained errors.
+type ring struct {
+	mu      sync.Mutex
+	cap     int
+	entries []*Trace // insertion order, oldest first
+}
+
+func newRing(n int) *ring {
+	return &ring{cap: n, entries: make([]*Trace, 0, n)}
+}
+
+// insert applies the eviction policy; reports whether tr was retained.
+func (r *ring) insert(tr *Trace) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) < r.cap {
+		r.entries = append(r.entries, tr)
+		return true
+	}
+	// Full: find the oldest sampled entry.
+	victim := -1
+	for i, e := range r.entries {
+		if !e.Pinned {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		if !tr.Pinned {
+			return false // sampled trace may not evict pinned ones
+		}
+		victim = 0 // oldest pinned yields to a newer pinned
+	}
+	copy(r.entries[victim:], r.entries[victim+1:])
+	r.entries[len(r.entries)-1] = tr
+	return true
+}
+
+func (r *ring) snapshot() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, len(r.entries))
+	copy(out, r.entries)
+	return out
+}

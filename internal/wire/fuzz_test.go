@@ -12,9 +12,11 @@ import (
 func seedFrames() [][]byte {
 	msgs := []Message{
 		&Hello{UserAgent: "fuzz/1", Mode: 3},
+		&Hello{UserAgent: "fuzz/2", Mode: 0, Trace: &TraceContext{TraceID: 0x1122334455667788, SpanID: 0x99aabbccddeeff00}},
 		&Prepare{Text: "MATCH (p:Person) RETURN p.name"},
 		&Run{StmtID: 1, Mode: ModeDefault, Params: map[string]any{"id": int64(7), "s": "x"}},
 		&Run{Text: "ldbc:iu2", Params: map[string]any{"nested": []any{map[string]any{"k": int64(1)}}}},
+		&Run{StmtID: 2, Mode: 1, Params: map[string]any{}, Trace: &TraceContext{TraceID: 0xdeadbeef, SpanID: 0xcafe}},
 		&Pull{N: -1},
 		&Discard{}, &Begin{}, &Commit{}, &Rollback{}, &Reset{}, &Goodbye{},
 		&Success{Meta: map[string]any{"has_more": true, "rows_affected": int64(3)}},
@@ -32,6 +34,21 @@ func seedFrames() [][]byte {
 	return out
 }
 
+// helloBase encodes a HELLO body up to (but excluding) the optional
+// trace metadata, so seeds can append hostile metadata bytes.
+func helloBase(ua string) []byte {
+	return append(appendString(nil, ua), 0x00)
+}
+
+// frameWith frames an arbitrary body under the given type byte.
+func frameWith(typ byte, body []byte) []byte {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, typ, body); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzDecodeFrame pushes arbitrary bytes through the frame reader and
 // message decoder. The contract under fuzzing: never panic, never
 // allocate beyond the frame cap, and classify every failure as a known
@@ -46,6 +63,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{MsgRun, 0xFF, 0xFF})
 	f.Add([]byte{MsgRecord, 0x00, 0x04, 0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x00})
 	f.Add(bytes.Repeat([]byte{MsgSuccess, 0x00, 0x01, tagList}, 8))
+	// Hostile trace metadata: unknown tag and a truncated entry after a
+	// well-formed HELLO base.
+	f.Add(frameWith(MsgHello, append(helloBase("h"), 0x7F)))
+	f.Add(frameWith(MsgHello, append(helloBase("h"), metaTagTrace, 0x01, 0x02)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Cap the fuzz frame limit well below MaxMessage so the harness
 		// itself stays cheap; the incremental check is the same code path.
@@ -81,10 +102,15 @@ func FuzzDecodeFrame(f *testing.F) {
 // FuzzHandshake pushes arbitrary bytes through both handshake readers.
 func FuzzHandshake(f *testing.F) {
 	var ok bytes.Buffer
-	if err := WriteClientHandshake(&ok, Version1, 2, 3); err != nil {
+	if err := WriteClientHandshake(&ok, Version2, Version1, 3); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(ok.Bytes())
+	var v1only bytes.Buffer
+	if err := WriteClientHandshake(&v1only, Version1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1only.Bytes())
 	f.Add(append(Magic[:], make([]byte, 16)...))
 	f.Add([]byte("PSDN"))
 	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
@@ -99,11 +125,11 @@ func FuzzHandshake(f *testing.F) {
 				t.Fatal(err)
 			}
 			got, err := ReadServerHandshake(&s2c)
-			if v == Version1 && (err != nil || got != v) {
+			if supported(v) && (err != nil || got != v) {
 				t.Fatalf("server chose %d but client read %d, %v", v, got, err)
 			}
-			if v != Version1 && !errors.Is(err, ErrVersionMismatch) {
-				t.Fatalf("non-v1 choice %d not rejected: %v", v, err)
+			if !supported(v) && !errors.Is(err, ErrVersionMismatch) {
+				t.Fatalf("unsupported choice %d not rejected: %v", v, err)
 			}
 			return
 		}

@@ -48,10 +48,16 @@ func ReadClientHandshake(r io.Reader) ([4]uint32, error) {
 	return versions, nil
 }
 
-// ChooseVersion picks the first candidate the server supports, or 0.
+// supported reports whether this build speaks version v.
+func supported(v uint32) bool { return v == Version1 || v == Version2 }
+
+// ChooseVersion picks the first candidate the server supports (the
+// client lists candidates in preference order), or 0. An old client
+// offering only Version1 therefore still gets Version1 from a
+// Version2-capable server.
 func ChooseVersion(candidates [4]uint32) uint32 {
 	for _, v := range candidates {
-		if v == Version1 {
+		if supported(v) {
 			return v
 		}
 	}
@@ -74,7 +80,7 @@ func ReadServerHandshake(r io.Reader) (uint32, error) {
 		return 0, err
 	}
 	v := binary.BigEndian.Uint32(buf[:])
-	if v != Version1 {
+	if !supported(v) {
 		return v, ErrVersionMismatch
 	}
 	return v, nil

@@ -22,7 +22,27 @@ type Hello struct {
 	// Mode is the session's default execution mode (0=interpret,
 	// 1=parallel, 2=jit, 3=adaptive).
 	Mode uint8
+	// Trace is the optional trace-context metadata entry (Version2+).
+	// Clients must leave it nil unless the handshake negotiated a
+	// version that understands it: a v1 peer rejects the extra bytes
+	// as trailing garbage.
+	Trace *TraceContext
 }
+
+// TraceContext is the propagated request-tracing identity: the trace a
+// request belongs to and the client-side span that is its parent. It
+// rides HELLO and RUN bodies as an optional tagged metadata entry so
+// the encoding stays backward compatible — a body simply ends where a
+// v1 body would, or continues with metaTagTrace + 16 bytes.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// metaTagTrace introduces the optional trace-context metadata entry.
+// Further optional entries get new tags; decoders reject tags they do
+// not know so a corrupted stream cannot be silently misparsed.
+const metaTagTrace byte = 0x01
 
 // Prepare parses and plans a statement once. Text is Cypher, or an
 // "ldbc:<name>" workload statement the server resolves from its
@@ -39,6 +59,9 @@ type Run struct {
 	Text   string
 	Params map[string]any
 	Mode   uint8
+	// Trace is the optional trace-context metadata entry (Version2+);
+	// see Hello.Trace for the compatibility contract.
+	Trace *TraceContext
 }
 
 // ModeDefault in Run.Mode means "use the session's default mode".
@@ -107,9 +130,46 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
+// appendTraceMeta emits the optional trace-context entry. Encoding is
+// versionless on purpose: the version gate lives in the client, which
+// only populates Trace after negotiating Version2.
+func appendTraceMeta(buf []byte, tc *TraceContext) []byte {
+	if tc == nil {
+		return buf
+	}
+	buf = append(buf, metaTagTrace)
+	buf = binary.BigEndian.AppendUint64(buf, tc.TraceID)
+	return binary.BigEndian.AppendUint64(buf, tc.SpanID)
+}
+
+// decodeTraceMeta consumes the optional trace-context entry. No
+// remaining bytes means no entry; anything else must be a well-formed
+// entry or the message is malformed.
+func decodeTraceMeta(d *decoder) (*TraceContext, error) {
+	if d.remaining() == 0 {
+		return nil, nil
+	}
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if tag != metaTagTrace {
+		return nil, fmt.Errorf("%w: unknown metadata tag 0x%02x", ErrMalformed, tag)
+	}
+	tc := &TraceContext{}
+	if tc.TraceID, err = d.u64(); err != nil {
+		return nil, fmt.Errorf("%w: truncated trace metadata", ErrMalformed)
+	}
+	if tc.SpanID, err = d.u64(); err != nil {
+		return nil, fmt.Errorf("%w: truncated trace metadata", ErrMalformed)
+	}
+	return tc, nil
+}
+
 func (m *Hello) encodeBody(buf []byte) ([]byte, error) {
 	buf = appendString(buf, m.UserAgent)
-	return append(buf, m.Mode), nil
+	buf = append(buf, m.Mode)
+	return appendTraceMeta(buf, m.Trace), nil
 }
 
 func (m *Prepare) encodeBody(buf []byte) ([]byte, error) {
@@ -124,7 +184,11 @@ func (m *Run) encodeBody(buf []byte) ([]byte, error) {
 	if params == nil {
 		params = map[string]any{}
 	}
-	return appendValue(buf, params)
+	buf, err := appendValue(buf, params)
+	if err != nil {
+		return nil, err
+	}
+	return appendTraceMeta(buf, m.Trace), nil
 }
 
 func (m *Pull) encodeBody(buf []byte) ([]byte, error) {
@@ -200,7 +264,9 @@ func DecodeMessage(typ byte, body []byte) (Message, error) {
 	case MsgHello:
 		h := &Hello{}
 		if h.UserAgent, err = d.str(); err == nil {
-			h.Mode, err = d.byte()
+			if h.Mode, err = d.byte(); err == nil {
+				h.Trace, err = decodeTraceMeta(d)
+			}
 		}
 		m = h
 	case MsgPrepare:
@@ -214,7 +280,9 @@ func DecodeMessage(typ byte, body []byte) (Message, error) {
 			ru.StmtID = id
 			if ru.Text, err = d.str(); err == nil {
 				if ru.Mode, err = d.byte(); err == nil {
-					ru.Params, err = decodeParams(d)
+					if ru.Params, err = decodeParams(d); err == nil {
+						ru.Trace, err = decodeTraceMeta(d)
+					}
 				}
 			}
 		}

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestTraceMetadataRoundTrip: the optional trace-context entry on HELLO
+// and RUN must survive encode→decode, and its absence must decode to a
+// nil TraceContext (the v1 body shape).
+func TestTraceMetadataRoundTrip(t *testing.T) {
+	tc := &TraceContext{TraceID: 0x0102030405060708, SpanID: 0x1112131415161718}
+	msgs := []Message{
+		&Hello{UserAgent: "drv/2", Mode: 3, Trace: tc},
+		&Run{StmtID: 9, Mode: ModeDefault, Params: map[string]any{"id": int64(1)}, Trace: tc},
+		&Run{Text: "ldbc:sr1", Mode: 0, Params: map[string]any{}, Trace: &TraceContext{TraceID: 1}},
+		// No metadata at all — must stay nil after the round trip.
+		&Hello{UserAgent: "drv/1", Mode: 0},
+		&Run{StmtID: 4, Mode: 1, Params: map[string]any{}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip %T: got %#v want %#v", m, got, m)
+		}
+	}
+}
+
+// TestTraceMetadataMalformed: anything after the base fields that is
+// not a complete, known metadata entry is ErrMalformed — never a
+// silent misparse.
+func TestTraceMetadataMalformed(t *testing.T) {
+	base := helloBase("x")
+	cases := map[string][]byte{
+		"unknown tag":        append(append([]byte{}, base...), 0x7F, 0, 0),
+		"truncated ids":      append(append([]byte{}, base...), metaTagTrace, 1, 2, 3),
+		"empty entry":        append(append([]byte{}, base...), metaTagTrace),
+		"trailing after ids": append(appendTraceMeta(append([]byte{}, base...), &TraceContext{TraceID: 1, SpanID: 2}), 0xEE),
+	}
+	for name, body := range cases {
+		if _, err := DecodeMessage(MsgHello, body); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: got %v, want ErrMalformed", name, err)
+		}
+	}
+	// Same contract on RUN: params followed by a bad tag.
+	run := &Run{StmtID: 1, Mode: 0, Params: map[string]any{}}
+	body, err := run.encodeBody(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMessage(MsgRun, append(body, 0x7F)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("run bad tag: got %v, want ErrMalformed", err)
+	}
+}
+
+// TestVersionNegotiationMatrix covers old↔new peer pairings.
+func TestVersionNegotiationMatrix(t *testing.T) {
+	cases := []struct {
+		name   string
+		offer  []uint32
+		choose uint32 // what a Version2-capable server picks
+	}{
+		{"new client, new server", []uint32{Version2, Version1}, Version2},
+		{"old client, new server", []uint32{Version1}, Version1},
+		{"future client with fallback", []uint32{99, Version2, Version1}, Version2},
+		{"future-only client", []uint32{99, 98}, 0},
+	}
+	for _, tt := range cases {
+		var c2s bytes.Buffer
+		if err := WriteClientHandshake(&c2s, tt.offer...); err != nil {
+			t.Fatal(err)
+		}
+		versions, err := ReadClientHandshake(&c2s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := ChooseVersion(versions); v != tt.choose {
+			t.Errorf("%s: chose %d, want %d", tt.name, v, tt.choose)
+		}
+	}
+	// A v1-only server (the old binary's ChooseVersion loop accepted
+	// only Version1) would pick Version1 from a new client's offer:
+	// that choice must still be accepted by the new client's reader.
+	var s2c bytes.Buffer
+	if err := WriteServerHandshake(&s2c, Version1); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ReadServerHandshake(&s2c); err != nil || v != Version1 {
+		t.Fatalf("new client rejected v1 server: %d, %v", v, err)
+	}
+	// And a v2 choice is accepted too.
+	s2c.Reset()
+	if err := WriteServerHandshake(&s2c, Version2); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ReadServerHandshake(&s2c); err != nil || v != Version2 {
+		t.Fatalf("new client rejected v2 server: %d, %v", v, err)
+	}
+}

@@ -39,9 +39,19 @@ import "errors"
 // closes immediately — it is not a poseidon client.
 var Magic = [4]byte{'P', 'S', 'D', 'N'}
 
-// Version1 is the only protocol version so far. The handshake carries
-// four candidate slots so future clients can offer a preference list.
+// Version1 is the original protocol version. The handshake carries
+// four candidate slots so clients can offer a preference list.
 const Version1 uint32 = 1
+
+// Version2 adds the optional trace-context metadata entry on HELLO and
+// RUN bodies (see TraceContext). The frame and value encodings are
+// unchanged; a v1 peer never sees the entry because clients only emit
+// it after negotiating v2.
+const Version2 uint32 = 2
+
+// LatestVersion is the highest version this build speaks; clients offer
+// [LatestVersion … Version1] in preference order.
+const LatestVersion = Version2
 
 // MaxMessage caps the accumulated body size of a single message. The
 // decoder enforces it incrementally while reading chunks, so a

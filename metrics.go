@@ -10,6 +10,7 @@ import (
 	"poseidon/internal/jit"
 	"poseidon/internal/pmem"
 	"poseidon/internal/telemetry"
+	"poseidon/internal/trace"
 )
 
 // TelemetryConfig enables and tunes the engine-wide measurement
@@ -27,6 +28,10 @@ type TelemetryConfig struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLogSize bounds the slow-query ring buffer (default 64).
 	SlowQueryLogSize int
+	// Trace enables per-request span tracing (see TraceConfig). It is
+	// independent of Enabled: tracing can run without the metrics
+	// registry, and vice versa.
+	Trace TraceConfig
 }
 
 // defaultSlowQueryThreshold applies when TelemetryConfig leaves it 0.
@@ -197,7 +202,7 @@ func newDBTelemetry(db *DB, cfg TelemetryConfig) *dbTelemetry {
 // observeQuery records one statement execution: mode and latency
 // counters, row/error accounting, and — over the threshold — the full
 // stage trace in the slow-query log.
-func (t *dbTelemetry) observeQuery(queryText string, mode ExecMode, start time.Time,
+func (t *dbTelemetry) observeQuery(queryText, traceID string, mode ExecMode, start time.Time,
 	total, prep time.Duration, st jit.RunStats, rows int64, delta pmem.StatsSnapshot, err error) {
 	if t == nil {
 		return
@@ -216,6 +221,7 @@ func (t *dbTelemetry) observeQuery(queryText string, mode ExecMode, start time.T
 	}
 	trace := telemetry.QueryTrace{
 		Query:      queryText,
+		TraceID:    traceID,
 		Mode:       mode.String(),
 		Start:      start,
 		Total:      total,
@@ -465,6 +471,7 @@ func (db *DB) MetricsHandler() http.Handler {
 func (db *DB) DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", db.MetricsHandler())
+	mux.Handle("/debug/traces", trace.Handler(db.tracer))
 	telemetry.MountPprof(mux)
 	return mux
 }

@@ -59,6 +59,7 @@ import (
 	"poseidon/internal/jit"
 	"poseidon/internal/pmem"
 	"poseidon/internal/query"
+	"poseidon/internal/trace"
 )
 
 // Mode selects the storage medium.
@@ -145,7 +146,8 @@ type DB struct {
 	jit     *jit.Engine
 	workers int
 	stmts   *stmtCache
-	tel     *dbTelemetry // nil when telemetry is disabled
+	tel     *dbTelemetry  // nil when telemetry is disabled
+	tracer  *trace.Tracer // nil when request tracing is disabled
 }
 
 // Tx is a snapshot-isolated MVTO transaction. See core.Tx for the full
@@ -178,7 +180,9 @@ func Open(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{engine: e, jit: j, workers: cfg.Workers, stmts: newStmtCache(stmtCacheCap(cfg))}
+	db.tracer = newTracer(cfg.Telemetry)
 	db.tel = newDBTelemetry(db, cfg.Telemetry)
+	db.installTracer()
 	return db, nil
 }
 
@@ -196,7 +200,9 @@ func Reopen(dev *pmem.Device, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{engine: e, jit: j, workers: cfg.Workers, stmts: newStmtCache(stmtCacheCap(cfg))}
+	db.tracer = newTracer(cfg.Telemetry)
 	db.tel = newDBTelemetry(db, cfg.Telemetry)
+	db.installTracer()
 	return db, nil
 }
 

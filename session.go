@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"poseidon/internal/core"
 	"poseidon/internal/query"
+	"poseidon/internal/trace"
 )
 
 // ErrSessionClosed is returned by operations on a closed Session.
@@ -59,6 +61,10 @@ type Session struct {
 	mu     sync.Mutex
 	txs    map[*core.Tx]struct{}
 	closed bool
+
+	// lastTrace holds the most recent finished trace rooted by this
+	// session (tracing enabled only); LastProfile derives from it.
+	lastTrace atomic.Pointer[trace.Trace]
 }
 
 // NewSession opens a session with the given defaults.
@@ -153,6 +159,33 @@ func (s *Session) context(ctx context.Context) (context.Context, context.CancelF
 	return ctx, func() {}
 }
 
+// startSpan opens the session-level span for one statement. With a
+// parent already in ctx (the server's wire span) the session span
+// nests under it; otherwise a fresh trace is rooted here. Either way
+// the trace's finish sink is pointed at the session, so LastProfile
+// reflects the most recent statement — but an upstream sink (the
+// server conn's) wins, since sinks bind at root creation.
+func (s *Session) startSpan(ctx context.Context, name string) (context.Context, *trace.Span) {
+	tracer := s.db.tracer
+	if tracer == nil {
+		return ctx, nil
+	}
+	if parent := trace.FromContext(ctx); parent != nil {
+		sp := parent.Child(name, trace.KindSession)
+		return trace.ContextWithSpan(ctx, sp), sp
+	}
+	ctx = trace.WithFinishSink(ctx, func(tr *trace.Trace) { s.lastTrace.Store(tr) })
+	return tracer.Start(ctx, name, trace.KindSession)
+}
+
+// LastProfile returns the execution profile of the session's most
+// recently finished statement, or nil when tracing is disabled or
+// nothing has run yet. Remote sessions get the equivalent through the
+// server's per-connection profile (graphshell :profile).
+func (s *Session) LastProfile() *trace.Profile {
+	return trace.BuildProfile(s.lastTrace.Load())
+}
+
 // Query runs a prepared statement in a fresh read-only snapshot and
 // streams the result. The statement must not contain updates
 // (ErrUpdatePlan otherwise): the snapshot is rolled back when the cursor
@@ -163,9 +196,14 @@ func (s *Session) Query(ctx context.Context, stmt *Stmt, params query.Params) (*
 		return nil, ErrUpdatePlan
 	}
 	cctx, cancelTimeout := s.context(ctx)
+	cctx, span := s.startSpan(cctx, "session.query")
+	bsp := span.Child("core.begin", trace.KindCommit)
 	tx := s.db.engine.Begin()
+	bsp.End()
 	if err := s.track(tx); err != nil {
 		tx.Abort()
+		span.SetError(err)
+		span.End()
 		cancelTimeout()
 		return nil, err
 	}
@@ -173,6 +211,10 @@ func (s *Session) Query(ctx context.Context, stmt *Stmt, params query.Params) (*
 		tx.Abort()
 		s.release(tx)
 		cancelTimeout()
+		// The session span covers the full streaming lifetime: it ends
+		// when the cursor is exhausted or closed, not when the producer
+		// starts.
+		span.End()
 	}
 	return newRows(cctx, s.db, end, func(rctx context.Context, emit func(query.Row) bool) error {
 		return stmt.run(rctx, tx, params, s.cfg.Mode, s.cfg.Workers, emit)
@@ -196,12 +238,23 @@ func (s *Session) QueryAll(ctx context.Context, stmt *Stmt, params query.Params)
 func (s *Session) Exec(ctx context.Context, stmt *Stmt, params query.Params) (int, error) {
 	cctx, cancelTimeout := s.context(ctx)
 	defer cancelTimeout()
+	cctx, span := s.startSpan(cctx, "session.exec")
+	defer span.End()
+	bsp := span.Child("core.begin", trace.KindCommit)
 	tx := s.db.engine.Begin()
+	bsp.End()
 	if err := s.track(tx); err != nil {
 		tx.Abort()
+		span.SetError(err)
 		return 0, err
 	}
 	defer s.release(tx)
+	if span != nil {
+		// Commit runs after stmt.run restores the tx context, so the
+		// span must ride the transaction itself for the commit spans to
+		// find it.
+		tx.WithContext(cctx)
+	}
 	n := 0
 	mode := s.cfg.Mode
 	if mode == Parallel || mode == Adaptive {
@@ -211,11 +264,14 @@ func (s *Session) Exec(ctx context.Context, stmt *Stmt, params query.Params) (in
 	}
 	if err := stmt.run(cctx, tx, params, mode, s.cfg.Workers, func(query.Row) bool { n++; return true }); err != nil {
 		tx.Abort()
+		span.SetError(err)
 		return 0, err
 	}
 	if err := tx.Commit(); err != nil {
+		span.SetError(err)
 		return 0, err
 	}
+	span.SetAttr("rows_affected", int64(n))
 	return n, nil
 }
 
@@ -232,7 +288,12 @@ func (s *Session) QueryTx(ctx context.Context, tx *Tx, stmt *Stmt, params query.
 		return nil, ErrSessionClosed
 	}
 	cctx, cancelTimeout := s.context(ctx)
-	return newRows(cctx, s.db, cancelTimeout, func(rctx context.Context, emit func(query.Row) bool) error {
+	cctx, span := s.startSpan(cctx, "session.query_tx")
+	end := func() {
+		cancelTimeout()
+		span.End()
+	}
+	return newRows(cctx, s.db, end, func(rctx context.Context, emit func(query.Row) bool) error {
 		return stmt.run(rctx, tx, params, s.cfg.Mode, s.cfg.Workers, emit)
 	}), nil
 }

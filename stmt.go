@@ -9,6 +9,7 @@ import (
 	"poseidon/internal/cypher"
 	"poseidon/internal/jit"
 	"poseidon/internal/query"
+	"poseidon/internal/trace"
 )
 
 // Stmt is a prepared statement: a query parsed and planned exactly once,
@@ -92,7 +93,27 @@ func (db *DB) CacheStats() CacheStats { return db.stmts.stats() }
 // (db.tel == nil) the statement runs with zero instrumentation.
 func (s *Stmt) run(ctx context.Context, tx *Tx, params query.Params, mode ExecMode, workers int, emit func(query.Row) bool) error {
 	tel := s.db.tel
-	if tel == nil {
+	queryText := s.text
+	if queryText == "" {
+		queryText = s.plan.Signature()
+	}
+	// Request tracing: continue the caller's trace (server wire span or
+	// session span) or, on a bare context with tracing enabled, root a
+	// fresh trace here so legacy facade paths are traced too.
+	var span *trace.Span
+	var traceID string
+	if tracer := s.db.tracer; tracer != nil {
+		if parent := trace.FromContext(ctx); parent != nil {
+			span = parent.Child("stmt.run", trace.KindSession)
+			ctx = trace.ContextWithSpan(ctx, span)
+		} else {
+			ctx, span = tracer.Start(ctx, "stmt.run", trace.KindSession)
+		}
+		span.SetAttr("query", queryText)
+		span.SetAttr("mode", mode.String())
+		traceID = trace.FormatID(span.TraceID())
+	}
+	if tel == nil && span == nil {
 		_, err := s.runInner(ctx, tx, params, mode, workers, emit)
 		return err
 	}
@@ -106,13 +127,15 @@ func (s *Stmt) run(ctx context.Context, tx *Tx, params query.Params, mode ExecMo
 	start := time.Now()
 	st, err := s.runInner(ctx, tx, params, mode, workers, counted)
 	total := time.Since(start)
-	queryText := s.text
-	if queryText == "" {
-		queryText = s.plan.Signature()
+	span.SetAttr("rows", rows.Load())
+	if st.CompileTime > 0 {
+		span.SetAttr("compile_ns", int64(st.CompileTime))
 	}
+	span.SetError(err)
+	span.End()
 	// The device delta over-attributes under concurrency (other queries
 	// share the device); it is a locality signal, not an exact charge.
-	tel.observeQuery(queryText, mode, start, total, s.prepTime, st,
+	tel.observeQuery(queryText, traceID, mode, start, total, s.prepTime, st,
 		rows.Load(), stats.Snapshot().Sub(pre), err)
 	return err
 }
@@ -123,10 +146,20 @@ func (s *Stmt) runInner(ctx context.Context, tx *Tx, params query.Params, mode E
 	var st jit.RunStats
 	switch mode {
 	case Interpret:
-		return st, s.prepared.RunCtx(ctx, tx, params, emit)
+		ectx, esp := trace.StartSpan(ctx, "query.interpret", trace.KindExec)
+		err := s.prepared.RunCtx(ectx, tx, params, emit)
+		esp.SetError(err)
+		esp.End()
+		return st, err
 	case Parallel:
-		return st, s.prepared.RunParallelCtx(ctx, tx, params, workers, emit)
+		ectx, esp := trace.StartSpan(ctx, "query.parallel", trace.KindExec)
+		esp.SetAttr("workers", int64(workers))
+		err := s.prepared.RunParallelCtx(ectx, tx, params, workers, emit)
+		esp.SetError(err)
+		esp.End()
+		return st, err
 	case JIT:
+		// jit.RunCtx creates its own compile/exec spans from ctx.
 		return s.db.jit.RunCtx(ctx, tx, s.plan, params, emit)
 	case Adaptive:
 		return s.db.jit.RunAdaptiveCtx(ctx, tx, s.plan, params, workers, emit)
