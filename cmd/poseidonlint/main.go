@@ -1,7 +1,9 @@
 // Command poseidonlint runs the poseidon static analyzer (internal/lint)
 // over the module: crash-consistency discipline (flush ordering,
 // undo-log coverage, torn multi-word stores — paper C4), context
-// threading, and telemetry handle safety.
+// threading, telemetry handle safety, and the CFG-based concurrency
+// passes (lock order, seqlock brackets, atomic field consistency,
+// span/rows lifecycle, wire error codes).
 //
 // Usage:
 //
@@ -10,9 +12,11 @@
 //	go run ./cmd/poseidonlint -disable ctx-threading ./internal/index
 //	go run ./cmd/poseidonlint -baseline .poseidonlint-baseline ./...
 //	go run ./cmd/poseidonlint -write-baseline .poseidonlint-baseline ./...
+//	go run ./cmd/poseidonlint -sarif lint.sarif -timing -time-budget 60s ./...
 //
 // Findings print as "file:line:col: [pass] message"; the exit status is
-// non-zero when any unbaselined finding remains.
+// 1 when any unbaselined finding remains, 2 on a fatal error, and 3
+// when -time-budget is set and the analyzer ran over it.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"poseidon/internal/lint"
 )
@@ -33,6 +38,9 @@ func main() {
 		writeBase = flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 		list      = flag.Bool("list", false, "list available passes and exit")
 		verbose   = flag.Bool("v", false, "also print baselined (suppressed) findings")
+		sarifOut  = flag.String("sarif", "", "also write unbaselined findings as SARIF 2.1.0 to this file")
+		timing    = flag.Bool("timing", false, "print per-pass wall-clock timings to stderr")
+		budget    = flag.Duration("time-budget", 0, "exit 3 if load+analysis wall-clock exceeds this duration (0 = no budget)")
 	)
 	flag.Parse()
 
@@ -47,17 +55,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	start := time.Now()
 	m, err := lint.Load(root)
 	if err != nil {
 		fatal(err)
 	}
+	loadElapsed := time.Since(start)
 
 	opts := lint.Options{Enable: splitList(*enable), Disable: splitList(*disable)}
-	findings, err := lint.Run(m, opts)
+	findings, timings, err := lint.RunTimed(m, opts)
 	if err != nil {
 		fatal(err)
 	}
+	total := time.Since(start)
 	findings = filterByPatterns(root, findings, flag.Args())
+
+	if *timing {
+		fmt.Fprintf(os.Stderr, "poseidonlint: %-22s %8.1fms\n", "load+typecheck", float64(loadElapsed.Microseconds())/1000)
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "poseidonlint: %-22s %8.1fms\n", t.Pass, float64(t.Elapsed.Microseconds())/1000)
+		}
+		fmt.Fprintf(os.Stderr, "poseidonlint: %-22s %8.1fms\n", "total", float64(total.Microseconds())/1000)
+	}
 
 	if *writeBase != "" {
 		if err := lint.WriteBaseline(*writeBase, root, findings); err != nil {
@@ -83,9 +102,26 @@ func main() {
 			fmt.Printf("%s (baselined)\n", rel(root, f))
 		}
 	}
+	if *sarifOut != "" {
+		w, err := os.Create(*sarifOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lint.WriteSARIF(w, root, fresh); err != nil {
+			w.Close()
+			fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if len(fresh) > 0 {
 		fmt.Fprintf(os.Stderr, "poseidonlint: %d finding(s)\n", len(fresh))
 		os.Exit(1)
+	}
+	if *budget > 0 && total > *budget {
+		fmt.Fprintf(os.Stderr, "poseidonlint: analysis took %s, over the %s budget\n", total.Round(time.Millisecond), *budget)
+		os.Exit(3)
 	}
 }
 

@@ -18,7 +18,7 @@ import (
 // them through lockShards (or lockAllShards), which takes the locks in
 // ascending shard order. Shard locks nest outside the pool/lane mutexes
 // and the table mutex; nothing that holds a pool transaction may wait on
-// a shard commit lock. poseidonlint's shardlock pass enforces that no
+// a shard commit lock. poseidonlint's lockorder pass enforces that no
 // other function takes two shard commit locks directly.
 
 // lockShards acquires the commit locks of the given shards, which must be
@@ -212,6 +212,7 @@ func (tx *Tx) Commit() error {
 	var psp *trace.Span
 	var preDev pmem.StatsSnapshot
 	if cspan != nil {
+		//poseidonlint:ignore lifecycle psp exists iff cspan != nil; both exit paths End it inside the same nil guard
 		psp = cspan.Child("pmem.persist", trace.KindPMem)
 		preDev = e.dev.Stats.Snapshot()
 	}
@@ -607,6 +608,8 @@ func (e *Engine) pruneChains(t *chainTable, minActive uint64) {
 // adjacency lists and releases its slot and property records. Caller
 // holds every shard commit lock, so the built-in undo log cannot overlap
 // any lane.
+//
+//poseidonlint:ignore seqlock caller holds every shard commitMu (reclaim runs inside lockAllShards), so no writer can race these reads
 func (e *Engine) reclaimRel(id uint64) {
 	off, ok := e.rels.RecordOffset(id)
 	if !ok || !e.rels.Occupied(id) {
@@ -671,6 +674,8 @@ func (e *Engine) unlinkRel(id, nodeID, next uint64, out bool) {
 // reclaimNode releases a tombstoned node's slot and property records,
 // and drops the node's (deferred) secondary-index entries. Caller holds
 // every shard commit lock.
+//
+//poseidonlint:ignore seqlock caller holds every shard commitMu (reclaim runs inside lockAllShards), so no writer can race these reads
 func (e *Engine) reclaimNode(id uint64) {
 	off, ok := e.nodes.RecordOffset(id)
 	if !ok || !e.nodes.Occupied(id) {

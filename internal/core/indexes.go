@@ -156,6 +156,8 @@ func (e *Engine) CreateIndex(label, key string, kind index.Kind) error {
 // pre-image — the locker's commit will apply its own index delta later,
 // under this same lock. Tombstoned nodes are indexed too: their entries
 // serve older snapshots until GC drops them.
+//
+//poseidonlint:ignore seqlock the whole scan runs under sh.commitMu (held for the ScanChunk closure), which excludes every writer to this shard's records
 func (e *Engine) backfillShard(tree *index.Tree, ik indexKey, s int) error {
 	sh := &e.shards[s]
 	sh.commitMu.Lock()
@@ -444,6 +446,8 @@ type entState struct{ required bool }
 // table scan plus work proportional to the damage). Entries that sit in
 // the wrong shard's tree (possible only after a shard-count change) are
 // migrated by the same patch logic.
+//
+//poseidonlint:ignore seqlock recovery-time repair: runs before the engine accepts transactions, single-threaded with no concurrent writers
 func (e *Engine) reconcileIndexes() error {
 	sh0 := &e.shards[0]
 	if len(sh0.indexes) == 0 {

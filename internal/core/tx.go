@@ -211,6 +211,8 @@ func (s NodeSnap) Prop(key uint32) (storage.Value, bool) {
 }
 
 // Props materializes the node's full property set.
+//
+//poseidonlint:ignore seqlock Rec left readNode's validated bracket with its rts pinned; committed property chains are immutable and the pin blocks reclamation
 func (s NodeSnap) Props() []storage.Prop {
 	if s.ver != nil {
 		return append([]storage.Prop(nil), s.ver.props...)
@@ -235,6 +237,8 @@ func (s RelSnap) Prop(key uint32) (storage.Value, bool) {
 }
 
 // Props materializes the relationship's full property set.
+//
+//poseidonlint:ignore seqlock Rec left readRel's validated bracket with its rts pinned; committed property chains are immutable and the pin blocks reclamation
 func (s RelSnap) Props() []storage.Prop {
 	if s.ver != nil {
 		return append([]storage.Prop(nil), s.ver.props...)

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicfield: a struct field whose address is passed to a sync/atomic
+// operation anywhere in the module is part of the lock-free protocol —
+// a plain (non-atomic) read or write of it anywhere else is a data race
+// that the Go memory model makes undefined, and exactly the kind of
+// "mostly-atomic" field mix the race detector only catches when both
+// sides happen to run. The Kit indexes such fields module-wide
+// (kit.go/indexAtomicFields); this pass flags every plain access to
+// them. Migrating the field to an atomic.Uint64-style typed atomic
+// removes the hazard (the plain spelling stops compiling).
+var passAtomicField = &Pass{
+	Name:    "atomicfield",
+	Doc:     "a field used with sync/atomic must never be accessed plainly elsewhere",
+	Default: true,
+	Run: func(c *Context) {
+		if len(c.Kit.atomicFields) == 0 {
+			return
+		}
+		for _, f := range c.Pkg.Files {
+			checkAtomicFieldFile(c, f)
+		}
+	},
+}
+
+func checkAtomicFieldFile(c *Context, f *ast.File) {
+	// Selector expressions that are the &field argument of a sync/atomic
+	// call are the sanctioned accesses.
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, _, ok := c.Kit.PkgCall(c.Pkg, call); !ok || path != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+				if sel, ok := un.X.(*ast.SelectorExpr); ok {
+					sanctioned[sel] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sanctioned[sel] {
+			return true
+		}
+		s := c.Pkg.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		obj := s.Obj()
+		if obj == nil {
+			return true
+		}
+		first, atomicUse := c.Kit.atomicFields[obj]
+		if !atomicUse {
+			return true
+		}
+		c.Reportf(sel.Pos(), "plain access to field %s, which is written with sync/atomic (e.g. %s:%d); use atomic loads/stores everywhere or migrate it to a typed atomic", obj.Name(), first.Filename, first.Line)
+		return true
+	})
+}

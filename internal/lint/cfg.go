@@ -1,0 +1,431 @@
+package lint
+
+// cfg.go: a lightweight intra-procedural control-flow graph plus a
+// generic forward-dataflow runner. The per-statement AST walks of the
+// original passes (flush-discipline's hand-rolled state machine) could
+// not see facts that depend on *where* on a path a call sits — which
+// locks are held at a blocking call, whether a record read is inside
+// its seqlock bracket, whether a span is still open at an early return.
+// The CFG makes those path facts explicit: blocks hold statements and
+// expressions in evaluation order, edges model branches, loops,
+// switches, selects, and labeled break/continue, and deferred calls are
+// collected separately so exit-time effects (defer mu.Unlock, defer
+// sp.End) can be applied at the Exit block.
+//
+// The builder is deliberately approximate where precision does not pay
+// for itself: short-circuit evaluation inside expressions is treated as
+// linear, goto conservatively terminates its path, and panic-like calls
+// (panic, log.Fatal, os.Exit) end a path without reaching Exit so that
+// error-exit paths do not produce unlock/End noise.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line sequence of CFG nodes. Nodes are leaf
+// statements (assignments, expression statements, send statements) or
+// bare expressions (conditions, return results) in evaluation order;
+// control statements never appear as nodes — they become edges. The
+// only exception is *ast.SelectStmt, which is kept as a marker node so
+// passes can treat reaching a select as a blocking point; passes must
+// not recurse into it (its arms are real blocks of their own).
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the graph for one function body. Every return statement (and
+// the implicit return at the end of the body) has an edge to Exit;
+// panic-like paths simply end.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	Defers []*ast.CallExpr // deferred calls, in defer-statement order
+}
+
+type cfgBuilder struct {
+	pkg     *Package
+	cfg     *CFG
+	cur     *Block
+	brk     []*Block // innermost-last break targets
+	cont    []*Block // innermost-last continue targets
+	lblBrk  map[string]*Block
+	lblCont map[string]*Block
+}
+
+// BuildCFG constructs the CFG for one function-like body. Function
+// literals nested in the body are not descended into — each literal is
+// analyzed as its own FuncInfo with its own CFG.
+func (k *Kit) BuildCFG(fi FuncInfo) *CFG {
+	b := &cfgBuilder{
+		pkg:     fi.Pkg,
+		cfg:     &CFG{},
+		lblBrk:  map[string]*Block{},
+		lblCont: map[string]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmt(fi.Body, "")
+	b.link(b.cur, b.cfg.Exit) // implicit return at end of body
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) emit(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			b.stmt(sub, "")
+		}
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+	case *ast.IfStmt:
+		b.stmt(s.Init, "")
+		b.emit(s.Cond)
+		pre := b.cur
+		thenB := b.newBlock()
+		b.link(pre, thenB)
+		b.cur = thenB
+		b.stmt(s.Body, "")
+		thenEnd := b.cur
+		join := b.newBlock()
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.link(pre, elseB)
+			b.cur = elseB
+			b.stmt(s.Else, "")
+			b.link(b.cur, join)
+		} else {
+			b.link(pre, join)
+		}
+		b.link(thenEnd, join)
+		b.cur = join
+	case *ast.ForStmt:
+		b.stmt(s.Init, "")
+		head := b.newBlock()
+		b.link(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.emit(s.Cond)
+		}
+		body, after, post := b.newBlock(), b.newBlock(), b.newBlock()
+		b.link(head, body)
+		if s.Cond != nil {
+			b.link(head, after)
+		}
+		b.pushLoop(after, post, label)
+		b.cur = body
+		b.stmt(s.Body, "")
+		b.link(b.cur, post)
+		b.popLoop(label)
+		b.cur = post
+		b.stmt(s.Post, "")
+		b.link(b.cur, head)
+		b.cur = after
+	case *ast.RangeStmt:
+		b.emit(s.X)
+		head := b.newBlock()
+		b.link(b.cur, head)
+		body, after := b.newBlock(), b.newBlock()
+		b.link(head, body)
+		b.link(head, after)
+		b.pushLoop(after, head, label)
+		b.cur = body
+		b.stmt(s.Body, "")
+		b.link(b.cur, head)
+		b.popLoop(label)
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.stmt(s.Init, "")
+		b.emit(s.Tag)
+		b.switchClauses(s.Body, label)
+	case *ast.TypeSwitchStmt:
+		b.stmt(s.Init, "")
+		b.stmt(s.Assign, "")
+		b.switchClauses(s.Body, label)
+	case *ast.SelectStmt:
+		b.emit(s) // blocking-point marker; arms become real blocks below
+		pre := b.cur
+		join := b.newBlock()
+		b.pushBreak(join, label)
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			arm := b.newBlock()
+			b.link(pre, arm)
+			b.cur = arm
+			b.stmt(cc.Comm, "")
+			for _, sub := range cc.Body {
+				b.stmt(sub, "")
+			}
+			b.link(b.cur, join)
+		}
+		b.popBreak(label)
+		b.cur = join
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			b.emit(r)
+		}
+		b.emit(s) // marker so passes can anchor exit-point reports
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			target := b.cfg.Exit
+			if s.Label != nil {
+				if t := b.lblBrk[s.Label.Name]; t != nil {
+					target = t
+				}
+			} else if len(b.brk) > 0 {
+				target = b.brk[len(b.brk)-1]
+			}
+			b.link(b.cur, target)
+		case token.CONTINUE:
+			target := b.cfg.Exit
+			if s.Label != nil {
+				if t := b.lblCont[s.Label.Name]; t != nil {
+					target = t
+				}
+			} else if len(b.cont) > 0 {
+				target = b.cont[len(b.cont)-1]
+			}
+			b.link(b.cur, target)
+		case token.GOTO:
+			// Rare in this tree; conservatively end the path.
+			b.link(b.cur, b.cfg.Exit)
+		}
+		b.cur = b.newBlock()
+	case *ast.DeferStmt:
+		for _, a := range s.Call.Args {
+			b.emit(a)
+		}
+		b.cfg.Defers = append(b.cfg.Defers, s.Call)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			b.emit(a)
+		}
+	case *ast.ExprStmt:
+		b.emit(s.X)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanicLike(b.pkg, call) {
+			b.cur = b.newBlock() // path ends without reaching Exit
+		}
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, EmptyStmt, ...
+		b.emit(s)
+	}
+}
+
+// switchClauses builds the arms of a switch/type-switch, chaining
+// fallthrough arms and joining everything (plus the no-default skip
+// edge) at a fresh block.
+func (b *cfgBuilder) switchClauses(body *ast.BlockStmt, label string) {
+	pre := b.cur
+	join := b.newBlock()
+	b.pushBreak(join, label)
+	arms := make([]*Block, len(body.List))
+	for i := range body.List {
+		arms[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.link(pre, arms[i])
+		b.cur = arms[i]
+		for _, e := range cc.List {
+			b.emit(e)
+		}
+		stmts := cc.Body
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				stmts = stmts[:n-1]
+			}
+		}
+		for _, sub := range stmts {
+			b.stmt(sub, "")
+		}
+		if fallsThrough && i+1 < len(arms) {
+			b.link(b.cur, arms[i+1])
+		} else {
+			b.link(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		b.link(pre, join)
+	}
+	b.popBreak(label)
+	b.cur = join
+}
+
+func (b *cfgBuilder) pushLoop(brkT, contT *Block, label string) {
+	b.brk = append(b.brk, brkT)
+	b.cont = append(b.cont, contT)
+	if label != "" {
+		b.lblBrk[label] = brkT
+		b.lblCont[label] = contT
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.brk = b.brk[:len(b.brk)-1]
+	b.cont = b.cont[:len(b.cont)-1]
+	if label != "" {
+		delete(b.lblBrk, label)
+		delete(b.lblCont, label)
+	}
+}
+
+func (b *cfgBuilder) pushBreak(brkT *Block, label string) {
+	b.brk = append(b.brk, brkT)
+	if label != "" {
+		b.lblBrk[label] = brkT
+	}
+}
+
+func (b *cfgBuilder) popBreak(label string) {
+	b.brk = b.brk[:len(b.brk)-1]
+	if label != "" {
+		delete(b.lblBrk, label)
+	}
+}
+
+// ---- dataflow ----------------------------------------------------------
+
+// runFlow is a forward worklist fixpoint over g. States propagate from
+// Entry (seeded with init) along edges; join merges states at
+// confluence points, step applies one CFG node's effect, and eq decides
+// convergence. Blocks never reached from Entry get no state and are
+// skipped — passes should treat an absent in-state as dead code.
+func runFlow[S any](g *CFG, init S, clone func(S) S, join func(S, S) S, eq func(S, S) bool, step func(S, ast.Node) S) map[*Block]S {
+	in := map[*Block]S{g.Entry: init}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		st := clone(in[blk])
+		for _, n := range blk.Nodes {
+			st = step(st, n)
+		}
+		for _, succ := range blk.Succs {
+			prev, seen := in[succ]
+			var merged S
+			if !seen {
+				merged = clone(st)
+			} else {
+				merged = join(clone(prev), st)
+			}
+			if !seen || !eq(prev, merged) {
+				in[succ] = merged
+				if !queued[succ] {
+					work = append(work, succ)
+					queued[succ] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// walkFinal replays step over every reachable block with the converged
+// in-states. Passes report from inside step on this second walk, where
+// the state at each node is exact (up to the analysis' approximations).
+func walkFinal[S any](g *CFG, in map[*Block]S, clone func(S) S, step func(S, ast.Node) S) {
+	for _, blk := range g.Blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		st = clone(st)
+		for _, n := range blk.Nodes {
+			st = step(st, n)
+		}
+	}
+}
+
+// exitStates returns the converged in-states of the Exit block's
+// predecessors after applying their node effects — i.e. the states at
+// every return point. The bool is false when Exit is unreachable
+// (every path panics).
+func exitStates[S any](g *CFG, in map[*Block]S, clone func(S) S, join func(S, S) S, step func(S, ast.Node) S) (S, bool) {
+	var out S
+	have := false
+	for _, blk := range g.Blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue
+		}
+		reaches := false
+		for _, s := range blk.Succs {
+			if s == g.Exit {
+				reaches = true
+			}
+		}
+		if !reaches {
+			continue
+		}
+		st = clone(st)
+		for _, n := range blk.Nodes {
+			st = step(st, n)
+		}
+		if !have {
+			out, have = st, true
+		} else {
+			out = join(out, st)
+		}
+	}
+	if st, ok := in[g.Exit]; ok && !have {
+		out, have = clone(st), true
+	}
+	return out, have
+}
+
+// nodeCalls visits every call expression inside one CFG node in source
+// order, skipping nested function literals (each is analyzed as its own
+// FuncInfo) and the select/return marker nodes (a select's arms are
+// separate blocks, and a return's results were already emitted as their
+// own nodes; visiting through either would double-count).
+func nodeCalls(n ast.Node, f func(*ast.CallExpr)) {
+	switch n.(type) {
+	case *ast.SelectStmt, *ast.ReturnStmt:
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			f(x)
+		}
+		return true
+	})
+}

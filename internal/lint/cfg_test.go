@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadCFGShapes loads the cfgshapes fixture and returns its functions
+// by name, plus the Kit to build CFGs with.
+func loadCFGShapes(t *testing.T) (*Kit, map[string]FuncInfo) {
+	t.Helper()
+	m := loadModule(t)
+	dir := filepath.Join(m.Root, "internal/lint/testdata/src/cfgshapes")
+	pkg, err := m.LoadDir(dir, "poseidon/internal/lint/testdata/cfgshapes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newKit(m)
+	k.addPackage(pkg)
+	funcs := map[string]FuncInfo{}
+	for _, fi := range k.Funcs(pkg) {
+		funcs[fi.Name] = fi
+	}
+	return k, funcs
+}
+
+// markSets runs the mark()-label dataflow over fi's CFG and returns the
+// may-reach (union join) and must-reach (intersection join) label sets
+// at the exit, plus whether the exit is reachable at all.
+func markSets(k *Kit, fi FuncInfo) (may, must []string, reachable bool) {
+	g := k.BuildCFG(fi)
+	type set = map[string]bool
+	clone := func(s set) set {
+		out := make(set, len(s))
+		for k := range s {
+			out[k] = true
+		}
+		return out
+	}
+	union := func(a, b set) set {
+		out := clone(a)
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	}
+	intersect := func(a, b set) set {
+		out := set{}
+		for k := range a {
+			if b[k] {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	eq := func(a, b set) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	step := func(s set, n ast.Node) set {
+		nodeCalls(n, func(call *ast.CallExpr) {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" && len(call.Args) == 1 {
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+					s[strings.Trim(lit.Value, `"`)] = true
+				}
+			}
+		})
+		return s
+	}
+	names := func(join func(set, set) set) (sorted []string, ok bool) {
+		in := runFlow(g, set{}, clone, join, eq, step)
+		exit, reach := exitStates(g, in, clone, join, step)
+		if !reach {
+			return nil, false
+		}
+		for k := range exit {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		return sorted, true
+	}
+	may, reachable = names(union)
+	if !reachable {
+		return nil, nil, false
+	}
+	must, _ = names(intersect)
+	return may, must, true
+}
+
+func TestCFGDataflow(t *testing.T) {
+	k, funcs := loadCFGShapes(t)
+	cases := []struct {
+		fn   string
+		may  string // comma-joined sorted label sets
+		must string
+	}{
+		// Both arms feed the join; neither alone dominates the exit.
+		{"shapeIfElse", "else,join,then", "join"},
+		// The early return bypasses the tail on one path.
+		{"shapeEarlyReturn", "tail", ""},
+		// continue and break both leave the body reachable but optional;
+		// only the code after the loop is on every path.
+		{"shapeLoop", "after,body", "after"},
+		// must including "def" proves the fallthrough edge: without it the
+		// case-1 arm would jump straight to the join.
+		{"shapeFallthrough", "def,one", "def"},
+		// Select arms are alternative blocks joining after the statement.
+		{"shapeSelect", "join,none,recv", "join"},
+		// break outer must leave the *outer* loop: the code after it stays
+		// on every path, which a break-to-exit mistake would violate.
+		{"shapeLabeledBreak", "after,inner", "after"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			fi, ok := funcs[tc.fn]
+			if !ok {
+				t.Fatalf("fixture function %s not found", tc.fn)
+			}
+			may, must, reachable := markSets(k, fi)
+			if !reachable {
+				t.Fatalf("%s: exit unreachable", tc.fn)
+			}
+			if got := strings.Join(may, ","); got != tc.may {
+				t.Errorf("%s may-reach = %q, want %q", tc.fn, got, tc.may)
+			}
+			if got := strings.Join(must, ","); got != tc.must {
+				t.Errorf("%s must-reach = %q, want %q", tc.fn, got, tc.must)
+			}
+		})
+	}
+}
+
+func TestCFGPanicEndsPath(t *testing.T) {
+	k, funcs := loadCFGShapes(t)
+	if _, _, reachable := markSets(k, funcs["shapeAllPanic"]); reachable {
+		t.Error("shapeAllPanic: exit reported reachable; panic should end the path")
+	}
+}
+
+func TestCFGDefers(t *testing.T) {
+	k, funcs := loadCFGShapes(t)
+	g := k.BuildCFG(funcs["shapeDefers"])
+	var labels []string
+	for _, d := range g.Defers {
+		if lit, ok := d.Args[0].(*ast.BasicLit); ok {
+			labels = append(labels, strings.Trim(lit.Value, `"`))
+		}
+	}
+	if got := strings.Join(labels, ","); got != "d1,d2" {
+		t.Errorf("Defers = %q, want %q (defer-statement order, conditional ones included)", got, "d1,d2")
+	}
+}
+
+func TestCFGStructure(t *testing.T) {
+	k, funcs := loadCFGShapes(t)
+	for name, fi := range funcs {
+		g := k.BuildCFG(fi)
+		known := map[*Block]bool{}
+		for _, blk := range g.Blocks {
+			known[blk] = true
+		}
+		if !known[g.Entry] || !known[g.Exit] {
+			t.Errorf("%s: Entry/Exit not in Blocks", name)
+		}
+		if len(g.Exit.Succs) != 0 {
+			t.Errorf("%s: Exit has successors", name)
+		}
+		for _, blk := range g.Blocks {
+			for _, s := range blk.Succs {
+				if !known[s] {
+					t.Errorf("%s: edge to a block outside Blocks", name)
+				}
+			}
+		}
+	}
+}
+
+// TestCFGNoDoubleCount guards the return-marker convention: a call in a
+// return statement's results is emitted once as its own node, and the
+// marker node is skipped by nodeCalls — so the call is seen exactly
+// once across the whole graph.
+func TestCFGNoDoubleCount(t *testing.T) {
+	k, funcs := loadCFGShapes(t)
+	g := k.BuildCFG(funcs["shapeReturnCall"])
+	calls := 0
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			nodeCalls(n, func(call *ast.CallExpr) {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "count" {
+					calls++
+				}
+			})
+		}
+	}
+	if calls != 1 {
+		t.Errorf("count() visited %d times across the CFG, want exactly 1", calls)
+	}
+}

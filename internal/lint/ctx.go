@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/types"
 )
 
 // legacyEntryPoints are the pre-session API surfaces kept as shims
@@ -38,7 +37,7 @@ var passCtxThreading = &Pass{
 			}
 			fi := fi
 			forEachCall(fi, func(call *ast.CallExpr) {
-				if name, ok := backgroundCtx(fi.Pkg, call); ok {
+				if name, ok := backgroundCtx(c.Kit, fi.Pkg, call); ok {
 					c.Reportf(call.Pos(), "context.%s() in library code severs cancellation; thread the caller's ctx (legacy shims: annotate //poseidonlint:ignore ctx-threading)", name)
 					return
 				}
@@ -55,22 +54,15 @@ var passCtxThreading = &Pass{
 	},
 }
 
+
 // backgroundCtx matches context.Background()/context.TODO() via the
 // file's import of the "context" package (works with stub imports).
-func backgroundCtx(pkg *Package, call *ast.CallExpr) (string, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+func backgroundCtx(k *Kit, pkg *Package, call *ast.CallExpr) (string, bool) {
+	path, name, ok := k.PkgCall(pkg, call)
+	if !ok || path != "context" || (name != "Background" && name != "TODO") {
 		return "", false
 	}
-	x, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return "", false
-	}
-	pn, ok := pkg.Info.Uses[x].(*types.PkgName)
-	if !ok || pn.Imported().Path() != "context" {
-		return "", false
-	}
-	return sel.Sel.Name, true
+	return name, true
 }
 
 // shortPath maps "poseidon" -> "poseidon" and

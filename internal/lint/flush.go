@@ -279,21 +279,3 @@ func litMayFlush(k *Kit, pkg *Package, lit *ast.FuncLit) bool {
 	return found
 }
 
-// isPanicLike treats panic(), os.Exit, and testing/log Fatal* calls as
-// path terminators so error paths do not produce noise.
-func isPanicLike(pkg *Package, call *ast.CallExpr) bool {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		if fun.Name == "panic" {
-			if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok && b != nil {
-				return true
-			}
-		}
-	case *ast.SelectorExpr:
-		switch fun.Sel.Name {
-		case "Fatal", "Fatalf", "Fatalln", "Exit", "Panic", "Panicf":
-			return true
-		}
-	}
-	return false
-}

@@ -34,12 +34,15 @@ var undoEvents = map[string]bool{"Snapshot": true, "NoteWrite": true, "Alloc": t
 
 // funcFacts are interprocedural summaries, computed to fixpoint over
 // the whole module: does calling this function possibly flush, store,
-// or write an undo-log entry?
+// write an undo-log entry, or block (channel operation, select,
+// WaitGroup.Wait, time.Sleep — directly or via a callee)?
 type funcFacts struct {
-	mayFlush bool
-	mayStore bool
-	mayUndo  bool
-	callees  []*types.Func
+	mayFlush  bool
+	mayStore  bool
+	mayUndo   bool
+	mayBlock  bool
+	mayCreate bool // constructs a lifecycle-tracked resource (Span/Rows/Session/Conn)
+	callees   []*types.Func
 }
 
 // Kit holds per-run shared state: directive indexes and function
@@ -50,19 +53,26 @@ type Kit struct {
 	pmobjPath string
 	telePath  string
 	tracePath string
+	wirePath  string
 	facts     map[*types.Func]*funcFacts
 	lineIgn   map[string]map[int]map[string]bool
+	// atomicFields maps struct fields that are passed by address to a
+	// sync/atomic operation anywhere in the run to the position of one
+	// such use; the atomicfield pass flags every plain access to them.
+	atomicFields map[types.Object]token.Position
 }
 
 func newKit(m *Module) *Kit {
 	k := &Kit{
-		m:         m,
-		pmemPath:  m.Path + "/internal/pmem",
-		pmobjPath: m.Path + "/internal/pmemobj",
-		telePath:  m.Path + "/internal/telemetry",
-		tracePath: m.Path + "/internal/trace",
-		facts:     map[*types.Func]*funcFacts{},
-		lineIgn:   map[string]map[int]map[string]bool{},
+		m:            m,
+		pmemPath:     m.Path + "/internal/pmem",
+		pmobjPath:    m.Path + "/internal/pmemobj",
+		telePath:     m.Path + "/internal/telemetry",
+		tracePath:    m.Path + "/internal/trace",
+		wirePath:     m.Path + "/internal/wire",
+		facts:        map[*types.Func]*funcFacts{},
+		lineIgn:      map[string]map[int]map[string]bool{},
+		atomicFields: map[types.Object]token.Position{},
 	}
 	for _, pkg := range m.Pkgs {
 		k.addPackage(pkg)
@@ -101,30 +111,137 @@ func (k *Kit) addPackage(pkg *Package) {
 			k.facts[obj] = k.directFacts(pkg, fd.Body)
 		}
 	}
+	k.indexAtomicFields(pkg)
 	k.solve()
+}
+
+// indexAtomicFields records every struct field whose address is passed
+// to a sync/atomic operation in pkg. Index expressions (&s.words[i])
+// are skipped: the atomic unit there is the element, which cannot be
+// tracked statically.
+func (k *Kit) indexAtomicFields(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, _, ok := k.PkgCall(pkg, call); !ok || path != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+					if obj := s.Obj(); obj != nil {
+						if _, seen := k.atomicFields[obj]; !seen {
+							k.atomicFields[obj] = k.m.Fset.Position(un.Pos())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
 }
 
 func (k *Kit) directFacts(pkg *Package, body *ast.BlockStmt) *funcFacts {
 	ff := &funcFacts{}
 	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch k.Classify(pkg, call) {
-		case KStore:
-			ff.mayStore = true
-		case KFlush:
-			ff.mayFlush = true
-		case KUndo:
-			ff.mayUndo = true
-		}
-		if callee := k.Callee(pkg, call); callee != nil {
-			ff.callees = append(ff.callees, callee)
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			ff.mayBlock = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ff.mayBlock = true
+			}
+		case *ast.CompositeLit:
+			if k.isResourceLit(pkg, n) {
+				ff.mayCreate = true
+			}
+		case *ast.CallExpr:
+			switch k.Classify(pkg, n) {
+			case KStore:
+				ff.mayStore = true
+			case KFlush:
+				ff.mayFlush = true
+			case KUndo:
+				ff.mayUndo = true
+			}
+			if k.directBlockingCall(pkg, n) {
+				ff.mayBlock = true
+			}
+			if callee := k.Callee(pkg, n); callee != nil {
+				ff.callees = append(ff.callees, callee)
+			}
 		}
 		return true
 	})
 	return ff
+}
+
+// calleeName extracts the bare called-function name syntactically —
+// for helper sets matched by name (the lockShards protocol functions),
+// which must work inside fixtures and across receiver shapes alike.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// isResourceLit reports whether a composite literal constructs one of
+// the lifecycle-tracked resource types. Functions containing one (or
+// transitively calling one that does) are "creators": only their call
+// sites bind a fresh resource, which separates real constructors from
+// accessors like trace.FromContext that merely hand back an existing
+// handle.
+func (k *Kit) isResourceLit(pkg *Package, lit *ast.CompositeLit) bool {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	switch {
+	case path == k.tracePath && name == "Span":
+		return true
+	case path == k.m.Path && (name == "Rows" || name == "Session"):
+		return true
+	case path == k.m.Path+"/client" && name == "Conn":
+		return true
+	}
+	return false
+}
+
+// directBlockingCall reports whether call is itself a known blocking
+// primitive: sync.WaitGroup.Wait / sync.Cond.Wait (any method named
+// Wait, conservatively) or time.Sleep. Channel operations are detected
+// structurally in directFacts and by the lockorder pass.
+func (k *Kit) directBlockingCall(pkg *Package, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+		return true
+	}
+	if path, name, ok := k.PkgCall(pkg, call); ok && path == "time" && name == "Sleep" {
+		return true
+	}
+	return false
 }
 
 func (k *Kit) solve() {
@@ -148,19 +265,73 @@ func (k *Kit) solve() {
 					ff.mayUndo = true
 					changed = true
 				}
+				if cf.mayBlock && !ff.mayBlock {
+					ff.mayBlock = true
+					changed = true
+				}
+				if cf.mayCreate && !ff.mayCreate {
+					ff.mayCreate = true
+					changed = true
+				}
 			}
 		}
 	}
 }
 
-// MayFlush/MayStore/MayUndo report the summary for a resolved callee.
+// MayFlush/MayStore/MayUndo/MayBlock report the summary for a resolved
+// callee.
 func (k *Kit) MayFlush(fn *types.Func) bool { f := k.facts[fn]; return f != nil && f.mayFlush }
 func (k *Kit) MayStore(fn *types.Func) bool { f := k.facts[fn]; return f != nil && f.mayStore }
 func (k *Kit) MayUndo(fn *types.Func) bool  { f := k.facts[fn]; return f != nil && f.mayUndo }
+func (k *Kit) MayBlock(fn *types.Func) bool { f := k.facts[fn]; return f != nil && f.mayBlock }
+
+// MayCreate reports whether fn (transitively) constructs a
+// lifecycle-tracked resource.
+func (k *Kit) MayCreate(fn *types.Func) bool { f := k.facts[fn]; return f != nil && f.mayCreate }
 
 func (k *Kit) ignored(pass string, p token.Position) bool {
 	lines := k.lineIgn[p.Filename]
 	return lines != nil && lines[p.Line] != nil && lines[p.Line][pass]
+}
+
+// PkgCall resolves a package-qualified call (pkg.Func(...)) to the
+// imported package path and function name. Unlike Callee, this works
+// for stub-imported packages (stdlib) too: the package name identifier
+// resolves to a *types.PkgName even when the member does not.
+func (k *Kit) PkgCall(pkg *Package, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	x, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := pkg.Info.Uses[x].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// isPanicLike treats panic(), os.Exit, and testing/log Fatal* calls as
+// path terminators so error paths do not produce noise. Shared by the
+// flush-discipline walker and the CFG builder.
+func isPanicLike(pkg *Package, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok && b != nil {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Fatal", "Fatalf", "Fatalln", "Exit", "Panic", "Panicf":
+			return true
+		}
+	}
+	return false
 }
 
 // Callee resolves a call to a declared module function (or method), or

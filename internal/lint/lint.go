@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A Finding is one analyzer diagnostic, formatted as
@@ -70,7 +71,11 @@ func Passes() []*Pass {
 		passTornStore,
 		passCtxThreading,
 		passTelemetryNilSafety,
-		passShardLock,
+		passLockOrder,
+		passSeqlock,
+		passAtomicField,
+		passLifecycle,
+		passWireCode,
 	}
 }
 
@@ -113,13 +118,26 @@ func selected(opts Options) ([]*Pass, error) {
 	return out, nil
 }
 
+// PassTiming is the wall-clock cost of one pass across all packages.
+type PassTiming struct {
+	Pass    string
+	Elapsed time.Duration
+}
+
 // Run executes the selected passes over every package in the module
 // (plus any extra packages, e.g. test fixtures) and returns the
 // findings sorted by position.
 func Run(m *Module, opts Options, extra ...*Package) ([]Finding, error) {
+	findings, _, err := RunTimed(m, opts, extra...)
+	return findings, err
+}
+
+// RunTimed is Run, also reporting per-pass wall-clock timings (in
+// registration order) for the CI lint-budget gate.
+func RunTimed(m *Module, opts Options, extra ...*Package) ([]Finding, []PassTiming, error) {
 	passes, err := selected(opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	kit := newKit(m)
 	pkgs := append(append([]*Package{}, m.Pkgs...), extra...)
@@ -127,10 +145,13 @@ func Run(m *Module, opts Options, extra ...*Package) ([]Finding, error) {
 		kit.addPackage(p)
 	}
 	var findings []Finding
+	var timings []PassTiming
 	for _, pass := range passes {
+		start := time.Now()
 		for _, pkg := range pkgs {
 			pass.Run(&Context{Module: m, Pkg: pkg, Kit: kit, pass: pass, out: &findings})
 		}
+		timings = append(timings, PassTiming{Pass: pass.Name, Elapsed: time.Since(start)})
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
@@ -145,7 +166,7 @@ func Run(m *Module, opts Options, extra ...*Package) ([]Finding, error) {
 		}
 		return findings[i].Pass < findings[j].Pass
 	})
-	return findings, nil
+	return findings, timings, nil
 }
 
 // ---- annotations -------------------------------------------------------
@@ -229,7 +250,9 @@ func lineDirectives(m *Module, pkg *Package) map[string]map[int]map[string]bool 
 // ---- baseline ----------------------------------------------------------
 
 // ReadBaseline loads a baseline file of grandfathered findings: one
-// Finding.Key per line, '#' comments and blank lines skipped.
+// Finding.Key per line, '#' comments and blank lines skipped. Keys
+// written for the retired shardlock pass are migrated to its successor
+// lockorder, so old baselines keep suppressing the same sites.
 func ReadBaseline(path string) (map[string]bool, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -242,6 +265,9 @@ func ReadBaseline(path string) (map[string]bool, error) {
 			continue
 		}
 		out[line] = true
+		if strings.Contains(line, "[shardlock]") {
+			out[strings.Replace(line, "[shardlock]", "[lockorder]", 1)] = true
+		}
 	}
 	return out, nil
 }

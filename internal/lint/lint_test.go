@@ -18,7 +18,11 @@ var fixtureCases = []struct {
 	{"tornstore", "torn-store"},
 	{"ctxthreading", "ctx-threading"},
 	{"telemetrysafety", "telemetry-nil-safety"},
-	{"shardlock", "shardlock"},
+	{"lockorder", "lockorder"},
+	{"seqlock", "seqlock"},
+	{"atomicfield", "atomicfield"},
+	{"lifecycle", "lifecycle"},
+	{"wirecode", "wirecode"},
 }
 
 func loadModule(t *testing.T) *Module {
@@ -189,7 +193,11 @@ func TestPassesAreRegistered(t *testing.T) {
 		names = append(names, p.Name)
 	}
 	sort.Strings(names)
-	want := []string{"ctx-threading", "flush-discipline", "shardlock", "telemetry-nil-safety", "torn-store", "tx-undo-log"}
+	want := []string{
+		"atomicfield", "ctx-threading", "flush-discipline", "lifecycle",
+		"lockorder", "seqlock", "telemetry-nil-safety", "torn-store",
+		"tx-undo-log", "wirecode",
+	}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("registered passes = %v, want %v", names, want)
 	}

@@ -19,6 +19,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -48,15 +49,22 @@ type Module struct {
 	Fset   *token.FileSet
 	Pkgs   []*Package
 	byPath map[string]*Package
+	tags   map[string]bool // build tags considered satisfied
 }
 
 // ByPath returns the module package with the given import path, or nil.
 func (m *Module) ByPath(path string) *Package { return m.byPath[path] }
 
 // Load parses and type-checks every package under root (the directory
-// containing go.mod). Test files (_test.go) and testdata/ directories
-// are skipped, matching what `go build ./...` compiles.
-func Load(root string) (*Module, error) {
+// containing go.mod). Test files (_test.go), testdata/ directories, and
+// files excluded by a //go:build constraint are skipped, matching what
+// `go build ./...` compiles with no extra tags.
+func Load(root string) (*Module, error) { return LoadTags(root, nil) }
+
+// LoadTags is Load with a set of build tags considered satisfied —
+// files whose //go:build line requires one of them (e.g. the lintmutate
+// mutants) are then included, exactly as `go build -tags` would.
+func LoadTags(root string, tags map[string]bool) (*Module, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -70,6 +78,7 @@ func Load(root string) (*Module, error) {
 		Path:   modPath,
 		Fset:   token.NewFileSet(),
 		byPath: make(map[string]*Package),
+		tags:   tags,
 	}
 
 	var dirs []string
@@ -158,6 +167,9 @@ func (m *Module) parseDir(dir string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !m.buildOK(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
@@ -183,6 +195,29 @@ func (m *Module) parseDir(dir string) (*Package, error) {
 		}
 	}
 	return pkg, nil
+}
+
+// buildOK evaluates a file's //go:build constraint (if any) against the
+// module's tag set. Only tags are consulted — GOOS/GOARCH/go-version
+// atoms evaluate false, which is right for this tree (no platform-split
+// files; tagged files are opt-in test mutants).
+func (m *Module) buildOK(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool { return m.tags[tag] })
+		}
+	}
+	return true
 }
 
 func (m *Module) topoSort() ([]*Package, error) {

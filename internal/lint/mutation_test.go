@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMutationCaught is the analyzer's own regression harness: the
+// module is re-loaded with the lintmutate build tag, which pulls in
+// internal/core/lintmutate.go — one seeded bug per race class. Each
+// mutant must be reported by its pass, in that file, and the rest of
+// the tree must stay clean (the tag adds bugs, it must not add noise).
+func TestMutationCaught(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadTags(root, map[string]bool{"lintmutate": true})
+	if err != nil {
+		t.Fatalf("LoadTags(lintmutate): %v", err)
+	}
+	findings, err := Run(m, Options{Enable: []string{"lockorder", "seqlock", "lifecycle"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mutFile = "internal/core/lintmutate.go"
+	caught := map[string]bool{}
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil || filepath.ToSlash(rel) != mutFile {
+			t.Errorf("finding outside the mutant file: %s", f)
+			continue
+		}
+		caught[f.Pass] = true
+	}
+	for _, pass := range []string{"lockorder", "seqlock", "lifecycle"} {
+		if !caught[pass] {
+			t.Errorf("seeded %s mutant in %s went unreported", pass, mutFile)
+		}
+	}
+	// The untagged load must not see the mutants at all.
+	plain, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range plain.Pkgs {
+		for _, f := range pkg.Files {
+			if name := plain.Fset.Position(f.Pos()).Filename; strings.HasSuffix(name, "lintmutate.go") {
+				t.Errorf("untagged load included %s", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Golden fixture for the atomicfield pass: a field updated through
+// sync/atomic anywhere must be accessed atomically everywhere.
+package fixture
+
+import "sync/atomic"
+
+type counterT struct {
+	hits  uint64 // atomic: see bump
+	total uint64 // plain, guarded elsewhere
+}
+
+func bump(c *counterT) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func badPlainRead(c *counterT) uint64 {
+	return c.hits // want atomicfield
+}
+
+func badPlainWrite(c *counterT) {
+	c.hits = 0 // want atomicfield
+}
+
+func goodAtomicRead(c *counterT) uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func goodAtomicStore(c *counterT) {
+	atomic.StoreUint64(&c.hits, 0)
+}
+
+func goodOtherField(c *counterT) uint64 {
+	c.total++
+	return c.total
+}
+
+func annotatedInit() *counterT {
+	c := &counterT{}
+	//poseidonlint:ignore atomicfield pre-publication initialization, not yet shared
+	c.hits = 1
+	return c
+}

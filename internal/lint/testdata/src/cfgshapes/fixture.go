@@ -1,0 +1,88 @@
+// Control-flow shapes exercised by the CFG builder unit tests. Each
+// function is one graph shape; the tests run tiny call-set dataflows
+// over them (union join for may-reach, intersection join for
+// must-reach) and assert against the mark() labels.
+package fixture
+
+func mark(string) {}
+
+func count() int { return 0 }
+
+func shapeIfElse(c bool) {
+	if c {
+		mark("then")
+	} else {
+		mark("else")
+	}
+	mark("join")
+}
+
+func shapeEarlyReturn(c bool) {
+	if c {
+		return
+	}
+	mark("tail")
+}
+
+func shapeLoop(n int) {
+	for i := 0; i < n; i++ {
+		if i == 1 {
+			continue
+		}
+		if i == 2 {
+			break
+		}
+		mark("body")
+	}
+	mark("after")
+}
+
+func shapeFallthrough(n int) {
+	switch n {
+	case 1:
+		mark("one")
+		fallthrough
+	default:
+		mark("def")
+	}
+}
+
+func shapeSelect(ch chan int) {
+	select {
+	case <-ch:
+		mark("recv")
+	default:
+		mark("none")
+	}
+	mark("join")
+}
+
+func shapeDefers(c bool) {
+	defer mark("d1")
+	if c {
+		defer mark("d2")
+	}
+	mark("body")
+}
+
+func shapeAllPanic() {
+	mark("pre")
+	panic("always")
+}
+
+func shapeLabeledBreak(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				break outer
+			}
+			mark("inner")
+		}
+	}
+	mark("after")
+}
+
+func shapeReturnCall() int {
+	return count()
+}

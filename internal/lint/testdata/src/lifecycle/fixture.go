@@ -1,0 +1,78 @@
+// Golden fixture for the lifecycle pass: spans must be Ended, and
+// Rows/Session/client.Conn closed, on every path — or handed off to a
+// new owner (returned, stored, captured).
+package fixture
+
+import (
+	"context"
+
+	"poseidon/internal/trace"
+)
+
+func badSpanLeakOnError(ctx context.Context, fail bool) error {
+	_, sp := trace.StartSpan(ctx, "fixture.op", trace.KindExec) // want lifecycle
+	if fail {
+		return errFixture // early return skips sp.End
+	}
+	sp.End()
+	return nil
+}
+
+func badSpanNeverEnded(ctx context.Context) {
+	_, sp := trace.StartSpan(ctx, "fixture.forgotten", trace.KindExec) // want lifecycle
+	sp.SetAttr("k", "v")
+}
+
+func badChildDiscarded(sp *trace.Span) {
+	sp.Child("fixture.child", trace.KindExec) // want lifecycle
+}
+
+func goodDeferEnd(ctx context.Context, fail bool) error {
+	_, sp := trace.StartSpan(ctx, "fixture.op", trace.KindExec)
+	defer sp.End()
+	if fail {
+		return errFixture
+	}
+	return nil
+}
+
+func goodEndOnEveryPath(ctx context.Context, fail bool) error {
+	_, sp := trace.StartSpan(ctx, "fixture.op", trace.KindExec)
+	if fail {
+		sp.End()
+		return errFixture
+	}
+	sp.End()
+	return nil
+}
+
+func goodEscapesByReturn(ctx context.Context) (context.Context, *trace.Span) {
+	ctx, sp := trace.StartSpan(ctx, "fixture.handoff", trace.KindExec)
+	return ctx, sp
+}
+
+func goodEscapesToCallee(ctx context.Context) {
+	_, sp := trace.StartSpan(ctx, "fixture.handoff", trace.KindExec)
+	adopt(sp)
+}
+
+func goodEscapesToField(ctx context.Context, h *holder) {
+	_, sp := trace.StartSpan(ctx, "fixture.handoff", trace.KindExec)
+	h.sp = sp
+}
+
+//poseidonlint:ignore lifecycle fixture stand-in for a span intentionally left open for the connection lifetime
+func annotatedLongLived(ctx context.Context) {
+	_, sp := trace.StartSpan(ctx, "fixture.conn", trace.KindExec)
+	sp.SetAttr("k", "v")
+}
+
+type holder struct{ sp *trace.Span }
+
+func adopt(sp *trace.Span) { defer sp.End() }
+
+type fixtureErr string
+
+func (e fixtureErr) Error() string { return string(e) }
+
+const errFixture = fixtureErr("fixture error")

@@ -1,0 +1,118 @@
+// Golden fixture for the lockorder pass: the commitMu/idxMu/beginMu
+// lock hierarchy must be acquired singly (multi-shard sets only through
+// lockShards), released on every path, and never held across a
+// blocking operation.
+package fixture
+
+import "sync"
+
+type shardT struct {
+	commitMu sync.Mutex
+	idxMu    sync.RWMutex
+}
+
+type engineT struct {
+	shards []*shardT
+}
+
+// lockShards is the blessed ascending multi-acquire helper; exempt by
+// name, like its counterpart in internal/core.
+func (e *engineT) lockShards(order []int) {
+	for _, i := range order {
+		e.shards[i].commitMu.Lock()
+	}
+}
+
+func (e *engineT) unlockShards(order []int) {
+	for i := len(order) - 1; i >= 0; i-- {
+		e.shards[order[i]].commitMu.Unlock()
+	}
+}
+
+func badTwoLocks(a, b *shardT) {
+	a.commitMu.Lock()
+	b.commitMu.Lock() // want lockorder
+	b.commitMu.Unlock()
+	a.commitMu.Unlock()
+}
+
+func badDoubleLock(s *shardT) {
+	s.idxMu.Lock()
+	s.idxMu.Lock() // want lockorder
+	s.idxMu.Unlock()
+	s.idxMu.Unlock()
+}
+
+func badLoopLock(shards []*shardT) { // want lockorder
+	for _, sh := range shards {
+		sh.commitMu.Lock() // want lockorder
+	}
+}
+
+func badRangeTryLock(shards []*shardT) {
+	for _, sh := range shards {
+		sh.commitMu.TryLock() // want lockorder
+	}
+}
+
+func badMissedUnlock(s *shardT, fail bool) bool { // want lockorder
+	s.idxMu.Lock()
+	if fail {
+		return false // error path forgets the unlock
+	}
+	s.idxMu.Unlock()
+	return true
+}
+
+func badDoubleSet(e *engineT, order []int) {
+	e.lockShards(order)
+	e.lockShards(order) // want lockorder
+	e.unlockShards(order)
+	e.unlockShards(order)
+}
+
+func badBlockUnderLock(s *shardT, ch chan int) {
+	s.commitMu.Lock()
+	ch <- 1 // want lockorder
+	s.commitMu.Unlock()
+}
+
+func goodSingleLock(s *shardT) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+}
+
+func goodLoopLockUnlock(shards []*shardT) {
+	for _, sh := range shards {
+		sh.commitMu.Lock()
+		sh.commitMu.Unlock()
+	}
+}
+
+func goodViaHelper(e *engineT, order []int) {
+	e.lockShards(order)
+	defer e.unlockShards(order)
+}
+
+func goodEarlyReturnDefer(s *shardT, fail bool) bool {
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
+	if fail {
+		return false
+	}
+	return true
+}
+
+func goodBlockAfterUnlock(s *shardT, ch chan int) {
+	s.commitMu.Lock()
+	s.commitMu.Unlock()
+	ch <- 1
+}
+
+//poseidonlint:ignore lockorder fixture stand-in for a documented nested acquisition
+func annotatedMultiLock(a, b *shardT) {
+	a.commitMu.Lock()
+	b.commitMu.Lock()
+	b.commitMu.Unlock()
+	a.commitMu.Unlock()
+}

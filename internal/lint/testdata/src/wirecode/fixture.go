@@ -1,0 +1,60 @@
+// Golden fixture for the wirecode pass: wire.Error needs a stable
+// Code* constant, and switches over Msg* tags must be exhaustive or
+// carry a default.
+package fixture
+
+import "poseidon/internal/wire"
+
+func badNoCode(msg string) wire.Error {
+	return wire.Error{Message: msg} // want wirecode
+}
+
+func badStringCode(msg string) *wire.Error {
+	return &wire.Error{Code: "oops-ad-hoc", Message: msg} // want wirecode
+}
+
+func badPartialSwitch(tag byte) string {
+	switch tag { // want wirecode
+	case wire.MsgHello:
+		return "hello"
+	case wire.MsgRun:
+		return "run"
+	}
+	return ""
+}
+
+func goodConstCode(msg string) wire.Error {
+	return wire.Error{Code: wire.CodeInternal, Message: msg}
+}
+
+func goodCodeVariable(code, msg string) wire.Error {
+	return wire.Error{Code: code, Message: msg}
+}
+
+func goodDefaultSwitch(tag byte) string {
+	switch tag {
+	case wire.MsgHello:
+		return "hello"
+	default:
+		return "other"
+	}
+}
+
+func goodUnrelatedSwitch(n int) string {
+	switch n {
+	case 1:
+		return "one"
+	case 2:
+		return "two"
+	}
+	return ""
+}
+
+//poseidonlint:ignore wirecode fixture stand-in for a deliberately partial dispatcher
+func annotatedPartial(tag byte) bool {
+	switch tag {
+	case wire.MsgHello, wire.MsgGoodbye:
+		return true
+	}
+	return false
+}

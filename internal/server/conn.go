@@ -350,6 +350,7 @@ func (c *conn) handleRun(r *wire.Run) bool {
 		rspan.End()
 		return c.reply(errorFrame(aerr))
 	}
+	//poseidonlint:ignore lifecycle sessFor caches the session per connection; conn.Close releases both cached sessions
 	sess := c.sessFor(mode)
 	params := query.Params(r.Params)
 
