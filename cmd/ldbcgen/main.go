@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ldbcgen [-persons N] [-seed S] [-save FILE]
+//	ldbcgen [-persons N] [-seed S] [-bulk] [-save FILE]
 //
 // With -save, the engine's durable device image is written to FILE; the
 // recovery example and graphshell can load it.
@@ -26,6 +26,7 @@ func main() {
 	persons := flag.Int("persons", 1000, "number of persons (SNB ratios derive the rest)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	save := flag.String("save", "", "write the durable device image to this file")
+	bulk := flag.Bool("bulk", false, "load through the write-optimized bulk path (indexes built per batch)")
 	flag.Parse()
 
 	start := time.Now()
@@ -85,11 +86,15 @@ func main() {
 		os.Exit(1)
 	}
 	defer e.Close()
-	if err := ds.LoadCore(e, true, index.Hybrid); err != nil {
+	load, how := ds.LoadCore, "classic (backfill) path"
+	if *bulk {
+		load, how = ds.BulkLoadCore, "bulk path (streamed, per-batch index publication)"
+	}
+	if err := load(e, true, index.Hybrid); err != nil {
 		fmt.Fprintln(os.Stderr, "load:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nloaded into PMem engine in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\nloaded into PMem engine via %s in %v\n", how, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("pool heap used: %.1f MiB\n", float64(e.Pool().HeapUsed())/(1<<20))
 	st := e.Device().Stats.Snapshot()
 	fmt.Printf("device during load: %d writes, %d line flushes, %d block writes, %d drains\n",

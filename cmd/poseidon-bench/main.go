@@ -42,7 +42,7 @@ func main() {
 	persons := flag.Int("persons", 500, "dataset scale (number of persons; SNB ratios derive the rest)")
 	runs := flag.Int("runs", 20, "measured repetitions per query (the paper uses 50)")
 	workers := flag.Int("workers", 0, "parallel/adaptive workers (0 = GOMAXPROCS)")
-	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, 10, ablations, stream, saturation, traceoverhead or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5, 6, 7, 8, 9, 10, ablations, stream, saturation, ingest, traceoverhead or all")
 	seed := flag.Int64("seed", 42, "dataset and parameter seed")
 	jsonPath := flag.String("json", "", "also write a machine-readable result to this path")
 	checkPath := flag.String("checkjson", "", "validate a previously written -json file and exit")
@@ -83,9 +83,10 @@ func main() {
 		"ablations":     s.Ablations,
 		"stream":        func() (*bench.Table, error) { return streamFigure(*runs) },
 		"saturation":    func() (*bench.Table, error) { return bench.Saturation(s.Opts) },
+		"ingest":        func() (*bench.Table, error) { return bench.Ingest(s.Opts) },
 		"traceoverhead": func() (*bench.Table, error) { return traceFigure(*runs) },
 	}
-	order := []string{"5", "6", "7", "8", "9", "10", "ablations", "stream", "saturation", "traceoverhead"}
+	order := []string{"5", "6", "7", "8", "9", "10", "ablations", "stream", "saturation", "ingest", "traceoverhead"}
 
 	var collected []*bench.Table
 	run := func(name string) {

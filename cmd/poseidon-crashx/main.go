@@ -7,7 +7,12 @@
 // Usage:
 //
 //	poseidon-crashx [-persons N] [-ops N] [-seed S] [-mask flush|drain]
-//	                [-random N] [-max N] [-replay SCHEDULE] [-q]
+//	                [-mix iu|ingest] [-random N] [-max N] [-replay SCHEDULE] [-q]
+//
+// The default mix commits one IU transaction at a time; -mix ingest runs
+// the write-optimized ingest stack instead (bulk base load, group-commit
+// epochs via CommitBatch, delta-mode indexes with explicit merges), so
+// crashes land around the epoch leader's group fence and mid delta-merge.
 //
 // Exit status is 0 when every explored schedule recovered to a clean
 // image, 1 on violations and 2 on usage or harness errors. Every reported
@@ -36,8 +41,20 @@ func main() {
 	maxPoints := flag.Int("max", 0, "cap exhaustive enumeration at N points (0 = all)")
 	replay := flag.String("replay", "", "re-execute one schedule ID and report")
 	shards := flag.Int("shards", 0, "engine-core shard count for run and recovery (0 = engine default)")
+	mixStr := flag.String("mix", "iu", "workload mix: iu (per-txn commits) or ingest (group-commit epochs + delta merges)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
+
+	var mixSel string
+	switch *mixStr {
+	case "iu", "":
+		mixSel = crashx.MixIU
+	case "ingest":
+		mixSel = crashx.MixIngest
+	default:
+		fmt.Fprintf(os.Stderr, "crashx: unknown -mix %q (want iu or ingest)\n", *mixStr)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -75,6 +92,7 @@ func main() {
 		Random:    *random,
 		MaxPoints: *maxPoints,
 		Shards:    *shards,
+		Mix:       mixSel,
 	}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {

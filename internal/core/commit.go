@@ -158,8 +158,22 @@ func (tx *Tx) Commit() error {
 		tx.finish()
 		return nil
 	}
-	e := tx.e
 	shardOrder := tx.commitShards()
+	// Single-shard transactions join their shard's commit epoch when
+	// group commit is on; cross-shard ones (including old property
+	// chains that straddle shards after a shard-count change) always
+	// take the per-transaction path below.
+	if tx.e.cfg.GroupCommit.Enabled && len(shardOrder) == 1 {
+		return tx.commitGrouped(shardOrder[0])
+	}
+	return tx.commitLocked(shardOrder)
+}
+
+// commitLocked is the per-transaction commit path (steps 1-4 above).
+// Caller holds tx.endMu and has verified the transaction is live and
+// has writes.
+func (tx *Tx) commitLocked(shardOrder []int) error {
+	e := tx.e
 	// Request tracing: Session.Exec (and the server's explicit COMMIT
 	// path) attach their span to the transaction's context; with tracing
 	// off the handles are nil and every span call below no-ops.
@@ -300,6 +314,7 @@ func (tx *Tx) Commit() error {
 	// Step 4: secondary index maintenance (still under the shard locks, so
 	// per-shard index updates observe commit order) and GC bookkeeping.
 	tx.updateIndexes()
+	e.publishIndexDeltas(shardOrder)
 	tx.enqueueGC()
 	for _, s := range shardOrder {
 		e.shards[s].commits.Add(1)

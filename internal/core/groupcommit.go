@@ -1,0 +1,440 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"poseidon/internal/pmemobj"
+	"poseidon/internal/storage"
+)
+
+// Group commit: concurrent single-shard committers enqueue into their
+// shard's commit epoch instead of each paying a full drain/fence cycle.
+// The first committer to find the queue leaderless becomes the epoch
+// leader; it drains the queue (up to Config.GroupCommit.MaxBatch per
+// epoch), persists the whole batch behind one batched undo-log append
+// (a single publication fence, pmemobj.SnapshotAll), one lane commit and
+// one shared lock-release drain, then wakes every member. Committers
+// arriving while an epoch persists queue up and form the next epoch —
+// with MaxDelay zero, batching comes purely from that backpressure.
+//
+// Epochs never abort wholesale for capacity reasons: a batch whose undo
+// images would overflow the shard's lane is split into smaller groups
+// (see processGroup), degrading throughput instead of failing members.
+
+// groupState is one shard's commit-epoch queue.
+type groupState struct {
+	mu      sync.Mutex
+	pending []*groupReq
+	// leading is true while some goroutine is draining the queue; every
+	// other committer parks on its request's done channel.
+	leading bool
+}
+
+// groupReq is one transaction's seat in a commit epoch. The done channel
+// is buffered so the leader's result delivery never blocks.
+type groupReq struct {
+	tx   *Tx
+	done chan error
+}
+
+// commitGrouped commits the transaction through its shard's commit
+// epoch. Caller holds tx.endMu and has verified the transaction is live,
+// has writes, and touches only shard s.
+func (tx *Tx) commitGrouped(s int) error {
+	e := tx.e
+	g := &e.shards[s].group
+	req := &groupReq{tx: tx, done: make(chan error, 1)}
+	g.mu.Lock()
+	g.pending = append(g.pending, req)
+	if g.leading {
+		g.mu.Unlock()
+		return <-req.done
+	}
+	g.leading = true
+	g.mu.Unlock()
+
+	// This goroutine leads until the queue is empty; its own request is
+	// in the first batch, so the receive below never blocks on itself.
+	cfg := e.cfg.GroupCommit
+	for {
+		if cfg.MaxDelay > 0 {
+			g.mu.Lock()
+			n := len(g.pending)
+			g.mu.Unlock()
+			if n > 0 && n < cfg.MaxBatch {
+				time.Sleep(cfg.MaxDelay)
+			}
+		}
+		g.mu.Lock()
+		batch := g.pending
+		if len(batch) > cfg.MaxBatch {
+			batch = batch[:cfg.MaxBatch:cfg.MaxBatch]
+			g.pending = append([]*groupReq(nil), g.pending[cfg.MaxBatch:]...)
+		} else {
+			g.pending = nil
+		}
+		if len(batch) == 0 {
+			g.leading = false
+			g.mu.Unlock()
+			break
+		}
+		g.mu.Unlock()
+		e.commitEpoch(s, batch)
+	}
+	return <-req.done
+}
+
+// CommitBatch commits the given transactions as group-commit epochs,
+// regardless of Config.GroupCommit.Enabled: single-shard transactions
+// are grouped per shard (in ascending shard order) and committed through
+// the epoch path; cross-shard ones fall back to the per-transaction
+// path. The caller must own every transaction and not use them
+// concurrently. Returns one result per transaction, in input order.
+//
+// This is the deterministic entry point: bulk loaders use it to form
+// epochs without relying on scheduler-dependent queue contention, and
+// the crash-point explorer uses it to get a replayable device-event
+// sequence through the epoch machinery.
+func (e *Engine) CommitBatch(txs []*Tx) []error {
+	errs := make([]error, len(txs))
+	type seat struct {
+		idx int
+		req *groupReq
+	}
+	groups := make(map[int][]*groupReq)
+	var seats []seat
+	for i, tx := range txs {
+		tx.endMu.Lock()
+		if tx.done.Load() {
+			errs[i] = ErrTxDone
+			tx.endMu.Unlock()
+			continue
+		}
+		if err := tx.ctxErr(); err != nil {
+			tx.setAbortReason(AbortCancelled)
+			_ = tx.abortLocked()
+			errs[i] = err
+			tx.endMu.Unlock()
+			continue
+		}
+		if len(tx.order) == 0 {
+			e.tel.TxCommits.Inc()
+			tx.finish()
+			tx.endMu.Unlock()
+			continue
+		}
+		shardOrder := tx.commitShards()
+		if len(shardOrder) > 1 {
+			errs[i] = tx.commitLocked(shardOrder)
+			tx.endMu.Unlock()
+			continue
+		}
+		req := &groupReq{tx: tx, done: make(chan error, 1)}
+		groups[shardOrder[0]] = append(groups[shardOrder[0]], req)
+		seats = append(seats, seat{i, req})
+	}
+	shards := make([]int, 0, len(groups))
+	for s := range groups {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	for _, s := range shards {
+		e.commitEpoch(s, groups[s])
+	}
+	for _, st := range seats {
+		errs[st.idx] = <-st.req.done
+		st.req.tx.endMu.Unlock()
+	}
+	return errs
+}
+
+// commitEpoch commits one epoch's members on shard s: cancelled members
+// are aborted up front, the rest are packed into groups sized to the
+// shard's undo-log lane and persisted group by group. Every member's
+// result is delivered on its done channel.
+func (e *Engine) commitEpoch(s int, reqs []*groupReq) {
+	live := make([]*groupReq, 0, len(reqs))
+	for _, req := range reqs {
+		if err := req.tx.ctxErr(); err != nil {
+			req.tx.setAbortReason(AbortCancelled)
+			_ = req.tx.abortLocked()
+			req.done <- err
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	// Pack members into lane-budget groups up front. The estimate is
+	// conservative but approximate; a group that still overflows the
+	// lane degrades further by splitting inside processGroup.
+	budget := e.laneBudget(s)
+	var group []*groupReq
+	var cost uint64
+	for _, req := range live {
+		c := estimateUndo(req.tx)
+		if len(group) > 0 && cost+c > budget {
+			e.groupSplits.Add(1)
+			e.processGroup(s, group)
+			group, cost = nil, 0
+		}
+		group = append(group, req)
+		cost += c
+	}
+	e.processGroup(s, group)
+}
+
+// laneBudget returns the undo-log bytes an epoch may plan to use on
+// shard s's lane: the lane capacity minus its header, with a safety
+// margin for allocator metadata the estimate cannot see.
+func (e *Engine) laneBudget(s int) uint64 {
+	laneCap := e.pool.LaneCap(e.shards[s].lane)
+	if laneCap <= pmemobj.LogHeaderBytes {
+		return 1
+	}
+	return (laneCap - pmemobj.LogHeaderBytes) * 7 / 8
+}
+
+// estimateUndo approximates the undo-log bytes committing tx consumes:
+// one record snapshot per dirty object, a record+bitmap-word snapshot
+// per freed old property record, and a bitmap-word snapshot per new
+// property record. Coverage dedup only shrinks the real usage, so the
+// estimate errs high; the slack covers chunk-header snapshots.
+func estimateUndo(tx *Tx) uint64 {
+	total := uint64(0)
+	for _, key := range tx.order {
+		d := tx.dirty[key]
+		recSize := uint64(storage.NodeRecordSize)
+		if d.key.kind == kindRel {
+			recSize = storage.RelRecordSize
+		}
+		total += pmemobj.SnapshotCost(recSize)
+		if d.hasOld && d.propsChanged && !d.isDelete {
+			oldRecs := uint64(len(d.oldProps)+storage.PItemsMax-1) / storage.PItemsMax
+			total += oldRecs * (pmemobj.SnapshotCost(storage.PropRecordSize) + pmemobj.SnapshotCost(8))
+		}
+		if d.propsChanged && !d.isDelete {
+			newRecs := uint64(len(d.ver.props)+storage.PItemsMax-1) / storage.PItemsMax
+			total += newRecs * pmemobj.SnapshotCost(8)
+		}
+	}
+	return total + 512
+}
+
+// groupRanges pre-collects every persistent range the group's members
+// are known to touch — dirty records, the old property records an
+// update frees, and their occupancy-bitmap words — so one SnapshotAll
+// publishes them behind a single fence. applyDirty's own Snapshot calls
+// then dedup against the coverage; only ranges unknown before slot
+// allocation (fresh bitmap words, chunk headers) still log individually.
+func (e *Engine) groupRanges(reqs []*groupReq) []pmemobj.Range {
+	var out []pmemobj.Range
+	for _, req := range reqs {
+		tx := req.tx
+		for _, key := range tx.order {
+			d := tx.dirty[key]
+			off := tx.recordOffset(d.key)
+			recSize := uint64(storage.NodeRecordSize)
+			if d.key.kind == kindRel {
+				recSize = storage.RelRecordSize
+			}
+			out = append(out, pmemobj.Range{Off: off, N: recSize})
+			if d.hasOld && d.propsChanged && !d.isDelete {
+				head := d.oldNode.Props
+				if d.key.kind == kindRel {
+					head = d.oldRel.Props
+				}
+				for id := head; id != storage.NilID; {
+					poff, ok := e.props.RecordOffset(id)
+					if !ok {
+						break
+					}
+					out = append(out, pmemobj.Range{Off: poff, N: storage.PropRecordSize})
+					if w, ok := e.props.BitmapWordOff(id); ok {
+						out = append(out, pmemobj.Range{Off: w, N: 8})
+					}
+					id = e.dev.ReadU64(poff + storage.PNext)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// processGroup persists one lane-sized group of single-shard
+// transactions as a unit: the commit steps of Tx.commitLocked, with the
+// per-transaction fences amortized over the group. A group whose undo
+// images overflow the lane despite the pre-sizing splits in half and
+// retries — members are only aborted for the same reasons a solo commit
+// would abort them.
+func (e *Engine) processGroup(s int, reqs []*groupReq) {
+	if len(reqs) == 0 {
+		return
+	}
+	sh := &e.shards[s]
+	order := []int{s}
+	e.lockShards(order, nil)
+	locked := true
+	defer func() {
+		if locked {
+			e.unlockShards(order)
+		}
+	}()
+
+	// Step 1: preserve superseded committed versions, per member.
+	type pushedVer struct {
+		c *chain
+		v *version
+	}
+	var pushed []pushedVer
+	for _, req := range reqs {
+		tx := req.tx
+		for _, key := range tx.order {
+			d := tx.dirty[key]
+			if !d.hasOld || d.isDelete {
+				continue
+			}
+			var v *version
+			if d.key.kind == kindNode {
+				old := d.oldNode
+				v = &version{bts: old.Bts, ets: tx.id, node: &old, props: d.oldProps}
+			} else {
+				old := d.oldRel
+				v = &version{bts: old.Bts, ets: tx.id, rel: &old, props: d.oldProps}
+			}
+			c := tx.chainsForKey(d.key).getOrCreate(d.key.id)
+			c.push(v)
+			pushed = append(pushed, pushedVer{c, v})
+		}
+	}
+	unpush := func() {
+		for _, p := range pushed {
+			p.c.remove(p.v)
+		}
+	}
+
+	// Step 2: one lane transaction for the whole group, fronted by the
+	// batched snapshot — the epoch's single publication fence.
+	ranges := e.groupRanges(reqs)
+	var err error
+	for {
+		err = e.pool.RunTxLane(sh.lane, func(ptx *pmemobj.Tx) error {
+			if err := ptx.SnapshotAll(ranges); err != nil {
+				return err
+			}
+			for _, req := range reqs {
+				tx := req.tx
+				for _, key := range tx.order {
+					if err := tx.applyDirty(ptx, tx.dirty[key]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if !errors.Is(err, storage.ErrShardFull) {
+			break
+		}
+		// Reserve property capacity outside the commit lock (chunk
+		// appends mutate global allocator state), summed over the
+		// group, then retry. Sorted iteration keeps the device-event
+		// sequence deterministic for crash-point replay.
+		e.unlockShards(order)
+		locked = false
+		needs := make(map[int]int)
+		for _, req := range reqs {
+			for ns, n := range req.tx.propNeeds() {
+				needs[ns] += n
+			}
+		}
+		nss := make([]int, 0, len(needs))
+		for ns := range needs {
+			nss = append(nss, ns)
+		}
+		sort.Ints(nss)
+		var rerr error
+		for _, ns := range nss {
+			if ferr := e.props.EnsureShardFreeN(ns, needs[ns]); ferr != nil {
+				rerr = ferr
+				break
+			}
+		}
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		e.lockShards(order, nil)
+		locked = true
+	}
+	if errors.Is(err, pmemobj.ErrLogFull) && len(reqs) > 1 {
+		// The lane rolled the whole group back. Degrade, don't abort:
+		// split in half and retry each independently (each half
+		// re-runs step 1 for its members).
+		unpush()
+		e.unlockShards(order)
+		locked = false
+		e.groupSplits.Add(1)
+		mid := len(reqs) / 2
+		e.processGroup(s, reqs[:mid])
+		e.processGroup(s, reqs[mid:])
+		return
+	}
+	if err != nil {
+		// Same failure semantics as a solo commit: the lane rolled
+		// everything back; abort the members (after releasing the shard
+		// lock — aborts re-acquire it to release inserted slots).
+		unpush()
+		e.unlockShards(order)
+		locked = false
+		werr := fmt.Errorf("core: commit failed: %w", err)
+		for _, req := range reqs {
+			req.tx.setAbortReason(AbortCommitFailed)
+			_ = req.tx.abortLocked()
+			req.done <- werr
+		}
+		return
+	}
+
+	// Step 3: release every member's write locks behind one drain.
+	for _, req := range reqs {
+		tx := req.tx
+		for _, key := range tx.order {
+			off := tx.recordOffset(key)
+			e.dev.WriteU64(off, 0) // txn-id is field 0 of both record types
+			e.dev.Flush(off, 8)
+		}
+	}
+	e.dev.Drain()
+
+	// The dirty versions are now redundant (see Tx.commitLocked).
+	for _, req := range reqs {
+		tx := req.tx
+		for _, key := range tx.order {
+			d := tx.dirty[key]
+			tx.chainsForKey(d.key).getOrCreate(d.key.id).remove(d.ver)
+		}
+	}
+
+	// Step 4: index maintenance and GC bookkeeping under the shard
+	// lock, one delta publication for the whole group.
+	for _, req := range reqs {
+		req.tx.updateIndexes()
+		req.tx.enqueueGC()
+	}
+	e.publishIndexDeltas(order)
+	sh.commits.Add(uint64(len(reqs)))
+	e.groupEpochs.Add(1)
+	e.groupMembers.Add(uint64(len(reqs)))
+	e.unlockShards(order)
+	locked = false
+	for _, req := range reqs {
+		e.tel.TxCommits.Inc()
+		req.tx.finish()
+		req.done <- nil
+	}
+}

@@ -125,6 +125,7 @@ func (e *Engine) CreateIndex(label, key string, kind index.Kind) error {
 		if trees[s], err = index.Create(kind, e.pool, index.Options{}); err != nil {
 			return err
 		}
+		e.enableTreeDelta(trees[s])
 	}
 	for s := 0; s < e.nShards; s++ {
 		if err := e.backfillShard(trees[s], ik, s); err != nil {
@@ -272,6 +273,7 @@ func (e *Engine) reopenIndexes() error {
 				if err != nil {
 					return fmt.Errorf("core: reopen index (%d,%d) shard %d: %w", ik.label, ik.key, s, err)
 				}
+				e.enableTreeDelta(tree)
 				e.shards[s].indexes[ik] = tree
 			}
 			continue
@@ -284,6 +286,7 @@ func (e *Engine) reopenIndexes() error {
 			if err != nil {
 				return err
 			}
+			e.enableTreeDelta(tree)
 			e.shards[s].indexes[ik] = tree
 		}
 	}
@@ -530,6 +533,7 @@ func (e *Engine) rebuildIndexShard(ik indexKey, s int, kind index.Kind, entries 
 	if err != nil {
 		return err
 	}
+	e.enableTreeDelta(tree)
 	for ent, st := range entries {
 		if !st.required || e.nodes.ShardOf(ent.ID) != s {
 			continue // tombstoned nodes' entries are optional; a rebuild omits them

@@ -8,8 +8,18 @@
 // harness can produce that the protocol holds.
 //
 // Every explored schedule has a compact, replayable identity
-// (ScheduleID): dataset scale, workload seed, op count, event mask and
-// the crash ordinal k. Replay re-executes exactly that schedule.
+// (ScheduleID): dataset scale, workload seed, op count, event mask, the
+// workload mix and the crash ordinal k. Replay re-executes exactly that
+// schedule.
+//
+// Two workload mixes are available. The default ("iu") commits one IU
+// transaction at a time through the classic per-transaction path. The
+// "ingest" mix exercises the write-optimized ingest stack: the base
+// dataset is streamed in through the bulk loader, IU transactions commit
+// in deterministic group-commit epochs through CommitBatch (so crash
+// points land before and after the epoch leader's group fence), and the
+// secondary indexes run in delta mode with explicit merges between
+// epochs (so crash points also land mid delta-merge).
 package crashx
 
 import (
@@ -17,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -26,6 +37,13 @@ import (
 	"poseidon/internal/ldbc"
 	"poseidon/internal/pmem"
 	"poseidon/internal/query"
+)
+
+// Workload mixes. MixIU is the zero value: ScheduleIDs from before the
+// ingest mix existed parse and replay unchanged.
+const (
+	MixIU     = ""       // one IU transaction per commit (classic path)
+	MixIngest = "ingest" // bulk base load + group-commit epochs + delta merges
 )
 
 // Options configures an exploration run.
@@ -51,6 +69,8 @@ type Options struct {
 	// runs exercise the per-shard undo-log lanes and the cross-shard
 	// commit protocol under crash schedules.
 	Shards int
+	// Mix selects the workload (MixIU or MixIngest).
+	Mix string
 	// Progress, when non-nil, receives progress lines.
 	Progress func(format string, args ...any)
 }
@@ -88,11 +108,18 @@ type ScheduleID struct {
 	Ops     int
 	Mask    pmem.CrashEvents
 	K       uint64
+	// Mix is the workload mix; empty means the classic IU mix, so
+	// schedule IDs minted before the ingest mix existed stay valid.
+	Mix string
 }
 
 func (s ScheduleID) String() string {
-	return fmt.Sprintf("persons=%d,seed=%d,ops=%d,mask=%s,k=%d",
+	id := fmt.Sprintf("persons=%d,seed=%d,ops=%d,mask=%s,k=%d",
 		s.Persons, s.Seed, s.Ops, s.Mask, s.K)
+	if s.Mix != MixIU {
+		id += ",mix=" + s.Mix
+	}
+	return id
 }
 
 // ParseScheduleID parses the String form back into a schedule.
@@ -115,6 +142,11 @@ func ParseScheduleID(in string) (ScheduleID, error) {
 			s.Mask, err = pmem.ParseCrashEvents(val)
 		case "k":
 			s.K, err = strconv.ParseUint(val, 10, 64)
+		case "mix":
+			if val != MixIngest {
+				err = fmt.Errorf("unknown mix %q", val)
+			}
+			s.Mix = val
 		default:
 			return s, fmt.Errorf("crashx: unknown schedule field %q", key)
 		}
@@ -175,13 +207,29 @@ func newHarness(opts Options) (*harness, error) {
 		Shards:   opts.Shards,
 		Profile:  &pmem.Profile{}, // latency model off: exploration is about ordering, not timing
 	}
+	switch opts.Mix {
+	case MixIU:
+	case MixIngest:
+		// The write-optimized ingest stack: group-commit epochs (driven
+		// deterministically through CommitBatch) and delta-mode indexes.
+		// MergeEvery stays zero — a background merger would make event
+		// ordinals racy; the op loop merges explicitly instead.
+		cfg.GroupCommit = core.GroupCommitConfig{Enabled: true, MaxBatch: ingestEpoch}
+		cfg.IndexDelta = core.IndexDeltaConfig{Enabled: true}
+	default:
+		return nil, fmt.Errorf("crashx: unknown mix %q", opts.Mix)
+	}
 	e, err := core.Open(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("crashx: open: %w", err)
 	}
 	defer e.Close()
 	ds := ldbc.Generate(ldbc.Config{Persons: opts.Persons, Seed: opts.Seed})
-	if err := ds.LoadCore(e, true, index.Hybrid); err != nil {
+	load := ds.LoadCore
+	if opts.Mix == MixIngest {
+		load = ds.BulkLoadCore // base image arrives through the streamed path
+	}
+	if err := load(e, true, index.Hybrid); err != nil {
 		return nil, fmt.Errorf("crashx: load dataset: %w", err)
 	}
 
@@ -257,7 +305,11 @@ func (h *harness) runOnce(ctx context.Context, k uint64) (*outcome, error) {
 	}
 
 	h.dev.ArmCrash(h.opts.Mask, k)
-	started, runErr := h.runOps(ctx, e, preps)
+	run := h.runOps
+	if h.opts.Mix == MixIngest {
+		run = h.runIngestOps
+	}
+	started, runErr := run(ctx, e, preps)
 	// Close the live engine before reopening: the pool registry is keyed
 	// by UUID and closing after Reopen would deregister the new pool.
 	e.Close()
@@ -272,7 +324,7 @@ func (h *harness) runOnce(ctx context.Context, k uint64) (*outcome, error) {
 	}
 	// Power-cycle: the CPU view is discarded, only flushed lines survive.
 	h.dev.Crash()
-	sched := ScheduleID{Persons: h.opts.Persons, Seed: h.opts.Seed, Ops: h.opts.Ops, Mask: h.opts.Mask, K: k}
+	sched := ScheduleID{Persons: h.opts.Persons, Seed: h.opts.Seed, Ops: h.opts.Ops, Mask: h.opts.Mask, K: k, Mix: h.opts.Mix}
 	e2, err := core.Reopen(h.dev, h.cfg)
 	if err != nil {
 		out.violation = &Violation{Schedule: sched, RecoverErr: err}
@@ -317,6 +369,164 @@ func (h *harness) runOps(ctx context.Context, e *core.Engine, preps []*query.Pre
 		}
 	}
 	return started, nil
+}
+
+// ingestEpoch is the group-commit epoch size of the ingest mix: small
+// enough that a short run spans several epochs (each epoch boundary is a
+// leader group fence with crash points on both sides), large enough that
+// epochs batch real work.
+const ingestEpoch = 4
+
+// ingestMergeEvery merges the index deltas after every Nth epoch, so the
+// crash window also covers mid delta-merge states.
+const ingestMergeEvery = 2
+
+// runIngestOps executes the deterministic IU mix through the
+// write-optimized ingest path: transactions accumulate into
+// ingestEpoch-sized batches committed through CommitBatch (the
+// deterministic group-commit entry — one leader, one group fence per
+// epoch), and every ingestMergeEvery epochs the secondary-index deltas
+// merge into their base trees. An injected crash can therefore land
+// before the leader's group fence, after it (mid epoch apply), or in the
+// middle of a delta merge. Returns the number of IU ops started.
+//
+// After every IU epoch, a churn epoch of property-less CreateRel (or,
+// alternating, DeleteRel) transactions commits. Their apply phase writes
+// only ranges the leader pre-covered with SnapshotAll — no fresh
+// property records, so no individual undo appends re-persist the lane's
+// count word after the group fence. Those epochs depend on the leader's
+// single fence alone, which is exactly what the groupfence crashmutate
+// build breaks: without them, IU epochs' own prop-chain snapshots mask
+// the planted bug and the mutation test could not catch it.
+func (h *harness) runIngestOps(ctx context.Context, e *core.Engine, preps []*query.Prepared) (started int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*pmem.InjectedCrash); ok {
+				return // the armed crash; everything after is recovery's problem
+			}
+			panic(r)
+		}
+	}()
+	pg := ldbc.NewParamGen(h.ds, h.opts.Seed)
+	mix := rand.New(rand.NewSource(h.opts.Seed))
+	qs := ldbc.IUQueries()
+	nNodes := uint64(len(h.ds.Nodes)) // base-load node ids are 0..nNodes-1
+
+	epochs := 0
+	endEpoch := func() {
+		epochs++
+		if epochs%ingestMergeEvery == 0 {
+			h.mergeDeltas(e)
+		}
+	}
+
+	batch := make([]*core.Tx, 0, ingestEpoch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		// Member aborts (commit-time validation) are a legitimate part of
+		// the workload and deterministic under the fixed seed; the sweep
+		// judges the recovered image, not workload success.
+		e.CommitBatch(batch)
+		batch = batch[:0]
+		endEpoch()
+	}
+
+	churnPair := 0
+	var churnLive []uint64 // churn-created rel ids awaiting a delete epoch
+	churnEpoch := func() error {
+		txs := make([]*core.Tx, 0, ingestEpoch)
+		var created []uint64
+		if len(churnLive) >= ingestEpoch {
+			// Delete epoch: each member tombstones one rel — a single
+			// pre-covered record write per transaction.
+			for _, id := range churnLive[:ingestEpoch] {
+				tx := e.Begin()
+				if err := tx.DeleteRel(id); err != nil {
+					tx.Abort()
+					return fmt.Errorf("crashx: churn delete rel %d: %w", id, err)
+				}
+				txs = append(txs, tx)
+			}
+			churnLive = churnLive[ingestEpoch:]
+		} else {
+			// Create epoch: property-less rels between disjoint base-node
+			// pairs (no prop chain, so commit allocates nothing new; the
+			// pairs are disjoint so members never contend for write locks).
+			for j := 0; j < ingestEpoch; j++ {
+				src := (uint64(churnPair) * 2) % nNodes
+				dst := (uint64(churnPair)*2 + 1) % nNodes
+				churnPair++
+				tx := e.Begin()
+				id, err := tx.CreateRel(src, dst, "knows", nil)
+				if err != nil {
+					tx.Abort()
+					return fmt.Errorf("crashx: churn create rel %d->%d: %w", src, dst, err)
+				}
+				txs = append(txs, tx)
+				created = append(created, id)
+			}
+		}
+		for i, err := range e.CommitBatch(txs) {
+			if err == nil && created != nil {
+				churnLive = append(churnLive, created[i])
+			}
+		}
+		endEpoch()
+		return nil
+	}
+
+	for i := 0; i < h.opts.Ops; i++ {
+		if err := ctx.Err(); err != nil {
+			return started, err
+		}
+		q := qs[mix.Intn(len(qs))]
+		params := pg.IUParams(q)
+		started++
+		tx := e.Begin()
+		if err := preps[q.Num-1].RunCtx(ctx, tx, params, func(query.Row) bool { return true }); err != nil {
+			// Two in-flight epoch members touched the same record (write
+			// locks are taken at operation time): drain the epoch, then
+			// retry once against committed state. Same seed, same
+			// conflicts — the schedule stays replayable.
+			tx.Abort()
+			flush()
+			tx = e.Begin()
+			if err := preps[q.Num-1].RunCtx(ctx, tx, params, func(query.Row) bool { return true }); err != nil {
+				tx.Abort()
+				return started, fmt.Errorf("crashx: ingest IU%d: %w", q.Num, err)
+			}
+		}
+		if batch = append(batch, tx); len(batch) == ingestEpoch {
+			flush()
+			if err := churnEpoch(); err != nil {
+				return started, err
+			}
+		}
+	}
+	flush()
+	h.mergeDeltas(e) // the tail of the run crosses merge code too
+	return started, nil
+}
+
+// mergeDeltas merges every index tree's delta into its base, in a
+// deterministic (shard, label, key) order so crash-event ordinals are
+// reproducible.
+func (h *harness) mergeDeltas(e *core.Engine) {
+	infos := e.Indexes()
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Shard != infos[j].Shard {
+			return infos[i].Shard < infos[j].Shard
+		}
+		if infos[i].Label != infos[j].Label {
+			return infos[i].Label < infos[j].Label
+		}
+		return infos[i].Key < infos[j].Key
+	})
+	for _, info := range infos {
+		_ = info.Tree.MergeDelta()
+	}
 }
 
 // Explore enumerates (or samples) crash points over the configured
@@ -402,7 +612,7 @@ func (h *harness) shrink(ctx context.Context, v Violation, opsStarted int) Viola
 // Replay re-executes one schedule and returns its violation, or nil if
 // the image checked out clean (i.e. the schedule no longer reproduces).
 func Replay(ctx context.Context, sched ScheduleID) (*Violation, error) {
-	opts := Options{Persons: sched.Persons, Ops: sched.Ops, Seed: sched.Seed, Mask: sched.Mask}
+	opts := Options{Persons: sched.Persons, Ops: sched.Ops, Seed: sched.Seed, Mask: sched.Mask, Mix: sched.Mix}
 	opts.fill()
 	h, err := newHarness(opts)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 // runs on the real code mean nothing.
 
 func TestMutationCaught(t *testing.T) {
+	t.Setenv("POSEIDON_MUTATE", "skipflush") // pin the mutant: siblings select others
 	res, err := Explore(context.Background(), Options{
 		Persons: 8,
 		Ops:     4,

@@ -171,48 +171,84 @@ func (d *Dict) Encode(s string) (uint64, error) {
 	if code, ok := d.lookupLocked(s, h); ok {
 		return code, nil
 	}
-	dev := d.pool.Device()
 	err := d.pool.RunTx(func(tx *pmemobj.Tx) error {
-		capacity := dev.ReadU64(d.hdr + hBucketCap)
-		count := dev.ReadU64(d.hdr+hCount) - 1
-		if (count+1)*10 >= capacity*7 { // load factor 0.7
-			if err := d.growLocked(tx, capacity*2); err != nil {
-				return err
-			}
-		}
-		strOff, err := d.appendString(tx, s)
-		if err != nil {
-			return err
-		}
-		if err := tx.Snapshot(d.hdr+hCount, 8); err != nil {
-			return err
-		}
-		code = dev.ReadU64(d.hdr + hCount)
-		dev.WriteU64(d.hdr+hCount, code+1)
-
-		// Forward table insert.
-		arr := dev.ReadU64(d.hdr + hBucketOff)
-		mask := dev.ReadU64(d.hdr+hBucketCap) - 1
-		i := h & mask
-		for {
-			slot := arr + i*slotSize
-			if dev.ReadU64(slot) == 0 {
-				if err := tx.Snapshot(slot, slotSize); err != nil {
-					return err
-				}
-				dev.WriteU64(slot+8, strOff)
-				dev.WriteU64(slot+16, code)
-				dev.WriteU64(slot, h) // hash written last: slot valid only when complete
-				break
-			}
-			i = (i + 1) & mask
-		}
-
-		// Reverse table insert.
-		return d.setReverse(tx, code, strOff)
+		var err error
+		code, err = d.insertLocked(tx, s, h)
+		return err
 	})
 	if err != nil {
 		return 0, fmt.Errorf("dict: encode %q: %w", s, err)
+	}
+	return code, nil
+}
+
+// EncodeTx is Encode running inside the caller's already-open pool
+// transaction: the insert becomes failure-atomic with the caller's
+// batch instead of paying a transaction (and its commit fences) of its
+// own. The bulk loader uses it to intern the many unique string values
+// an ingest batch carries without breaking the batch.
+func (d *Dict) EncodeTx(tx *pmemobj.Tx, s string) (uint64, error) {
+	h := fnv1a(s)
+	d.mu.RLock()
+	code, ok := d.lookupLocked(s, h)
+	d.mu.RUnlock()
+	if ok {
+		return code, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if code, ok := d.lookupLocked(s, h); ok {
+		return code, nil
+	}
+	code, err := d.insertLocked(tx, s, h)
+	if err != nil {
+		return 0, fmt.Errorf("dict: encode %q: %w", s, err)
+	}
+	return code, nil
+}
+
+// insertLocked performs the new-string insert inside tx. Caller holds
+// d.mu for writing and has verified the string is absent.
+func (d *Dict) insertLocked(tx *pmemobj.Tx, s string, h uint64) (uint64, error) {
+	dev := d.pool.Device()
+	capacity := dev.ReadU64(d.hdr + hBucketCap)
+	count := dev.ReadU64(d.hdr+hCount) - 1
+	if (count+1)*10 >= capacity*7 { // load factor 0.7
+		if err := d.growLocked(tx, capacity*2); err != nil {
+			return 0, err
+		}
+	}
+	strOff, err := d.appendString(tx, s)
+	if err != nil {
+		return 0, err
+	}
+	if err := tx.Snapshot(d.hdr+hCount, 8); err != nil {
+		return 0, err
+	}
+	code := dev.ReadU64(d.hdr + hCount)
+	dev.WriteU64(d.hdr+hCount, code+1)
+
+	// Forward table insert.
+	arr := dev.ReadU64(d.hdr + hBucketOff)
+	mask := dev.ReadU64(d.hdr+hBucketCap) - 1
+	i := h & mask
+	for {
+		slot := arr + i*slotSize
+		if dev.ReadU64(slot) == 0 {
+			if err := tx.Snapshot(slot, slotSize); err != nil {
+				return 0, err
+			}
+			dev.WriteU64(slot+8, strOff)
+			dev.WriteU64(slot+16, code)
+			dev.WriteU64(slot, h) // hash written last: slot valid only when complete
+			break
+		}
+		i = (i + 1) & mask
+	}
+
+	// Reverse table insert.
+	if err := d.setReverse(tx, code, strOff); err != nil {
+		return 0, err
 	}
 	return code, nil
 }

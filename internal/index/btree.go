@@ -87,6 +87,7 @@ const (
 	ihLeafHead = 16
 	ihRoot     = 24 // root node offset (persistent variant only)
 	ihHeight   = 32 // 0 = root is a leaf (persistent variant only)
+	ihDelta    = 40 // delta-region offset (0 = none; zero on pre-delta images)
 	ihSize     = 64
 
 	indexMagic = 0x49445831 // "IDX1"
@@ -129,7 +130,20 @@ type Tree struct {
 	mu     sync.RWMutex
 	root   uint64
 	height int // 0 = root is a leaf
-	count  uint64
+	count  uint64 // logical entries: base tree plus net pending delta ops
+
+	// LSM-style delta layer (see delta.go). deltaOff == 0 means the tree
+	// runs in the classic persist-per-insert mode.
+	deltaOff uint64     // persistent delta region (0 = disabled)
+	deltaCap int        // entry capacity of the region
+	dview    []deltaEnt // sorted overlay of pending ops, one per (key, id)
+	dcount   int        // ops appended to the region (volatile)
+	dpub     int        // ops covered by the last published count word
+	dnet     int        // net logical-count change the pending ops carry
+
+	// bulkLeaves, when non-nil, collects leaf offsets persistLeaf would
+	// have flushed so InsertMany can persist each touched leaf once.
+	bulkLeaves map[uint64]struct{}
 }
 
 // Options configures tree creation.
@@ -236,6 +250,14 @@ func Open(kind Kind, pool *pmemobj.Pool, hdr uint64, opts Options) (*Tree, error
 			return nil, err
 		}
 	}
+	// Drain any published delta ops into the base tree before the index
+	// serves reads, so recovery consumers (fsck, reconcile, WalkLeaves)
+	// keep seeing the leaf chain as the complete ground truth.
+	if off := d.ReadU64(hdr + ihDelta); off != 0 {
+		if err := t.replayDelta(off); err != nil {
+			return nil, err
+		}
+	}
 	return t, nil
 }
 
@@ -253,9 +275,14 @@ func (t *Tree) Len() uint64 {
 }
 
 func (t *Tree) persistLeaf(off uint64) {
-	if t.durable {
-		t.leafDev.Persist(off, nodeBytes)
+	if !t.durable {
+		return
 	}
+	if t.bulkLeaves != nil {
+		t.bulkLeaves[off] = struct{}{} // InsertMany persists it once at the end
+		return
+	}
+	t.leafDev.Persist(off, nodeBytes)
 }
 
 func (t *Tree) persistInner(node uint64) {
@@ -357,6 +384,11 @@ func (t *Tree) lowerBound(k storage.Value) uint64 {
 func (t *Tree) Lookup(k storage.Value) []uint64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.overlayIDs(k, t.lookupBase(k))
+}
+
+// lookupBase collects k's ids from the base tree only.
+func (t *Tree) lookupBase(k storage.Value) []uint64 {
 	var out []uint64
 	leaf := t.lowerBound(k)
 	for leaf != 0 {
@@ -381,6 +413,13 @@ func (t *Tree) Lookup(k storage.Value) []uint64 {
 func (t *Tree) LookupFirst(k storage.Value) (uint64, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if len(t.dview) > 0 {
+		ids := t.overlayIDs(k, t.lookupBase(k))
+		if len(ids) == 0 {
+			return 0, false
+		}
+		return ids[0], true
+	}
 	leaf := t.lowerBound(k)
 	for leaf != 0 {
 		n := t.leafCount(leaf)
@@ -404,14 +443,10 @@ func (t *Tree) Contains(k storage.Value, id uint64) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	e := entry{key: k, id: id}
-	leaf := t.leafFor(e, nil)
-	n := t.leafCount(leaf)
-	for i := 0; i < n; i++ {
-		if t.leafEntry(leaf, i) == e {
-			return true
-		}
+	if i, found := t.dviewFind(e); found {
+		return !t.dview[i].del
 	}
-	return false
+	return t.containsLocked(e)
 }
 
 // Range calls fn for every entry with lo <= key <= hi in (key, id) order,
@@ -419,6 +454,10 @@ func (t *Tree) Contains(k storage.Value, id uint64) bool {
 func (t *Tree) Range(lo, hi storage.Value, fn func(k storage.Value, id uint64) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if len(t.dview) > 0 {
+		t.rangeMerged(&lo, &hi, fn)
+		return
+	}
 	leaf := t.lowerBound(lo)
 	for leaf != 0 {
 		n := t.leafCount(leaf)
@@ -442,6 +481,10 @@ func (t *Tree) Range(lo, hi storage.Value, fn func(k storage.Value, id uint64) b
 func (t *Tree) Scan(fn func(k storage.Value, id uint64) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if len(t.dview) > 0 {
+		t.rangeMerged(nil, nil, fn)
+		return
+	}
 	leaf := t.leftmostLeaf()
 	for leaf != 0 {
 		n := t.leafCount(leaf)
@@ -464,11 +507,20 @@ func (t *Tree) leftmostLeaf() uint64 {
 }
 
 // Insert adds (k, id). Inserting an already-present pair is a no-op.
+// With the delta layer enabled the op is absorbed into the delta region
+// (no drain); otherwise it goes straight into the base tree.
 func (t *Tree) Insert(k storage.Value, id uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e := entry{key: k, id: id}
+	if t.deltaOff != 0 {
+		return t.deltaInsert(e)
+	}
+	return t.insertBase(e)
+}
 
+// insertBase inserts into the base tree, persisting every touched leaf.
+func (t *Tree) insertBase(e entry) error {
 	var path []pathEnt
 	leaf := t.leafFor(e, &path)
 	n := t.leafCount(leaf)
@@ -631,6 +683,14 @@ func (t *Tree) Delete(k storage.Value, id uint64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e := entry{key: k, id: id}
+	if t.deltaOff != 0 {
+		return t.deltaDelete(e)
+	}
+	return t.deleteBase(e)
+}
+
+// deleteBase removes from the base tree, persisting the touched leaf.
+func (t *Tree) deleteBase(e entry) bool {
 	leaf := t.leafFor(e, nil)
 	n := t.leafCount(leaf)
 	for i := 0; i < n; i++ {

@@ -1,0 +1,414 @@
+package index
+
+import (
+	"errors"
+	"sort"
+
+	"poseidon/internal/storage"
+)
+
+// LSM-style delta layer. A small persistent append-only region absorbs
+// index mutations so the write path stops paying one drain per touched
+// leaf (persistLeaf): an op append is a plain store plus a flush, and the
+// region's count word is published with a single Persist per commit epoch
+// (PublishDelta). Reads see delta ∪ base through a sorted volatile
+// overlay; the region is merged into the base B+-tree when it fills,
+// when MergeDelta is called (the engine's background merger), and at
+// Open, so recovery consumers keep seeing the leaf chain as the complete
+// ground truth.
+//
+// Durability stays repair-based, as for the rest of the index (§4.2): a
+// crash can lose ops appended after the last publication, and reconcile
+// patches the tree against the primary tables. The published prefix is
+// replayed at Open, which bounds repair work to the unpublished tail.
+
+// Delta region layout: one count word (the publication point), ops from
+// offset 64. Each op is [op u64][keyType u64][keyRaw u64][id u64].
+const (
+	drCount   = 0
+	drOps     = 64
+	deltaOpSz = 32
+
+	opInsert = 1
+	opDelete = 2
+
+	// DefaultDeltaCap is the region's op capacity; the region then
+	// occupies drOps + DefaultDeltaCap*deltaOpSz = 4 KiB.
+	DefaultDeltaCap = 126
+)
+
+// deltaEnt is one pending op in the sorted volatile overlay. Per (key,
+// id) the overlay keeps only the latest op: del=false means the entry is
+// visible regardless of the base tree, del=true means it is not.
+type deltaEnt struct {
+	e   entry
+	del bool
+}
+
+// EnableDelta switches the tree into delta mode, allocating the
+// persistent region on first use (re-attaching it on later opens). Only
+// trees with a persistent header can run a delta; volatile trees have no
+// drains to save.
+func (t *Tree) EnableDelta() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.hdr == 0 {
+		return errors.New("index: delta layer requires a persistent index")
+	}
+	if t.deltaOff != 0 {
+		return nil
+	}
+	off := t.leafDev.ReadU64(t.hdr + ihDelta)
+	if off == 0 {
+		var err error
+		off, err = t.leafPool.Alloc(drOps + DefaultDeltaCap*deltaOpSz)
+		if err != nil {
+			return err
+		}
+		d := t.leafDev
+		d.WriteU64(off+drCount, 0)
+		d.Persist(off, 8)
+		// Linking the region into the header is the creation commit
+		// point; a crash before it leaks the block, as leaf splits can.
+		d.WriteU64(t.hdr+ihDelta, off)
+		d.Persist(t.hdr+ihDelta, 8)
+	}
+	t.deltaOff = off
+	t.deltaCap = DefaultDeltaCap
+	return nil
+}
+
+// DeltaEnabled reports whether the tree runs in delta mode.
+func (t *Tree) DeltaEnabled() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.deltaOff != 0
+}
+
+// DeltaStats returns the pending and published op counts, for tests and
+// telemetry.
+func (t *Tree) DeltaStats() (pending, published int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.dcount, t.dpub
+}
+
+// replayDelta applies the published ops of the region at off to the base
+// tree and resets the region — the Open-time drain. Ops appended after
+// the last publication are garbage and ignored; reconcile re-derives
+// them from the primary tables.
+func (t *Tree) replayDelta(off uint64) error {
+	d := t.leafDev
+	n := d.ReadU64(off + drCount)
+	if n > DefaultDeltaCap {
+		return ErrCorrupt
+	}
+	for i := uint64(0); i < n; i++ {
+		op := off + drOps + i*deltaOpSz
+		e := entry{
+			key: storage.Value{Type: storage.ValueType(d.ReadU64(op + 8)), Raw: d.ReadU64(op + 16)},
+			id:  d.ReadU64(op + 24),
+		}
+		switch d.ReadU64(op) {
+		case opInsert:
+			if err := t.insertBase(e); err != nil {
+				return err
+			}
+		case opDelete:
+			t.deleteBase(e)
+		default:
+			return ErrCorrupt
+		}
+	}
+	if n > 0 {
+		d.WriteU64(off+drCount, 0)
+		d.Persist(off+drCount, 8)
+	}
+	return nil
+}
+
+// appendDeltaRec appends one op to the persistent region. The op bytes
+// are flushed but the count word is not advanced — the op becomes
+// durable (recoverable) only at the next PublishDelta.
+//
+//pmem:deferred-flush durable trees flush the op bytes inline; DRAM-backed trees (t.durable false) skip flushes by design
+func (t *Tree) appendDeltaRec(op uint64, e entry) {
+	off := t.deltaOff + drOps + uint64(t.dcount)*deltaOpSz
+	d := t.leafDev
+	d.WriteU64(off, op)
+	d.WriteU64(off+8, uint64(e.key.Type))
+	d.WriteU64(off+16, e.key.Raw)
+	d.WriteU64(off+24, e.id)
+	if t.durable {
+		d.Flush(off, deltaOpSz)
+	}
+	t.dcount++
+}
+
+// PublishDelta makes every op appended since the last publication
+// recoverable with a single 8-byte Persist of the count word — the one
+// index fence a commit epoch pays, amortized over all its members' ops.
+//
+//pmem:deferred-flush durable trees Persist the count word inline; DRAM-backed trees (t.durable false) skip flushes by design
+func (t *Tree) PublishDelta() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.deltaOff == 0 || t.dcount == t.dpub {
+		return
+	}
+	t.leafDev.WriteU64(t.deltaOff+drCount, uint64(t.dcount))
+	if t.durable {
+		t.leafDev.Persist(t.deltaOff+drCount, 8)
+	}
+	t.dpub = t.dcount
+}
+
+// MergeDelta folds the pending ops into the base tree and empties the
+// region. Safe to call at any time; the background merger calls it
+// periodically so lookups keep the overlay short.
+func (t *Tree) MergeDelta() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.deltaOff == 0 {
+		return nil
+	}
+	return t.mergeLocked()
+}
+
+// mergeLocked folds the overlay (the deduped final state the op log
+// encodes) into the base tree through the base write paths, then resets
+// the region with one Persist. Each applied op's base-count change is
+// immediately removed from dnet, so the logical count is invariant at
+// every step — a partial merge (allocator failure) just leaves the
+// unapplied overlay suffix and the op log in place, and a later retry
+// re-applies the logged prefix idempotently.
+//
+//pmem:deferred-flush durable trees Persist the count-word reset inline; DRAM-backed trees (t.durable false) skip flushes by design
+func (t *Tree) mergeLocked() error {
+	for len(t.dview) > 0 {
+		dv := t.dview[0]
+		before := t.count
+		if dv.del {
+			t.deleteBase(dv.e)
+		} else if err := t.insertBase(dv.e); err != nil {
+			return err
+		}
+		t.dnet -= int(int64(t.count) - int64(before))
+		// The base paths bumped t.count, but the op's logical effect was
+		// already counted when the delta absorbed it — restore, so Len is
+		// invariant under merge.
+		t.count = before
+		t.dview = t.dview[1:]
+	}
+	if t.dcount == 0 {
+		return nil
+	}
+	t.leafDev.WriteU64(t.deltaOff+drCount, 0)
+	if t.durable {
+		t.leafDev.Persist(t.deltaOff+drCount, 8)
+	}
+	t.dcount, t.dpub, t.dnet = 0, 0, 0
+	t.dview = nil
+	return nil
+}
+
+// deltaInsert absorbs an insert into the delta (called under t.mu).
+func (t *Tree) deltaInsert(e entry) error {
+	if t.dcount == t.deltaCap {
+		if err := t.mergeLocked(); err != nil {
+			return err
+		}
+	}
+	if i, found := t.dviewFind(e); found {
+		if !t.dview[i].del {
+			return nil // pending insert already
+		}
+		t.appendDeltaRec(opInsert, e)
+		t.dview[i].del = false
+		t.count++
+		t.dnet++
+		return nil
+	}
+	if t.containsLocked(e) {
+		return nil // already in the base, no pending op
+	}
+	t.appendDeltaRec(opInsert, e)
+	t.dviewAdd(deltaEnt{e: e, del: false})
+	t.count++
+	t.dnet++
+	return nil
+}
+
+// deltaDelete absorbs a delete into the delta (called under t.mu). If
+// the region is full and cannot drain (allocator exhaustion mid-merge),
+// the op is applied overlay-only: live reads stay exact, and a crash
+// before the next successful merge loses the op — the same repair-based
+// durability every unpublished op already has.
+func (t *Tree) deltaDelete(e entry) bool {
+	haveRoom := t.dcount < t.deltaCap
+	if !haveRoom && t.mergeLocked() == nil {
+		haveRoom = true
+	}
+	if i, found := t.dviewFind(e); found {
+		if t.dview[i].del {
+			return false // already deleted
+		}
+		if haveRoom {
+			t.appendDeltaRec(opDelete, e)
+		}
+		t.dview[i].del = true
+		t.count--
+		t.dnet--
+		return true
+	}
+	if !t.containsLocked(e) {
+		return false
+	}
+	if haveRoom {
+		t.appendDeltaRec(opDelete, e)
+	}
+	t.dviewAdd(deltaEnt{e: e, del: true})
+	t.count--
+	t.dnet--
+	return true
+}
+
+// dviewFind binary-searches the overlay for e.
+func (t *Tree) dviewFind(e entry) (int, bool) {
+	i := sort.Search(len(t.dview), func(j int) bool { return !t.dview[j].e.less(e) })
+	return i, i < len(t.dview) && t.dview[i].e == e
+}
+
+// dviewAdd inserts a new overlay element at its sorted position.
+func (t *Tree) dviewAdd(d deltaEnt) {
+	i, _ := t.dviewFind(d.e)
+	t.dview = append(t.dview, deltaEnt{})
+	copy(t.dview[i+1:], t.dview[i:])
+	t.dview[i] = d
+}
+
+// overlayIDs applies the overlay's ops for key k to the base result ids
+// (both in ascending id order).
+func (t *Tree) overlayIDs(k storage.Value, ids []uint64) []uint64 {
+	if len(t.dview) == 0 {
+		return ids
+	}
+	lo := sort.Search(len(t.dview), func(j int) bool { return !t.dview[j].e.key.Less(k) })
+	for i := lo; i < len(t.dview) && !k.Less(t.dview[i].e.key); i++ {
+		dv := t.dview[i]
+		j := sort.Search(len(ids), func(n int) bool { return ids[n] >= dv.e.id })
+		present := j < len(ids) && ids[j] == dv.e.id
+		if dv.del {
+			if present {
+				ids = append(ids[:j], ids[j+1:]...)
+			}
+		} else if !present {
+			ids = append(ids, 0)
+			copy(ids[j+1:], ids[j:])
+			ids[j] = dv.e.id
+		}
+	}
+	return ids
+}
+
+// rangeMerged iterates delta ∪ base in (key, id) order between the
+// optional bounds (nil = unbounded), calling fn until it returns false.
+// Caller holds t.mu.
+func (t *Tree) rangeMerged(lo, hi *storage.Value, fn func(k storage.Value, id uint64) bool) {
+	dv := t.dview
+	i := 0
+	if lo != nil {
+		i = sort.Search(len(dv), func(j int) bool { return !dv[j].e.key.Less(*lo) })
+	}
+	// emitBefore yields pending overlay inserts ordered before e (or all
+	// in-bounds ones when e is nil), returning false on early stop.
+	emitBefore := func(e *entry) bool {
+		for i < len(dv) {
+			d := dv[i]
+			if hi != nil && (*hi).Less(d.e.key) {
+				i = len(dv)
+				return true
+			}
+			if e != nil && !d.e.less(*e) {
+				return true
+			}
+			i++
+			if d.del {
+				continue
+			}
+			if !fn(d.e.key, d.e.id) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var leaf uint64
+	if lo != nil {
+		leaf = t.lowerBound(*lo)
+	} else {
+		leaf = t.leftmostLeaf()
+	}
+	for leaf != 0 {
+		n := t.leafCount(leaf)
+		for j := 0; j < n; j++ {
+			e := t.leafEntry(leaf, j)
+			if lo != nil && e.key.Less(*lo) {
+				continue
+			}
+			if hi != nil && (*hi).Less(e.key) {
+				emitBefore(nil)
+				return
+			}
+			if !emitBefore(&e) {
+				return
+			}
+			if i < len(dv) && dv[i].e == e {
+				d := dv[i]
+				i++
+				if d.del {
+					continue
+				}
+				if !fn(e.key, e.id) {
+					return
+				}
+				continue
+			}
+			if !fn(e.key, e.id) {
+				return
+			}
+		}
+		leaf = t.leafNext(leaf)
+	}
+	emitBefore(nil)
+}
+
+// InsertMany bulk-inserts entries through the base path, persisting each
+// touched leaf once at the end — one drain for the whole batch instead
+// of one per insert. The bulk loader uses it to build indexes after the
+// primary data lands.
+func (t *Tree) InsertMany(ents []Entry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.durable {
+		t.bulkLeaves = make(map[uint64]struct{})
+		defer func() {
+			offs := make([]uint64, 0, len(t.bulkLeaves))
+			for off := range t.bulkLeaves {
+				offs = append(offs, off)
+			}
+			t.bulkLeaves = nil
+			sort.Slice(offs, func(a, b int) bool { return offs[a] < offs[b] })
+			for _, off := range offs {
+				t.leafDev.Flush(off, nodeBytes)
+			}
+			t.leafDev.Drain()
+		}()
+	}
+	for _, ent := range ents {
+		if err := t.insertBase(entry{key: ent.Key, id: ent.ID}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"poseidon/internal/storage"
+)
+
+// Index-agreement battery for the delta layer: randomized
+// insert/delete/merge/publish/reopen schedules must keep delta ∪ base
+// reads — Lookup, LookupFirst, Contains, Range, Scan, Len — in exact
+// agreement with a map-based oracle, and the base tree structurally
+// sound (CheckIntegrity) at every point. After a final merge the leaf
+// chain itself (WalkLeaves) must equal the oracle, entry for entry.
+
+// deltaOracle is the reference model: key -> set of ids.
+type deltaOracle map[int64]map[uint64]bool
+
+func (o deltaOracle) insert(k int64, id uint64) {
+	if o[k] == nil {
+		o[k] = make(map[uint64]bool)
+	}
+	o[k][id] = true
+}
+
+func (o deltaOracle) delete(k int64, id uint64) bool {
+	if !o[k][id] {
+		return false
+	}
+	delete(o[k], id)
+	if len(o[k]) == 0 {
+		delete(o, k)
+	}
+	return true
+}
+
+func (o deltaOracle) ids(k int64) []uint64 {
+	if len(o[k]) == 0 {
+		return nil
+	}
+	ids := make([]uint64, 0, len(o[k]))
+	for id := range o[k] {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// pairs returns every (key, id) in (key, id) order, bounds inclusive.
+func (o deltaOracle) pairs(lo, hi int64) (out [][2]int64) {
+	for k, ids := range o {
+		if k < lo || k > hi {
+			continue
+		}
+		for id := range ids {
+			out = append(out, [2]int64{k, int64(id)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func (o deltaOracle) total() uint64 {
+	var n uint64
+	for _, ids := range o {
+		n += uint64(len(ids))
+	}
+	return n
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyDeltaAgreement checks every read path against the oracle over
+// the key universe [0, keySpace).
+func verifyDeltaAgreement(t *testing.T, tree *Tree, o deltaOracle, keySpace int64) {
+	t.Helper()
+	if tree.Len() != o.total() {
+		t.Fatalf("Len = %d, oracle %d", tree.Len(), o.total())
+	}
+	for k := int64(0); k < keySpace; k++ {
+		want := o.ids(k)
+		if got := tree.Lookup(iv(k)); !equalIDs(got, want) {
+			t.Fatalf("Lookup(%d) = %v, oracle %v", k, got, want)
+		}
+		if id, ok := tree.LookupFirst(iv(k)); ok != (len(want) > 0) || (ok && id != want[0]) {
+			t.Fatalf("LookupFirst(%d) = %d,%v, oracle %v", k, id, ok, want)
+		}
+		for _, id := range want {
+			if !tree.Contains(iv(k), id) {
+				t.Fatalf("Contains(%d,%d) = false, oracle true", k, id)
+			}
+		}
+		if tree.Contains(iv(k), 1<<40) {
+			t.Fatalf("Contains(%d, absent) = true", k)
+		}
+	}
+	// Full scan and a window range, both against the oracle's pair list.
+	collect := func(run func(fn func(k storage.Value, id uint64) bool)) (out [][2]int64) {
+		run(func(k storage.Value, id uint64) bool {
+			out = append(out, [2]int64{k.Int(), int64(id)})
+			return true
+		})
+		return
+	}
+	scan := collect(tree.Scan)
+	if want := o.pairs(0, keySpace); fmt.Sprint(scan) != fmt.Sprint(want) {
+		t.Fatalf("Scan = %v, oracle %v", scan, want)
+	}
+	lo, hi := keySpace/4, 3*keySpace/4
+	got := collect(func(fn func(storage.Value, uint64) bool) { tree.Range(iv(lo), iv(hi), fn) })
+	if want := o.pairs(lo, hi); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Range(%d,%d) = %v, oracle %v", lo, hi, got, want)
+	}
+	if probs := tree.CheckIntegrity(); len(probs) != 0 {
+		t.Fatalf("CheckIntegrity: %v", probs)
+	}
+}
+
+func runDeltaAgreement(t *testing.T, kind Kind, seed int64, steps int) {
+	pool, _ := newPMemPool(t, 64<<20)
+	tree, err := Create(kind, pool, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.EnableDelta(); err != nil {
+		t.Fatal(err)
+	}
+	o := deltaOracle{}
+	rng := rand.New(rand.NewSource(seed))
+	const keySpace, idSpace = 40, 6
+
+	for i := 0; i < steps; i++ {
+		k := rng.Int63n(keySpace)
+		id := uint64(rng.Intn(idSpace))
+		switch p := rng.Intn(100); {
+		case p < 55:
+			if err := tree.Insert(iv(k), id); err != nil {
+				t.Fatal(err)
+			}
+			o.insert(k, id)
+		case p < 82:
+			want := o.delete(k, id)
+			if got := tree.Delete(iv(k), id); got != want {
+				t.Fatalf("step %d: Delete(%d,%d) = %v, oracle %v", i, k, id, got, want)
+			}
+		case p < 90:
+			if err := tree.MergeDelta(); err != nil {
+				t.Fatal(err)
+			}
+		case p < 96:
+			tree.PublishDelta()
+		default:
+			// Reopen from the persistent header: Open replays the
+			// published delta prefix into the base. Publishing first makes
+			// the handoff lossless, so the oracle stays exact.
+			tree.PublishDelta()
+			nt, err := Open(kind, pool, tree.Offset(), Options{})
+			if err != nil {
+				t.Fatalf("step %d: reopen: %v", i, err)
+			}
+			if err := nt.EnableDelta(); err != nil {
+				t.Fatal(err)
+			}
+			tree = nt
+		}
+		if (i+1)%150 == 0 {
+			verifyDeltaAgreement(t, tree, o, keySpace)
+		}
+	}
+	verifyDeltaAgreement(t, tree, o, keySpace)
+
+	// Drain the overlay and compare the physical leaf chain to the
+	// oracle: after a full merge the base IS the logical state.
+	if err := tree.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	var leafPairs [][2]int64
+	tree.WalkLeaves(func(_ uint64, entries []Entry, _ uint64) bool {
+		for _, e := range entries {
+			leafPairs = append(leafPairs, [2]int64{e.Key.Int(), int64(e.ID)})
+		}
+		return true
+	})
+	if want := o.pairs(0, keySpace); fmt.Sprint(leafPairs) != fmt.Sprint(want) {
+		t.Fatalf("WalkLeaves after merge = %v, oracle %v", leafPairs, want)
+	}
+	verifyDeltaAgreement(t, tree, o, keySpace)
+}
+
+func TestDeltaAgreementRandomized(t *testing.T) {
+	for _, kind := range []Kind{Hybrid, Persistent} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				seed := seed
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					runDeltaAgreement(t, kind, seed, 900)
+				})
+			}
+		})
+	}
+}
+
+// TestDeltaRegionOverflowMerges drives more pending ops than the region
+// holds: deltaInsert must merge inline when the region fills, and reads
+// must stay exact throughout.
+func TestDeltaRegionOverflowMerges(t *testing.T) {
+	pool, _ := newPMemPool(t, 64<<20)
+	tree, err := Create(Hybrid, pool, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.EnableDelta(); err != nil {
+		t.Fatal(err)
+	}
+	o := deltaOracle{}
+	n := int64(3*DefaultDeltaCap + 7)
+	for i := int64(0); i < n; i++ {
+		k := i % 64
+		if err := tree.Insert(iv(k), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		o.insert(k, uint64(i))
+	}
+	if pending, _ := tree.DeltaStats(); pending > DefaultDeltaCap {
+		t.Fatalf("pending %d exceeds region capacity %d", pending, DefaultDeltaCap)
+	}
+	verifyDeltaAgreement(t, tree, o, 64)
+}
+
+// FuzzDeltaMerge interprets the fuzz input as an op schedule
+// (insert/delete/merge/publish over a small key universe) and asserts
+// the delta-mode tree agrees with the oracle afterwards. Wired into the
+// nightly fuzz job.
+func FuzzDeltaMerge(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 1, 0, 1, 2, 2, 1, 1, 3, 0, 0})
+	f.Add([]byte{0, 5, 1, 0, 5, 2, 4, 0, 0, 2, 5, 1, 3, 0, 0, 2, 5, 2})
+	seed := make([]byte, 0, 3*DefaultDeltaCap*3)
+	for i := 0; i < 3*DefaultDeltaCap; i++ {
+		seed = append(seed, byte(i%5), byte(i%31), byte(i%7))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		pool, _ := newPMemPool(t, 64<<20)
+		tree, err := Create(Hybrid, pool, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.EnableDelta(); err != nil {
+			t.Fatal(err)
+		}
+		o := deltaOracle{}
+		const keySpace = 31
+		for i := 0; i+2 < len(data); i += 3 {
+			op, k, id := data[i]%5, int64(data[i+1]%keySpace), uint64(data[i+2]%8)
+			switch op {
+			case 0, 1:
+				if err := tree.Insert(iv(k), id); err != nil {
+					t.Fatal(err)
+				}
+				o.insert(k, id)
+			case 2:
+				want := o.delete(k, id)
+				if got := tree.Delete(iv(k), id); got != want {
+					t.Fatalf("Delete(%d,%d) = %v, oracle %v", k, id, got, want)
+				}
+			case 3:
+				if err := tree.MergeDelta(); err != nil {
+					t.Fatal(err)
+				}
+			case 4:
+				tree.PublishDelta()
+			}
+		}
+		verifyDeltaAgreement(t, tree, o, keySpace)
+	})
+}

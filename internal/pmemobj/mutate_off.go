@@ -2,7 +2,9 @@
 
 package pmemobj
 
-// mutateSkipFlush deliberately weakens the commit protocol when the
-// crashmutate build tag is set (see mutate_on.go). In normal builds it is
-// a compile-time false, so the branch in tx.commit vanishes.
-const mutateSkipFlush = false
+// The deliberate commit-protocol bugs (see mutate_on.go) are
+// compile-time false in normal builds, so the branches in tx.commit and
+// SnapshotAll vanish.
+func mutateSkipFlush() bool { return false }
+
+func mutateGroupFence() bool { return false }

@@ -115,15 +115,47 @@ func (tx *Tx) Abandon() {
 	tx.p.mu.Unlock()
 }
 
+// covered reports whether [off, off+n) lies entirely inside one range
+// this transaction has already snapshotted or note-written. Re-logging a
+// covered range is pure overhead: rollback restores entries in reverse
+// order, so the oldest snapshot of a range wins regardless.
+func (tx *Tx) covered(off, n uint64) bool {
+	for _, r := range tx.touched {
+		if off >= r.off && off+n <= r.off+r.n {
+			return true
+		}
+	}
+	return false
+}
+
+// SnapshotCost returns the number of undo-log bytes a Snapshot of an
+// n-byte range consumes: the 16-byte entry header plus the old image
+// padded to 8 bytes. Group-commit leaders use it to size epochs against
+// LaneCap before entering the lane transaction.
+func SnapshotCost(n uint64) uint64 { return 16 + align(n, 8) }
+
+// LogHeaderBytes is the fixed per-log header (the cache line holding the
+// entry-count word); usable snapshot space is the log capacity minus
+// this.
+const LogHeaderBytes = logDataStart
+
+// LogFree returns the bytes remaining in this transaction's undo log.
+func (tx *Tx) LogFree() uint64 { return tx.logOff + tx.logCap - tx.logEnd }
+
 // Snapshot records the current contents of [off, off+n) in the undo log so
 // the range can be modified failure-atomically. It must be called before
-// the first modification of the range within the transaction.
+// the first modification of the range within the transaction. A range
+// already covered by an earlier Snapshot or NoteWrite of this
+// transaction is skipped without touching the log.
 func (tx *Tx) Snapshot(off, n uint64) error {
 	if n == 0 {
 		return nil
 	}
 	if off%8 != 0 {
 		panic("pmemobj: Snapshot offset must be 8-byte aligned")
+	}
+	if tx.covered(off, n) {
+		return nil
 	}
 	p := tx.p
 	dataLen := align(n, 8)
@@ -154,6 +186,81 @@ func (tx *Tx) Snapshot(off, n uint64) error {
 	return nil
 }
 
+// Range identifies a device range for batched snapshotting.
+type Range struct{ Off, N uint64 }
+
+// SnapshotAll records every listed range in the undo log with a single
+// durable publication of the entry count — one fence for the whole
+// batch instead of one per range. This is the group-commit leader's
+// batched append: K member transactions' undo images become valid
+// together at one fence. Ranges already covered by this transaction (or
+// by an earlier range in the same call) are skipped. If the surviving
+// batch does not fit the remaining log space, nothing is appended and
+// ErrLogFull is returned, so the caller can split the epoch and retry.
+func (tx *Tx) SnapshotAll(ranges []Range) error {
+	keep := make([]txRange, 0, len(ranges))
+	need := uint64(0)
+	for _, r := range ranges {
+		if r.N == 0 {
+			continue
+		}
+		if r.Off%8 != 0 {
+			panic("pmemobj: SnapshotAll offset must be 8-byte aligned")
+		}
+		if tx.covered(r.Off, r.N) {
+			continue
+		}
+		dup := false
+		for _, k := range keep {
+			if r.Off >= k.off && r.Off+r.N <= k.off+k.n {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		keep = append(keep, txRange{r.Off, r.N})
+		need += SnapshotCost(r.N)
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	if tx.logEnd+need > tx.logOff+tx.logCap {
+		return fmt.Errorf("%w: need %d bytes for %d ranges", ErrLogFull, need, len(keep))
+	}
+	dev := tx.p.dev
+	start := tx.logEnd
+	for _, k := range keep {
+		entry := tx.logEnd
+		dev.WriteU64(entry, k.off)
+		dev.WriteU64(entry+8, k.n)
+		dataLen := align(k.n, 8)
+		words := make([]uint64, dataLen/8)
+		for i := range words {
+			words[i] = dev.ReadU64(k.off + uint64(i)*8)
+		}
+		dev.WriteWords(entry+16, words)
+		tx.logEnd += 16 + dataLen
+		tx.count++
+	}
+	dev.Flush(start, tx.logEnd-start)
+	// One durable count store validates every appended entry at once:
+	// the group fence.
+	dev.WriteU64(tx.logOff, tx.count)
+	if !mutateGroupFence() {
+		// crashmutate groupfence builds skip the publication fence; the
+		// count word then never reaches media and rollback misses the
+		// whole batch.
+		dev.Persist(tx.logOff, 8)
+	}
+	for _, k := range keep {
+		tx.touched = append(tx.touched, k)
+		dev.NoteUndoCovered(k.off, k.n)
+	}
+	return nil
+}
+
 // NoteWrite registers a range to be flushed at commit without
 // snapshotting it first. This is only safe for memory whose pre-transaction
 // contents are unreachable — typically memory allocated within the same
@@ -168,7 +275,7 @@ func (tx *Tx) noteWrite(off, n uint64) { tx.NoteWrite(off, n) }
 func (tx *Tx) commit() {
 	dev := tx.p.dev
 	for i, r := range tx.touched {
-		if mutateSkipFlush && i == len(tx.touched)-1 {
+		if mutateSkipFlush() && i == len(tx.touched)-1 {
 			// crashmutate builds omit the last range's flush; the
 			// commit record below then lies about durability.
 			continue

@@ -287,6 +287,19 @@ func (t *Table) BitmapWord(id uint64) uint64 {
 	return t.dev.ReadU64(t.dir[ci] + cBitmap + slot/64*8)
 }
 
+// BitmapWordOff returns the device offset of the occupancy word covering
+// id, for callers pre-declaring the exact ranges a release will touch
+// (group-commit leaders batching undo snapshots). False for ids beyond
+// the allocated chunks.
+func (t *Table) BitmapWordOff(id uint64) (uint64, bool) {
+	ci := id / t.chunkCap
+	if ci >= t.nChunks.Load() {
+		return 0, false
+	}
+	slot := id % t.chunkCap
+	return t.dir[ci] + cBitmap + slot/64*8, true
+}
+
 // Occupied reports whether id names an allocated record slot.
 func (t *Table) Occupied(id uint64) bool {
 	ci := id / t.chunkCap

@@ -146,6 +146,17 @@ func newDBTelemetry(db *DB, cfg TelemetryConfig) *dbTelemetry {
 		"Versions inspected per DRAM version-chain lookup.",
 		telemetry.LengthBuckets(64), 1)
 
+	// Group-commit epoch counters, sampled from the engine's atomics.
+	reg.CounterFunc("poseidon_group_commit_epochs_total",
+		"Commit epochs persisted by group-commit leaders.",
+		func() uint64 { ep, _, _ := db.engine.GroupCommitStats(); return ep })
+	reg.CounterFunc("poseidon_group_commit_txs_total",
+		"Transactions committed through group-commit epochs.",
+		func() uint64 { _, txs, _ := db.engine.GroupCommitStats(); return txs })
+	reg.CounterFunc("poseidon_group_commit_splits_total",
+		"Epochs split to fit the shard undo-log lane budget.",
+		func() uint64 { _, _, sp := db.engine.GroupCommitStats(); return sp })
+
 	// JIT compiler counters.
 	t.jitTel.Compiles = reg.Counter("poseidon_jit_compiles_total", "Full plan compilations (both cache tiers missed).")
 	t.jitTel.CompileTime = reg.Histogram("poseidon_jit_compile_seconds",
