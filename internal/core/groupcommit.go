@@ -14,12 +14,15 @@ import (
 // Group commit: concurrent single-shard committers enqueue into their
 // shard's commit epoch instead of each paying a full drain/fence cycle.
 // The first committer to find the queue leaderless becomes the epoch
-// leader; it drains the queue (up to Config.GroupCommit.MaxBatch per
-// epoch), persists the whole batch behind one batched undo-log append
-// (a single publication fence, pmemobj.SnapshotAll), one lane commit and
-// one shared lock-release drain, then wakes every member. Committers
+// leader; it forms an epoch (up to Config.GroupCommit.MaxBatch members),
+// persists the whole batch behind one batched undo-log append (a single
+// publication fence, pmemobj.SnapshotAll), one lane commit and one
+// shared lock-release drain, then wakes every member. Committers
 // arriving while an epoch persists queue up and form the next epoch —
-// with MaxDelay zero, batching comes purely from that backpressure.
+// with MaxDelay zero, batching comes purely from that backpressure. A
+// leader whose own transaction has committed hands any refilled queue to
+// a detached drainer goroutine rather than draining it itself, so no
+// caller's commit latency exceeds its own epoch.
 //
 // Epochs never abort wholesale for capacity reasons: a batch whose undo
 // images would overflow the shard's lane is split into smaller groups
@@ -57,35 +60,73 @@ func (tx *Tx) commitGrouped(s int) error {
 	g.leading = true
 	g.mu.Unlock()
 
-	// This goroutine leads until the queue is empty; its own request is
-	// in the first batch, so the receive below never blocks on itself.
-	cfg := e.cfg.GroupCommit
-	for {
-		if cfg.MaxDelay > 0 {
+	// This goroutine leads only until its own result is in — its request
+	// is in the first batch unless MaxBatch truncation pushes it out, so
+	// that is normally one epoch. Under sustained load the queue refills
+	// while an epoch persists; draining it here would keep this caller
+	// leading (and its Commit from returning) indefinitely even though
+	// its transaction persisted in the first epoch. Instead leadership
+	// hands off to a detached drainer and the caller's commit latency
+	// stays bounded by its own epoch.
+	for e.leadEpoch(s) {
+		select {
+		case err := <-req.done:
 			g.mu.Lock()
-			n := len(g.pending)
-			g.mu.Unlock()
-			if n > 0 && n < cfg.MaxBatch {
-				time.Sleep(cfg.MaxDelay)
+			if len(g.pending) == 0 {
+				g.leading = false
+				g.mu.Unlock()
+			} else {
+				g.mu.Unlock()
+				go e.drainEpochs(s)
 			}
+			return err
+		default:
 		}
-		g.mu.Lock()
-		batch := g.pending
-		if len(batch) > cfg.MaxBatch {
-			batch = batch[:cfg.MaxBatch:cfg.MaxBatch]
-			g.pending = append([]*groupReq(nil), g.pending[cfg.MaxBatch:]...)
-		} else {
-			g.pending = nil
-		}
-		if len(batch) == 0 {
-			g.leading = false
-			g.mu.Unlock()
-			break
-		}
-		g.mu.Unlock()
-		e.commitEpoch(s, batch)
 	}
 	return <-req.done
+}
+
+// leadEpoch forms one epoch from shard s's queue and commits it. It
+// returns false when the queue was empty — leadership has then been
+// released — and true after committing an epoch, in which case the
+// caller still leads and must either loop or hand off.
+func (e *Engine) leadEpoch(s int) bool {
+	g := &e.shards[s].group
+	cfg := e.cfg.GroupCommit
+	if cfg.MaxDelay > 0 {
+		g.mu.Lock()
+		n := len(g.pending)
+		g.mu.Unlock()
+		if n > 0 && n < cfg.MaxBatch {
+			time.Sleep(cfg.MaxDelay)
+		}
+	}
+	g.mu.Lock()
+	batch := g.pending
+	if len(batch) > cfg.MaxBatch {
+		batch = batch[:cfg.MaxBatch:cfg.MaxBatch]
+		g.pending = append([]*groupReq(nil), g.pending[cfg.MaxBatch:]...)
+	} else {
+		g.pending = nil
+	}
+	if len(batch) == 0 {
+		g.leading = false
+		g.mu.Unlock()
+		return false
+	}
+	g.mu.Unlock()
+	e.commitEpoch(s, batch)
+	return true
+}
+
+// drainEpochs leads shard s's commit epochs until the queue empties.
+// Runs detached after a committer-leader's own epoch completed with
+// members still queued (see commitGrouped); every member it commits has
+// a parked caller, so the goroutine cannot outlive the commits it
+// serves.
+func (e *Engine) drainEpochs(s int) {
+	for e.leadEpoch(s) {
+	}
 }
 
 // CommitBatch commits the given transactions as group-commit epochs,
@@ -365,6 +406,12 @@ func (e *Engine) processGroup(s int, reqs []*groupReq) {
 			}
 		}
 		if rerr != nil {
+			// Re-acquire the shard lock before leaving the loop so every
+			// exit holds it: the error paths below unlock unconditionally,
+			// and unlocking an unheld commitMu would panic (or release a
+			// concurrent committer's lock).
+			e.lockShards(order, nil)
+			locked = true
 			err = rerr
 			break
 		}

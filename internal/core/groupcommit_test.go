@@ -217,6 +217,69 @@ func TestGroupCommitLaneOverflowDegrades(t *testing.T) {
 	}
 }
 
+// TestGroupCommitReservationFailureAborts exhausts the pool so the
+// post-ErrShardFull property reservation inside processGroup fails after
+// the shard lock was already dropped. The members must abort with an
+// error — regression: the generic error path unlocked the shard again
+// (sync.Mutex unlock-of-unlocked panic) instead of honoring the
+// locked=false state the failed reservation left behind.
+func TestGroupCommitReservationFailureAborts(t *testing.T) {
+	e, err := Open(Config{Mode: PMem, PoolSize: 8 << 20, Shards: 1,
+		GroupCommit: GroupCommitConfig{Enabled: true, MaxBatch: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+
+	// Fat integer properties: commit-time property-chain writes burn
+	// props-table slots ~an order of magnitude faster than node slots,
+	// so the props shard hits ErrShardFull while the pool is too full to
+	// grow it — the reservation failure under test.
+	props := map[string]any{}
+	for k := 0; k < 24; k++ {
+		props[fmt.Sprintf("k%d", k)] = int64(k)
+	}
+	for round := 0; round < 8000; round++ {
+		txs := make([]*Tx, 4)
+		ok := true
+		for i := range txs {
+			txs[i] = e.Begin()
+			if _, err := txs[i].CreateNode("Fat", props); err != nil {
+				// Insert-time exhaustion: the create already failed, so
+				// the commit path under test is unreachable this round.
+				for _, tx := range txs[:i+1] {
+					tx.Abort()
+				}
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var failed bool
+		for i, err := range e.CommitBatch(txs) {
+			if err != nil {
+				failed = true
+				if r := txs[i].abortReason.Load(); r != uint32(AbortCommitFailed)+1 {
+					t.Fatalf("tx %d abort reason = %d, want AbortCommitFailed", i, r)
+				}
+			}
+		}
+		if failed {
+			// Surviving to here without a panic is the regression check;
+			// the engine must also still serve reads and commits.
+			rtx := e.Begin()
+			if _, err := rtx.GetNode(1); err != nil && err != ErrNotFound {
+				t.Fatalf("engine unusable after reservation failure: %v", err)
+			}
+			rtx.Abort()
+			return
+		}
+	}
+	t.Fatal("pool never exhausted — raise the fat-prop load")
+}
+
 // TestGroupCommitCancelledMember: a member whose context is cancelled
 // aborts without poisoning the rest of its epoch.
 func TestGroupCommitCancelledMember(t *testing.T) {

@@ -55,7 +55,12 @@ type Dict struct {
 	hdr  uint64
 
 	// mu protects readers from in-flight rehashes. Mutations additionally
-	// serialize on the pool's transaction lock.
+	// serialize on the pool's transaction lock, and the process-wide lock
+	// order is pool lock BEFORE d.mu: EncodeTx runs with the caller's
+	// pool transaction already open and takes d.mu inside it, so Encode
+	// must open its own pool transaction first and only then take d.mu
+	// (see encodeInTx). Taking d.mu around RunTx would invert the order
+	// and deadlock against an open bulk-load batch.
 	mu sync.RWMutex
 
 	// decodeCache memoizes code→string (volatile, rebuilt on demand).
@@ -164,16 +169,13 @@ func (d *Dict) Encode(s string) (uint64, error) {
 	if ok {
 		return code, nil
 	}
-
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	// Re-check under the write lock.
-	if code, ok := d.lookupLocked(s, h); ok {
-		return code, nil
-	}
+	// Pool transaction first, d.mu inside it — the same order EncodeTx
+	// imposes (its caller already holds the pool lock). A concurrent
+	// Encode during a bulk-load batch therefore parks on the pool lock
+	// holding nothing, instead of deadlocking the batch's EncodeTx.
 	err := d.pool.RunTx(func(tx *pmemobj.Tx) error {
 		var err error
-		code, err = d.insertLocked(tx, s, h)
+		code, err = d.encodeInTx(tx, s, h)
 		return err
 	})
 	if err != nil {
@@ -195,16 +197,23 @@ func (d *Dict) EncodeTx(tx *pmemobj.Tx, s string) (uint64, error) {
 	if ok {
 		return code, nil
 	}
+	code, err := d.encodeInTx(tx, s, h)
+	if err != nil {
+		return 0, fmt.Errorf("dict: encode %q: %w", s, err)
+	}
+	return code, nil
+}
+
+// encodeInTx interns s inside the given pool transaction, taking d.mu
+// for writing only after the pool lock is held (the process-wide order
+// for this lock pair). Re-checks under the write lock before inserting.
+func (d *Dict) encodeInTx(tx *pmemobj.Tx, s string, h uint64) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if code, ok := d.lookupLocked(s, h); ok {
 		return code, nil
 	}
-	code, err := d.insertLocked(tx, s, h)
-	if err != nil {
-		return 0, fmt.Errorf("dict: encode %q: %w", s, err)
-	}
-	return code, nil
+	return d.insertLocked(tx, s, h)
 }
 
 // insertLocked performs the new-string insert inside tx. Caller holds

@@ -3,9 +3,11 @@ package dict
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"poseidon/internal/pmem"
 	"poseidon/internal/pmemobj"
@@ -248,5 +250,87 @@ func TestDecodeCacheServesHotCodes(t *testing.T) {
 	d2 := Open(d.pool, d.hdr)
 	if s, err := d2.Decode(c); err != nil || s != "cached-string" {
 		t.Fatalf("cold decode = %q, %v", s, err)
+	}
+}
+
+// TestEncodeDuringBulkBatchNoDeadlock is the lock-order regression for
+// Encode vs EncodeTx: EncodeTx runs with the caller's pool transaction
+// (and its lock) already open, then takes d.mu; Encode used to take
+// d.mu first and then open a pool transaction — the inverted order
+// deadlocked any concurrent Encode against an open bulk batch. Encode
+// now opens its pool transaction before touching d.mu, so the
+// concurrent encoder just parks on the pool lock.
+//
+// The schedule is forced, not left to chance: each round the bulk side
+// opens its batch (pool lock held), signals the encoder, and sleeps so
+// the encoder's Encode of a fresh string is in flight mid-batch before
+// EncodeTx runs. Under the old order the encoder was then parked on the
+// pool lock holding d.mu and the first EncodeTx deadlocked; the
+// watchdog turns a reintroduced inversion into a failure with stacks
+// instead of a hang.
+func TestEncodeDuringBulkBatchNoDeadlock(t *testing.T) {
+	d, _ := newTestDict(t, 16<<20)
+	const rounds, perBatch = 20, 25
+	batchOpen := make(chan int)
+	encoded := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { // bulk loader: EncodeTx inside long-lived batches
+			defer wg.Done()
+			defer close(batchOpen)
+			for r := 0; r < rounds; r++ {
+				tx := d.pool.Begin()
+				batchOpen <- r
+				time.Sleep(2 * time.Millisecond) // let the Encode get in flight
+				for i := 0; i < perBatch; i++ {
+					if _, err := d.EncodeTx(tx, fmt.Sprintf("bulk-%d-%d", r, i)); err != nil {
+						t.Error(err)
+						tx.Commit()
+						return
+					}
+				}
+				tx.Commit()
+				// The encoder's in-flight Encode completes once the pool
+				// lock frees; wait for it before opening the next batch.
+				<-encoded
+			}
+		}()
+		go func() { // online encoder, mid-batch by construction
+			defer wg.Done()
+			for r := range batchOpen {
+				if _, err := d.Encode(fmt.Sprintf("online-%d", r)); err != nil {
+					t.Error(err)
+					return
+				}
+				encoded <- struct{}{}
+			}
+		}()
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("Encode/EncodeTx deadlocked:\n%s", buf[:runtime.Stack(buf, true)])
+	}
+	if t.Failed() {
+		return
+	}
+	// Every string from both sides must have been interned.
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perBatch; i++ {
+			if _, ok := d.Lookup(fmt.Sprintf("bulk-%d-%d", r, i)); !ok {
+				t.Fatalf("bulk-%d-%d missing", r, i)
+			}
+		}
+		if _, ok := d.Lookup(fmt.Sprintf("online-%d", r)); !ok {
+			t.Fatalf("online-%d missing", r)
+		}
+	}
+	if probs := d.CheckIntegrity(); probs != nil {
+		t.Fatalf("integrity violations: %v", probs)
 	}
 }
